@@ -1,0 +1,367 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "common/env.h"
+#include "common/strings.h"
+#include "core/cleaning.h"
+#include "stats/tests.h"
+
+namespace fairclean {
+namespace bench {
+
+namespace {
+
+constexpr FairnessMetric kAllMetrics[] = {
+    FairnessMetric::kPredictiveParity,
+    FairnessMetric::kEqualOpportunity,
+    FairnessMetric::kDemographicParity,
+    FairnessMetric::kFalsePositiveRateParity,
+    FairnessMetric::kAccuracyParity,
+};
+
+uint64_t Fnv1a(const std::string& text) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string CachePath(const std::string& dataset,
+                      const std::string& error_type, const std::string& model,
+                      const BenchOptions& options) {
+  return StrFormat("%s/%s_%s_%s_s%llu_n%zu_r%zu_f%zu.json",
+                   options.cache_dir.c_str(), dataset.c_str(),
+                   error_type.c_str(), model.c_str(),
+                   static_cast<unsigned long long>(options.study.seed),
+                   options.study.sample_size, options.study.num_repeats,
+                   options.study.cv_folds);
+}
+
+// Reassembles ScoreSeries from the flat records of a cached run. Returns an
+// error if any expected key is absent (stale/partial cache -> rerun).
+Result<CleaningExperimentResult> ReconstructFromRecords(
+    const ResultStore& records, const GeneratedDataset& dataset,
+    const std::string& error_type, const std::string& model,
+    const StudyOptions& study) {
+  FC_ASSIGN_OR_RETURN(std::vector<CleaningMethod> methods,
+                      CleaningMethodsFor(error_type));
+  CleaningExperimentResult result;
+  result.dataset = dataset.spec.name;
+  result.error_type = error_type;
+  result.model = model;
+  result.groups = GroupDefinitionsFor(dataset.spec);
+  result.records = records;
+
+  std::vector<std::string> versions = {"dirty"};
+  for (const CleaningMethod& method : methods) {
+    versions.push_back(method.Name());
+  }
+  for (const std::string& version : versions) {
+    ScoreSeries* series = version == "dirty"
+                              ? &result.dirty
+                              : &result.repaired[version];
+    for (size_t repeat = 0; repeat < study.num_repeats; ++repeat) {
+      std::string prefix =
+          StrFormat("%s/%s/%s/%s/r%zu", dataset.spec.name.c_str(),
+                    error_type.c_str(), version.c_str(), model.c_str(),
+                    repeat);
+      FC_ASSIGN_OR_RETURN(double accuracy,
+                          records.Get(MetricKey({prefix, "test_acc"})));
+      FC_ASSIGN_OR_RETURN(double f1,
+                          records.Get(MetricKey({prefix, "test_f1"})));
+      series->accuracy.push_back(accuracy);
+      series->f1.push_back(f1);
+      for (const GroupDefinition& group : result.groups) {
+        GroupConfusion confusion;
+        const struct {
+          const char* suffix;
+          ConfusionMatrix* cm;
+        } sides[2] = {{"priv", &confusion.privileged},
+                      {"dis", &confusion.disadvantaged}};
+        for (const auto& side : sides) {
+          std::string base = group.key + "_" + side.suffix;
+          FC_ASSIGN_OR_RETURN(double tn,
+                              records.Get(MetricKey({prefix, base, "tn"})));
+          FC_ASSIGN_OR_RETURN(double fp,
+                              records.Get(MetricKey({prefix, base, "fp"})));
+          FC_ASSIGN_OR_RETURN(double fn,
+                              records.Get(MetricKey({prefix, base, "fn"})));
+          FC_ASSIGN_OR_RETURN(double tp,
+                              records.Get(MetricKey({prefix, base, "tp"})));
+          side.cm->tn = static_cast<int64_t>(tn);
+          side.cm->fp = static_cast<int64_t>(fp);
+          side.cm->fn = static_cast<int64_t>(fn);
+          side.cm->tp = static_cast<int64_t>(tp);
+        }
+        for (FairnessMetric metric : kAllMetrics) {
+          series->unfairness[UnfairnessKey(group.key, metric)].push_back(
+              FairnessGap(metric, confusion));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::string> StudyScope::Datasets() const {
+  std::set<std::string> names;
+  for (const PairSpec& pair : single_pairs) names.insert(pair.dataset);
+  for (const std::string& name : intersectional_datasets) names.insert(name);
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+StudyScope MissingScope() {
+  StudyScope scope;
+  scope.error_type = "missing_values";
+  scope.single_pairs = {{"adult", "sex"},  {"adult", "race"},
+                        {"folk", "sex"},   {"folk", "race"},
+                        {"german", "sex"}, {"german", "age"}};
+  scope.intersectional_datasets = {"adult", "folk", "german"};
+  return scope;
+}
+
+StudyScope OutlierScope() {
+  StudyScope scope;
+  scope.error_type = "outliers";
+  scope.single_pairs = {{"adult", "sex"}, {"adult", "race"},
+                        {"folk", "sex"},  {"folk", "race"},
+                        {"credit", "age"}, {"heart", "sex"},
+                        {"heart", "age"}};
+  scope.intersectional_datasets = {"adult", "folk", "german", "heart"};
+  return scope;
+}
+
+StudyScope MislabelScope() {
+  StudyScope scope = OutlierScope();
+  scope.error_type = "mislabels";
+  return scope;
+}
+
+BenchOptions BenchOptionsFromEnv() {
+  BenchOptions options;
+  options.study.sample_size =
+      static_cast<size_t>(GetEnvInt64("FAIRCLEAN_SAMPLE", 3500));
+  options.study.num_repeats =
+      static_cast<size_t>(GetEnvInt64("FAIRCLEAN_REPEATS", 16));
+  options.study.cv_folds =
+      static_cast<size_t>(GetEnvInt64("FAIRCLEAN_FOLDS", 3));
+  // A larger holdout than the library default stabilizes the group-wise
+  // precision/recall estimates that the fairness metrics compare.
+  options.study.test_fraction = 0.3;
+  options.study.seed =
+      static_cast<uint64_t>(GetEnvInt64("FAIRCLEAN_SEED", 42));
+  options.cache_dir = GetEnvString("FAIRCLEAN_CACHE_DIR", "fairclean_cache");
+  return options;
+}
+
+Result<GeneratedDataset> BenchDataset(const std::string& name,
+                                      const BenchOptions& options) {
+  // Dataset synthesis is decoupled from the runner's per-repeat seeds but
+  // still derives from the global bench seed.
+  Rng rng(options.study.seed * 0x9e3779b97f4a7c15ULL + Fnv1a(name));
+  return MakeDataset(name, 0, &rng);
+}
+
+Result<CleaningExperimentResult> RunOrLoadExperiment(
+    const GeneratedDataset& dataset, const std::string& error_type,
+    const std::string& model, const BenchOptions& options) {
+  std::string path;
+  if (!options.cache_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.cache_dir, ec);
+    path = CachePath(dataset.spec.name, error_type, model, options);
+    Result<ResultStore> cached = ResultStore::LoadFromFile(path);
+    if (cached.ok()) {
+      Result<CleaningExperimentResult> reconstructed = ReconstructFromRecords(
+          *cached, dataset, error_type, model, options.study);
+      if (reconstructed.ok()) {
+        if (options.verbose) {
+          std::fprintf(stderr, "[cache] %s/%s/%s\n",
+                       dataset.spec.name.c_str(), error_type.c_str(),
+                       model.c_str());
+        }
+        return reconstructed;
+      }
+    }
+  }
+
+  if (options.verbose) {
+    std::fprintf(stderr, "[run  ] %s/%s/%s ...\n", dataset.spec.name.c_str(),
+                 error_type.c_str(), model.c_str());
+  }
+  FC_ASSIGN_OR_RETURN(TunedModelFamily family, ModelFamilyByName(model));
+  FC_ASSIGN_OR_RETURN(
+      CleaningExperimentResult result,
+      RunCleaningExperiment(dataset, error_type, family, options.study));
+  if (!path.empty()) {
+    Status saved = result.records.SaveToFile(path);
+    if (!saved.ok() && options.verbose) {
+      std::fprintf(stderr, "[warn ] cache write failed: %s\n",
+                   saved.ToString().c_str());
+    }
+  }
+  return result;
+}
+
+Result<ScopeResults> RunScope(const StudyScope& scope,
+                              const BenchOptions& options) {
+  ScopeResults results;
+  for (const std::string& name : scope.Datasets()) {
+    FC_ASSIGN_OR_RETURN(GeneratedDataset dataset,
+                        BenchDataset(name, options));
+    for (const std::string& model : AllModelNames()) {
+      FC_ASSIGN_OR_RETURN(
+          CleaningExperimentResult result,
+          RunOrLoadExperiment(dataset, scope.error_type, model, options));
+      results.emplace(name + "/" + model, std::move(result));
+    }
+  }
+  return results;
+}
+
+Result<ImpactTable> AggregateImpactTable(const ScopeResults& results,
+                                         const StudyScope& scope,
+                                         bool intersectional,
+                                         FairnessMetric metric,
+                                         const BenchOptions& options) {
+  ImpactTable table;
+  FC_ASSIGN_OR_RETURN(std::vector<CleaningMethod> methods,
+                      CleaningMethodsFor(scope.error_type));
+  double alpha = BonferroniAlpha(options.study.alpha, methods.size());
+
+  auto add_configurations = [&](const CleaningExperimentResult& result,
+                                const std::string& group_key) -> Status {
+    for (const auto& [method, series] : result.repaired) {
+      FC_ASSIGN_OR_RETURN(
+          ImpactOutcome impact,
+          ComputeImpact(result.dirty, series, group_key, metric, alpha));
+      table.Add(impact.fairness, impact.accuracy);
+    }
+    return Status::OK();
+  };
+
+  for (const std::string& model : AllModelNames()) {
+    if (!intersectional) {
+      for (const PairSpec& pair : scope.single_pairs) {
+        auto it = results.find(pair.dataset + "/" + model);
+        if (it == results.end()) {
+          return Status::NotFound("no results for " + pair.dataset + "/" +
+                                  model);
+        }
+        FC_RETURN_IF_ERROR(add_configurations(it->second, pair.attribute));
+      }
+    } else {
+      for (const std::string& dataset : scope.intersectional_datasets) {
+        auto it = results.find(dataset + "/" + model);
+        if (it == results.end()) {
+          return Status::NotFound("no results for " + dataset + "/" + model);
+        }
+        const CleaningExperimentResult& result = it->second;
+        std::string group_key;
+        for (const GroupDefinition& group : result.groups) {
+          if (group.intersectional) group_key = group.key;
+        }
+        if (group_key.empty()) {
+          return Status::InvalidArgument(
+              "dataset has no intersectional group: " + dataset);
+        }
+        FC_RETURN_IF_ERROR(add_configurations(result, group_key));
+      }
+    }
+  }
+  return table;
+}
+
+void PrintTableWithReference(const ImpactTable& measured,
+                             const PaperTable& reference,
+                             const std::string& title) {
+  std::printf("%s\n", measured.Format(title).c_str());
+  std::printf("paper reference (%s):\n", reference.label);
+  const char* row_labels[3] = {"fairness worse", "fairness insign.",
+                               "fairness better"};
+  for (size_t r = 0; r < 3; ++r) {
+    std::printf("%-22s |", row_labels[r]);
+    for (size_t c = 0; c < 3; ++c) {
+      std::printf(" %5.1f%%        ", reference.cells[r][c]);
+    }
+    std::printf("\n");
+  }
+
+  // Qualitative shape checks against the paper.
+  double paper_worse = reference.cells[0][0] + reference.cells[0][1] +
+                       reference.cells[0][2];
+  double paper_better = reference.cells[2][0] + reference.cells[2][1] +
+                        reference.cells[2][2];
+  int64_t total = measured.Total();
+  double measured_worse =
+      total ? 100.0 * measured.RowTotal(Impact::kWorse) / total : 0.0;
+  double measured_better =
+      total ? 100.0 * measured.RowTotal(Impact::kBetter) / total : 0.0;
+  bool paper_direction = paper_worse > paper_better;
+  bool measured_direction = measured_worse > measured_better;
+  std::printf(
+      "shape check: fairness worse vs better — paper %.1f%% / %.1f%% (%s), "
+      "measured %.1f%% / %.1f%% (%s) -> %s\n\n",
+      paper_worse, paper_better,
+      paper_direction ? "worse dominates" : "better dominates",
+      measured_worse, measured_better,
+      measured_direction ? "worse dominates" : "better dominates",
+      paper_direction == measured_direction ? "MATCH" : "MISMATCH");
+}
+
+int RunTableBench(const StudyScope& scope, const PaperTable references[4],
+                  const char* heading) {
+  BenchOptions options = BenchOptionsFromEnv();
+  std::printf("== %s ==\n", heading);
+  std::printf(
+      "scale: sample=%zu repeats=%zu folds=%zu seed=%llu (override via "
+      "FAIRCLEAN_SAMPLE / FAIRCLEAN_REPEATS / FAIRCLEAN_FOLDS / "
+      "FAIRCLEAN_SEED)\n\n",
+      options.study.sample_size, options.study.num_repeats,
+      options.study.cv_folds,
+      static_cast<unsigned long long>(options.study.seed));
+
+  Result<ScopeResults> results = RunScope(scope, options);
+  if (!results.ok()) {
+    std::fprintf(stderr, "scope run failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+
+  const struct {
+    bool intersectional;
+    FairnessMetric metric;
+    const char* grouping;
+  } kTables[4] = {
+      {false, FairnessMetric::kPredictiveParity, "single-attribute"},
+      {false, FairnessMetric::kEqualOpportunity, "single-attribute"},
+      {true, FairnessMetric::kPredictiveParity, "intersectional"},
+      {true, FairnessMetric::kEqualOpportunity, "intersectional"},
+  };
+  for (size_t i = 0; i < 4; ++i) {
+    Result<ImpactTable> table =
+        AggregateImpactTable(*results, scope, kTables[i].intersectional,
+                             kTables[i].metric, options);
+    if (!table.ok()) {
+      std::fprintf(stderr, "aggregation failed: %s\n",
+                   table.status().ToString().c_str());
+      return 1;
+    }
+    std::string title = StrFormat(
+        "Impact of auto-cleaning %s for %s groups, %s as fairness metric",
+        scope.error_type.c_str(), kTables[i].grouping,
+        FairnessMetricName(kTables[i].metric));
+    PrintTableWithReference(*table, references[i], title);
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace fairclean

@@ -1,0 +1,105 @@
+#ifndef FAIRCLEAN_BENCH_BENCH_UTIL_H_
+#define FAIRCLEAN_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "datasets/generator.h"
+
+namespace fairclean {
+namespace bench {
+
+/// One (dataset, sensitive attribute) pair of the single-attribute
+/// analysis.
+struct PairSpec {
+  std::string dataset;
+  std::string attribute;
+};
+
+/// The exact experiment scope of one error type, derived from the paper's
+/// table denominators (DESIGN.md Section 4).
+struct StudyScope {
+  std::string error_type;
+  std::vector<PairSpec> single_pairs;
+  std::vector<std::string> intersectional_datasets;
+
+  /// Distinct dataset names touched by this scope.
+  std::vector<std::string> Datasets() const;
+};
+
+/// missing values: 6 single pairs (adult/folk/german), 3 intersectional.
+StudyScope MissingScope();
+/// outliers: 7 single pairs (adult/folk/credit/heart), 4 intersectional.
+StudyScope OutlierScope();
+/// mislabels: same 7 single pairs, 4 intersectional.
+StudyScope MislabelScope();
+
+/// Benchmark-wide options: study knobs plus cache location.
+struct BenchOptions {
+  StudyOptions study;
+  /// Directory for cached experiment records ("" disables caching).
+  std::string cache_dir = "fairclean_cache";
+  bool verbose = true;
+};
+
+/// Default bench options: scaled-down study (sample 3500, 16 repeats)
+/// overridable via FAIRCLEAN_SAMPLE / FAIRCLEAN_REPEATS / FAIRCLEAN_FOLDS /
+/// FAIRCLEAN_SEED / FAIRCLEAN_CACHE_DIR.
+BenchOptions BenchOptionsFromEnv();
+
+/// Generates the named dataset with the bench seed (deterministic across
+/// bench binaries so cached results stay valid).
+Result<GeneratedDataset> BenchDataset(const std::string& name,
+                                      const BenchOptions& options);
+
+/// Runs (or loads from cache) the cleaning experiment for one
+/// (dataset, error type, model family). Cached entries are reconstructed
+/// from the flat result records — the same stop-and-resume facility the
+/// paper's framework provides.
+Result<CleaningExperimentResult> RunOrLoadExperiment(
+    const GeneratedDataset& dataset, const std::string& error_type,
+    const std::string& model, const BenchOptions& options);
+
+/// Keyed collection of experiment results: "<dataset>/<model>".
+using ScopeResults = std::map<std::string, CleaningExperimentResult>;
+
+/// Runs the full scope (all datasets x all three model families).
+Result<ScopeResults> RunScope(const StudyScope& scope,
+                              const BenchOptions& options);
+
+/// Aggregates a scope's results into the paper's 3x3 impact table for one
+/// (grouping, fairness metric): every (pair-or-dataset, method, model)
+/// configuration contributes one cell. Alpha is Bonferroni-adjusted by the
+/// number of cleaning methods.
+Result<ImpactTable> AggregateImpactTable(const ScopeResults& results,
+                                         const StudyScope& scope,
+                                         bool intersectional,
+                                         FairnessMetric metric,
+                                         const BenchOptions& options);
+
+/// Reference percentages of a paper table (row-major: fairness worse /
+/// insignificant / better x accuracy worse / insignificant / better).
+struct PaperTable {
+  const char* label;
+  double cells[3][3];
+};
+
+/// Prints measured-vs-paper tables side by side plus a qualitative shape
+/// check (dominant-cell and row-ordering agreement).
+void PrintTableWithReference(const ImpactTable& measured,
+                             const PaperTable& reference,
+                             const std::string& title);
+
+/// Shared driver for the table benches (Tables II-XIII): runs the scope and
+/// prints the four measured-vs-paper tables. `references` holds the paper
+/// values in the order single-PP, single-EO, intersectional-PP,
+/// intersectional-EO. Returns a process exit code.
+int RunTableBench(const StudyScope& scope, const PaperTable references[4],
+                  const char* heading);
+
+}  // namespace bench
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,218 @@
+// Google-benchmark microbenchmarks for the substrate components: dataset
+// synthesis, error detection, repair, feature encoding and model training.
+// These measure engineering throughput, not paper results.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cleaning.h"
+#include "datasets/generator.h"
+#include "detect/detector.h"
+#include "detect/mislabel_detector.h"
+#include "detect/outlier_detectors.h"
+#include "ml/encoder.h"
+#include "ml/gbdt.h"
+#include "ml/isolation_forest.h"
+#include "ml/knn.h"
+#include "ml/logistic_regression.h"
+#include "repair/imputer.h"
+#include "stats/tests.h"
+
+namespace fairclean {
+namespace {
+
+GeneratedDataset MakeBenchData(const std::string& name, size_t rows) {
+  Rng rng(1234);
+  return MakeDataset(name, rows, &rng).ValueOrDie();
+}
+
+struct EncodedData {
+  Matrix x;
+  std::vector<int> y;
+};
+
+EncodedData EncodeAdult(size_t rows) {
+  GeneratedDataset dataset = MakeBenchData("adult", rows);
+  // Encoding requires complete tuples in this micro-benchmark path.
+  DataFrame frame = dataset.frame;
+  std::vector<bool> keep(frame.num_rows(), true);
+  for (size_t row : frame.RowsWithMissing()) keep[row] = false;
+  frame = frame.FilterRows(keep);
+  FeatureEncoder encoder;
+  std::vector<std::string> features = dataset.spec.FeatureColumns(frame);
+  encoder.Fit(frame, features).ok();
+  EncodedData data;
+  data.x = encoder.Transform(frame).ValueOrDie();
+  data.y = ExtractBinaryLabels(frame, dataset.spec.label).ValueOrDie();
+  return data;
+}
+
+void BM_DatasetSynthesis(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(MakeDataset("adult", rows, &rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_DatasetSynthesis)->Arg(1000)->Arg(10000);
+
+void BM_MissingDetection(benchmark::State& state) {
+  GeneratedDataset dataset =
+      MakeBenchData("adult", static_cast<size_t>(state.range(0)));
+  DetectionContext context;
+  context.inspect_columns = dataset.spec.FeatureColumns(dataset.frame);
+  std::unique_ptr<ErrorDetector> detector =
+      DetectorByName("missing_values").ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector->Detect(dataset.frame, context,
+                                              nullptr));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MissingDetection)->Arg(10000);
+
+void BM_IqrOutlierDetection(benchmark::State& state) {
+  GeneratedDataset dataset =
+      MakeBenchData("credit", static_cast<size_t>(state.range(0)));
+  DetectionContext context;
+  context.inspect_columns = dataset.spec.FeatureColumns(dataset.frame);
+  IqrOutlierDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(dataset.frame, context,
+                                             nullptr));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_IqrOutlierDetection)->Arg(10000);
+
+void BM_IsolationForestDetection(benchmark::State& state) {
+  GeneratedDataset dataset =
+      MakeBenchData("credit", static_cast<size_t>(state.range(0)));
+  DetectionContext context;
+  context.inspect_columns = dataset.spec.FeatureColumns(dataset.frame);
+  IsolationForestOutlierDetector detector;
+  for (auto _ : state) {
+    Rng rng(11);
+    benchmark::DoNotOptimize(detector.Detect(dataset.frame, context, &rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_IsolationForestDetection)->Arg(5000);
+
+void BM_MislabelDetection(benchmark::State& state) {
+  GeneratedDataset dataset =
+      MakeBenchData("heart", static_cast<size_t>(state.range(0)));
+  DetectionContext context;
+  context.inspect_columns = dataset.spec.FeatureColumns(dataset.frame);
+  context.label_column = dataset.spec.label;
+  MislabelDetector detector;
+  for (auto _ : state) {
+    Rng rng(13);
+    benchmark::DoNotOptimize(detector.Detect(dataset.frame, context, &rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MislabelDetection)->Arg(2000);
+
+void BM_MeanDummyImputation(benchmark::State& state) {
+  GeneratedDataset dataset =
+      MakeBenchData("adult", static_cast<size_t>(state.range(0)));
+  std::vector<std::string> features =
+      dataset.spec.FeatureColumns(dataset.frame);
+  for (auto _ : state) {
+    DataFrame copy = dataset.frame;
+    MissingValueImputer imputer(NumericImpute::kMean,
+                                CategoricalImpute::kDummy);
+    imputer.Fit(copy, features).ok();
+    imputer.Apply(&copy).ok();
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MeanDummyImputation)->Arg(10000);
+
+void BM_FeatureEncoding(benchmark::State& state) {
+  GeneratedDataset dataset =
+      MakeBenchData("adult", static_cast<size_t>(state.range(0)));
+  FeatureEncoder encoder;
+  encoder.Fit(dataset.frame, dataset.spec.FeatureColumns(dataset.frame))
+      .ok();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Transform(dataset.frame));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FeatureEncoding)->Arg(10000);
+
+void BM_LogisticRegressionFit(benchmark::State& state) {
+  EncodedData data = EncodeAdult(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    LogisticRegression model;
+    Rng rng(17);
+    model.Fit(data.x, data.y, &rng).ok();
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LogisticRegressionFit)->Arg(1000)->Arg(4000);
+
+void BM_GbdtFit(benchmark::State& state) {
+  EncodedData data = EncodeAdult(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    GradientBoostedTrees model;
+    Rng rng(19);
+    model.Fit(data.x, data.y, &rng).ok();
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GbdtFit)->Arg(1000);
+
+void BM_KnnPredict(benchmark::State& state) {
+  EncodedData data = EncodeAdult(static_cast<size_t>(state.range(0)));
+  KnnClassifier model;
+  Rng rng(23);
+  model.Fit(data.x, data.y, &rng).ok();
+  Matrix queries = data.x.TakeRows({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PredictProba(queries));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10);
+}
+BENCHMARK(BM_KnnPredict)->Arg(2000);
+
+void BM_GTest2x2(benchmark::State& state) {
+  ContingencyTable2x2 table{523, 9382, 411, 5023};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GTest2x2(table));
+  }
+}
+BENCHMARK(BM_GTest2x2);
+
+void BM_PairedTTest(benchmark::State& state) {
+  Rng rng(29);
+  std::vector<double> x(100);
+  std::vector<double> y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    x[i] = rng.Normal(0.8, 0.05);
+    y[i] = rng.Normal(0.79, 0.05);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PairedTTest(x, y));
+  }
+}
+BENCHMARK(BM_PairedTTest);
+
+}  // namespace
+}  // namespace fairclean
+
+BENCHMARK_MAIN();

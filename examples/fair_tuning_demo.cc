@@ -1,0 +1,93 @@
+// Fairness-constrained hyperparameter search — the paper's Section VII
+// direction of extending cross-validation to adhere to fairness
+// constraints during the selection procedure.
+//
+// Trains the study's three model families on the heart dataset twice: once
+// with plain accuracy-maximizing grid search and once with an equal
+// opportunity budget on the validation folds, and compares the selected
+// hyperparameters, validation accuracy and validation unfairness.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/fair_tuning.h"
+#include "datasets/generator.h"
+#include "ml/encoder.h"
+
+namespace {
+
+using namespace fairclean;  // NOLINT: example brevity
+
+int Run() {
+  Rng rng(99);
+  Result<GeneratedDataset> dataset = MakeDataset("heart", 6000, &rng);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  // Encode features and resolve the sex groups.
+  FeatureEncoder encoder;
+  std::vector<std::string> features =
+      dataset->spec.FeatureColumns(dataset->frame);
+  if (!encoder.Fit(dataset->frame, features).ok()) return 1;
+  Result<Matrix> x = encoder.Transform(dataset->frame);
+  Result<std::vector<int>> y =
+      ExtractBinaryLabels(dataset->frame, dataset->spec.label);
+  Result<SensitiveAttribute> sex =
+      dataset->spec.SensitiveAttributeByName("sex");
+  if (!x.ok() || !y.ok() || !sex.ok()) return 1;
+  Result<GroupAssignment> groups =
+      SingleAttributeGroups(dataset->frame, sex->privileged);
+  if (!groups.ok()) return 1;
+  std::vector<int> membership = MembershipFromAssignment(*groups);
+
+  std::printf(
+      "heart, %zu patients; tuning with and without an EO budget of 0.05 "
+      "across sex groups\n\n",
+      dataset->frame.num_rows());
+  std::printf("%-10s %-22s %-22s %s\n", "model",
+              "accuracy-only search", "fairness-constrained", "budget met");
+
+  for (const std::string& name : AllModelNames()) {
+    Result<TunedModelFamily> family = ModelFamilyByName(name);
+    if (!family.ok()) continue;
+
+    FairTuneOptions unconstrained;
+    unconstrained.metric = FairnessMetric::kEqualOpportunity;
+    unconstrained.max_unfairness = 1.0;  // effectively no budget
+    Rng rng_a(7);
+    Result<FairTuneOutcome> plain =
+        FairTuneAndFit(*family, *x, *y, membership, unconstrained, &rng_a);
+
+    FairTuneOptions constrained = unconstrained;
+    constrained.max_unfairness = 0.05;
+    Rng rng_b(7);
+    Result<FairTuneOutcome> fair =
+        FairTuneAndFit(*family, *x, *y, membership, constrained, &rng_b);
+
+    if (!plain.ok() || !fair.ok()) {
+      std::fprintf(stderr, "tuning failed for %s\n", name.c_str());
+      continue;
+    }
+    std::printf(
+        "%-10s param %-4g acc %.3f    param %-4g acc %.3f    %s (|EO gap| "
+        "%.3f -> %.3f)\n",
+        name.c_str(), plain->best_param, plain->best_cv_accuracy,
+        fair->best_param, fair->best_cv_accuracy,
+        fair->within_budget ? "yes" : "no", plain->best_cv_unfairness,
+        fair->best_cv_unfairness);
+  }
+
+  std::printf(
+      "\nWhen the budget cannot be met by any hyperparameter, the search "
+      "returns the fairest candidate and reports within_budget=false — the "
+      "signal that model selection alone cannot fix the disparity and a "
+      "data-side intervention (cleaning choice) is needed.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,89 @@
+// Healthcare triage: the paper's healthcare motivation scenario, with an
+// intersectional lens.
+//
+// A hospital uses a model on the heart dataset to prioritize patients for
+// cardiac care. The recorded labels carry asymmetric noise (sick women and
+// younger patients are more often recorded as healthy), so the hospital
+// evaluates repairing predicted label errors with confident learning. The
+// example contrasts the single-attribute view (sex, age) with the
+// intersectional view (male/over-45 vs female/under-45) — the paper's key
+// point that the two views can tell different stories.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/runner.h"
+#include "datasets/generator.h"
+#include "stats/descriptive.h"
+#include "stats/tests.h"
+
+namespace {
+
+using namespace fairclean;  // NOLINT: example brevity
+
+void PrintGroupStory(const CleaningExperimentResult& experiment,
+                     const std::string& group_key, double alpha) {
+  const ScoreSeries& repaired = experiment.repaired.at("flip_mislabels");
+  std::printf("  group %-10s:", group_key.c_str());
+  for (FairnessMetric metric : {FairnessMetric::kPredictiveParity,
+                                FairnessMetric::kEqualOpportunity}) {
+    Result<ImpactOutcome> impact = ComputeImpact(
+        experiment.dirty, repaired, group_key, metric, alpha);
+    if (!impact.ok()) continue;
+    std::printf("  %s %-13s (gap %+.4f -> %+.4f)",
+                FairnessMetricShortName(metric), ImpactName(impact->fairness),
+                *Mean(experiment.dirty.unfairness.at(
+                    UnfairnessKey(group_key, metric))),
+                *Mean(repaired.unfairness.at(
+                    UnfairnessKey(group_key, metric))));
+  }
+  std::printf("\n");
+}
+
+int Run() {
+  Rng rng(77);
+  Result<GeneratedDataset> dataset = MakeDataset("heart", 0, &rng);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("heart dataset: %zu patients, %zu columns; label = %s\n\n",
+              dataset->frame.num_rows(), dataset->frame.num_columns(),
+              dataset->spec.label.c_str());
+
+  StudyOptions options = StudyOptionsFromEnv();
+  options.sample_size = 2000;
+  options.num_repeats = 8;
+
+  Result<CleaningExperimentResult> experiment =
+      RunCleaningExperiment(*dataset, "mislabels", LogRegFamily(), options);
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 experiment.status().ToString().c_str());
+    return 1;
+  }
+
+  const ScoreSeries& repaired = experiment->repaired.at("flip_mislabels");
+  std::printf("accuracy: dirty %.4f -> repaired %.4f\n\n",
+              *Mean(experiment->dirty.accuracy), *Mean(repaired.accuracy));
+
+  double alpha = 0.05;  // single cleaning method, no correction needed
+  std::printf("single-attribute view:\n");
+  PrintGroupStory(*experiment, "sex", alpha);
+  PrintGroupStory(*experiment, "age", alpha);
+  std::printf("\nintersectional view (male/over-45 vs female/under-45):\n");
+  PrintGroupStory(*experiment, "sex*age", alpha);
+
+  std::printf(
+      "\nThe paper's Tables X-XIII pattern: repairing label errors improves "
+      "equal opportunity (the model stops denying priority care to sick "
+      "members of the disadvantaged group) while predictive parity can "
+      "worsen, and the intersectional effects are stronger than the "
+      "single-attribute ones.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

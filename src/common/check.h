@@ -1,0 +1,36 @@
+#ifndef FAIRCLEAN_COMMON_CHECK_H_
+#define FAIRCLEAN_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal invariant checks. These abort the process on violation and are
+/// active in all build types: the library's correctness-critical code paths
+/// (experiment bookkeeping, index arithmetic) are cheap relative to model
+/// training, so we keep the checks on in Release builds.
+#define FC_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FC_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define FC_CHECK_MSG(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FC_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define FC_CHECK_EQ(a, b) FC_CHECK((a) == (b))
+#define FC_CHECK_NE(a, b) FC_CHECK((a) != (b))
+#define FC_CHECK_LT(a, b) FC_CHECK((a) < (b))
+#define FC_CHECK_LE(a, b) FC_CHECK((a) <= (b))
+#define FC_CHECK_GT(a, b) FC_CHECK((a) > (b))
+#define FC_CHECK_GE(a, b) FC_CHECK((a) >= (b))
+
+#endif  // FAIRCLEAN_COMMON_CHECK_H_

@@ -1,0 +1,23 @@
+#include "common/env.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fairclean {
+
+int64_t GetEnvInt64(const char* name, int64_t default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return default_value;
+  char* end = nullptr;
+  long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return default_value;
+  return static_cast<int64_t>(parsed);
+}
+
+std::string GetEnvString(const char* name, const std::string& default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return default_value;
+  return std::string(raw);
+}
+
+}  // namespace fairclean

@@ -1,0 +1,19 @@
+#ifndef FAIRCLEAN_COMMON_ENV_H_
+#define FAIRCLEAN_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fairclean {
+
+/// Reads an integer knob from the environment, falling back to
+/// `default_value` when unset or unparsable. Used by the benchmark harness
+/// for scale knobs (FAIRCLEAN_REPEATS, FAIRCLEAN_SAMPLE, FAIRCLEAN_SEED).
+int64_t GetEnvInt64(const char* name, int64_t default_value);
+
+/// Reads a string knob from the environment.
+std::string GetEnvString(const char* name, const std::string& default_value);
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_COMMON_ENV_H_

@@ -1,0 +1,76 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fairclean {
+
+Rng Rng::Fork(uint64_t salt) {
+  // Mix the parent stream with the salt via splitmix64-style finalization so
+  // that forks with different salts are decorrelated.
+  uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return Rng(z);
+}
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  FC_CHECK_LE(lo, hi);
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  FC_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    FC_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  FC_CHECK_GT(total, 0.0);
+  double u = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = i;
+  Shuffle(&out);
+  return out;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  std::vector<size_t> perm = Permutation(n);
+  if (k < n) perm.resize(k);
+  return perm;
+}
+
+}  // namespace fairclean

@@ -1,0 +1,133 @@
+#include "core/disparity.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "core/runner.h"
+#include "detect/detector.h"
+
+namespace fairclean {
+
+double DisparityRow::PrivilegedFraction() const {
+  if (privileged_total == 0) return 0.0;
+  return static_cast<double>(privileged_flagged) /
+         static_cast<double>(privileged_total);
+}
+
+double DisparityRow::DisadvantagedFraction() const {
+  if (disadvantaged_total == 0) return 0.0;
+  return static_cast<double>(disadvantaged_flagged) /
+         static_cast<double>(disadvantaged_total);
+}
+
+namespace {
+
+// Detector names applicable to a dataset's declared error types.
+std::vector<std::string> ApplicableDetectors(const DatasetSpec& spec) {
+  std::vector<std::string> out;
+  if (spec.HasErrorType("missing_values")) out.push_back("missing_values");
+  if (spec.HasErrorType("outliers")) {
+    out.push_back("outliers-sd");
+    out.push_back("outliers-iqr");
+    out.push_back("outliers-if");
+  }
+  if (spec.HasErrorType("mislabels")) out.push_back("mislabels");
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<DisparityRow>> AnalyzeDisparities(
+    const GeneratedDataset& dataset, bool intersectional,
+    const DisparityOptions& options, Rng* rng) {
+  const DatasetSpec& spec = dataset.spec;
+  std::vector<std::string> detectors =
+      options.detectors.empty() ? ApplicableDetectors(spec)
+                                : options.detectors;
+
+  // Resolve the group assignments under analysis.
+  std::vector<GroupDefinition> all_groups = GroupDefinitionsFor(spec);
+  std::vector<std::pair<std::string, GroupAssignment>> assignments;
+  for (const GroupDefinition& group : all_groups) {
+    if (group.intersectional != intersectional) continue;
+    GroupAssignment assignment;
+    if (group.intersectional) {
+      FC_ASSIGN_OR_RETURN(assignment,
+                          IntersectionalGroups(dataset.frame, group.first,
+                                               group.second));
+    } else {
+      FC_ASSIGN_OR_RETURN(assignment,
+                          SingleAttributeGroups(dataset.frame, group.first));
+    }
+    assignments.emplace_back(group.key, std::move(assignment));
+  }
+  if (assignments.empty()) return std::vector<DisparityRow>{};
+
+  DetectionContext context;
+  context.inspect_columns = spec.FeatureColumns(dataset.frame);
+  context.label_column = spec.label;
+
+  std::vector<DisparityRow> rows;
+  for (const std::string& name : detectors) {
+    FC_ASSIGN_OR_RETURN(std::unique_ptr<ErrorDetector> detector,
+                        DetectorByName(name));
+    Rng detector_rng = rng->Fork(std::hash<std::string>{}(name));
+    FC_ASSIGN_OR_RETURN(
+        ErrorMask mask,
+        detector->Detect(dataset.frame, context, &detector_rng));
+
+    for (const auto& [group_key, assignment] : assignments) {
+      DisparityRow row;
+      row.dataset = spec.name;
+      row.detector = name;
+      row.group_key = group_key;
+      row.intersectional = intersectional;
+      for (size_t i = 0; i < dataset.frame.num_rows(); ++i) {
+        bool flagged = mask.RowFlagged(i);
+        if (assignment.privileged[i]) {
+          ++row.privileged_total;
+          if (flagged) ++row.privileged_flagged;
+        } else if (assignment.disadvantaged[i]) {
+          ++row.disadvantaged_total;
+          if (flagged) ++row.disadvantaged_flagged;
+        }
+      }
+      ContingencyTable2x2 table;
+      table.a = static_cast<int64_t>(row.privileged_flagged);
+      table.b = static_cast<int64_t>(row.privileged_total -
+                                     row.privileged_flagged);
+      table.c = static_cast<int64_t>(row.disadvantaged_flagged);
+      table.d = static_cast<int64_t>(row.disadvantaged_total -
+                                     row.disadvantaged_flagged);
+      Result<TestResult> test = GTest2x2(table);
+      if (test.ok()) {
+        row.g2 = *test;
+        row.significant = test->SignificantAt(options.alpha);
+      } else {
+        // Zero margin (e.g. detector flagged nothing): no disparity claim.
+        row.g2 = TestResult{};
+        row.significant = false;
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+std::string FormatDisparityTable(const std::vector<DisparityRow>& rows) {
+  std::string out;
+  out += StrFormat("%-8s %-15s %-12s %10s %10s %9s %9s  %s\n", "dataset",
+                   "detector", "group", "priv", "dis", "G2", "p", "signif");
+  out += std::string(92, '-') + "\n";
+  for (const DisparityRow& row : rows) {
+    out += StrFormat(
+        "%-8s %-15s %-12s %9.1f%% %9.1f%% %9.2f %9.4f  %s\n",
+        row.dataset.c_str(), row.detector.c_str(), row.group_key.c_str(),
+        100.0 * row.PrivilegedFraction(),
+        100.0 * row.DisadvantagedFraction(), row.g2.statistic, row.g2.p_value,
+        row.significant ? "yes" : "no");
+  }
+  return out;
+}
+
+}  // namespace fairclean

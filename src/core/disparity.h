@@ -1,0 +1,57 @@
+#ifndef FAIRCLEAN_CORE_DISPARITY_H_
+#define FAIRCLEAN_CORE_DISPARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "datasets/spec.h"
+#include "stats/tests.h"
+
+namespace fairclean {
+
+/// One row of the RQ1 analysis (Figures 1 and 2 of the paper): the
+/// proportions of tuples an error-detection strategy flags in the
+/// privileged and disadvantaged group, with a G^2 significance test of the
+/// disparity.
+struct DisparityRow {
+  std::string dataset;
+  std::string detector;
+  std::string group_key;
+  bool intersectional = false;
+  size_t privileged_total = 0;
+  size_t disadvantaged_total = 0;
+  size_t privileged_flagged = 0;
+  size_t disadvantaged_flagged = 0;
+  TestResult g2;
+  bool significant = false;
+
+  double PrivilegedFraction() const;
+  double DisadvantagedFraction() const;
+};
+
+/// Options for the disparity analysis.
+struct DisparityOptions {
+  /// Significance level of the G^2 test (paper: 0.05).
+  double alpha = 0.05;
+  /// Restrict to these detector names; empty = all five strategies that
+  /// apply to the dataset's error types.
+  std::vector<std::string> detectors;
+};
+
+/// Runs every applicable error-detection strategy on the dataset and
+/// compares flag rates between groups. With `intersectional` false the
+/// analysis covers each sensitive attribute separately (Fig. 1); with true
+/// it covers the intersectional group pair (Fig. 2, skipped for datasets
+/// without an intersectional definition).
+Result<std::vector<DisparityRow>> AnalyzeDisparities(
+    const GeneratedDataset& dataset, bool intersectional,
+    const DisparityOptions& options, Rng* rng);
+
+/// Formats disparity rows as an aligned ASCII table (one Fig. 1/2 panel).
+std::string FormatDisparityTable(const std::vector<DisparityRow>& rows);
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_CORE_DISPARITY_H_

@@ -1,0 +1,146 @@
+#include "core/fair_tuning.h"
+
+#include <cmath>
+#include <limits>
+
+#include "data/split.h"
+#include "ml/metrics.h"
+
+namespace fairclean {
+
+std::vector<int> MembershipFromAssignment(const GroupAssignment& assignment) {
+  std::vector<int> membership(assignment.privileged.size(), 0);
+  for (size_t i = 0; i < membership.size(); ++i) {
+    if (assignment.privileged[i]) {
+      membership[i] = 1;
+    } else if (assignment.disadvantaged[i]) {
+      membership[i] = -1;
+    }
+  }
+  return membership;
+}
+
+namespace {
+
+// Mean |fairness gap| of predictions on one validation fold.
+Result<double> FoldUnfairness(const std::vector<int>& y_true,
+                              const std::vector<int>& y_pred,
+                              const std::vector<int>& membership,
+                              FairnessMetric metric) {
+  GroupAssignment assignment;
+  assignment.privileged.resize(membership.size());
+  assignment.disadvantaged.resize(membership.size());
+  for (size_t i = 0; i < membership.size(); ++i) {
+    assignment.privileged[i] = membership[i] > 0;
+    assignment.disadvantaged[i] = membership[i] < 0;
+  }
+  FC_ASSIGN_OR_RETURN(GroupConfusion confusion,
+                      ComputeGroupConfusion(y_true, y_pred, assignment));
+  return AbsoluteFairnessGap(metric, confusion);
+}
+
+}  // namespace
+
+Result<FairTuneOutcome> FairTuneAndFit(const TunedModelFamily& family,
+                                       const Matrix& x,
+                                       const std::vector<int>& y,
+                                       const std::vector<int>& group_membership,
+                                       const FairTuneOptions& options,
+                                       Rng* rng) {
+  if (family.param_grid.empty()) {
+    return Status::InvalidArgument("empty hyperparameter grid");
+  }
+  if (x.rows() != y.size() || x.rows() != group_membership.size()) {
+    return Status::InvalidArgument("feature/label/group size mismatch");
+  }
+  if (x.rows() < options.num_folds) {
+    return Status::InvalidArgument("fewer rows than folds");
+  }
+  if (options.max_unfairness < 0.0) {
+    return Status::InvalidArgument("unfairness budget must be non-negative");
+  }
+
+  Rng fold_rng = rng->Fork(0xfa12);
+  std::vector<TrainTestIndices> folds =
+      KFoldIndices(x.rows(), options.num_folds, &fold_rng);
+
+  struct Candidate {
+    double param = 0.0;
+    double accuracy = 0.0;
+    double unfairness = 0.0;
+    bool evaluated = false;
+  };
+  std::vector<Candidate> candidates;
+  for (double param : family.param_grid) {
+    Candidate candidate;
+    candidate.param = param;
+    double accuracy_sum = 0.0;
+    double unfairness_sum = 0.0;
+    size_t evaluated = 0;
+    for (size_t f = 0; f < folds.size(); ++f) {
+      Matrix train_x = x.TakeRows(folds[f].train);
+      std::vector<int> train_y;
+      train_y.reserve(folds[f].train.size());
+      for (size_t index : folds[f].train) train_y.push_back(y[index]);
+      Matrix valid_x = x.TakeRows(folds[f].test);
+      std::vector<int> valid_y;
+      std::vector<int> valid_membership;
+      valid_y.reserve(folds[f].test.size());
+      valid_membership.reserve(folds[f].test.size());
+      for (size_t index : folds[f].test) {
+        valid_y.push_back(y[index]);
+        valid_membership.push_back(group_membership[index]);
+      }
+
+      std::unique_ptr<Classifier> model = family.make(param);
+      Rng fit_rng = rng->Fork(0xfa17 + f);
+      Status st = model->Fit(train_x, train_y, &fit_rng);
+      if (!st.ok()) continue;
+      std::vector<int> predictions = model->Predict(valid_x);
+      accuracy_sum += AccuracyScore(valid_y, predictions);
+      Result<double> unfairness =
+          FoldUnfairness(valid_y, predictions, valid_membership,
+                         options.metric);
+      if (!unfairness.ok()) continue;
+      unfairness_sum += *unfairness;
+      ++evaluated;
+    }
+    if (evaluated == 0) continue;
+    candidate.accuracy = accuracy_sum / static_cast<double>(evaluated);
+    candidate.unfairness = unfairness_sum / static_cast<double>(evaluated);
+    candidate.evaluated = true;
+    candidates.push_back(candidate);
+  }
+  if (candidates.empty()) {
+    return Status::Internal("no hyperparameter could be evaluated");
+  }
+
+  // Most accurate within budget; fairest overall as the fallback.
+  const Candidate* best = nullptr;
+  for (const Candidate& candidate : candidates) {
+    if (candidate.unfairness > options.max_unfairness) continue;
+    if (best == nullptr || candidate.accuracy > best->accuracy) {
+      best = &candidate;
+    }
+  }
+  bool within_budget = best != nullptr;
+  if (best == nullptr) {
+    for (const Candidate& candidate : candidates) {
+      if (best == nullptr || candidate.unfairness < best->unfairness) {
+        best = &candidate;
+      }
+    }
+  }
+
+  FairTuneOutcome outcome;
+  outcome.best_param = best->param;
+  outcome.best_cv_accuracy = best->accuracy;
+  outcome.best_cv_unfairness = best->unfairness;
+  outcome.within_budget = within_budget;
+  outcome.model = family.make(best->param);
+  Rng final_rng = rng->Fork(0xfa1f);
+  FC_RETURN_IF_ERROR(outcome.model->Fit(x, y, &final_rng));
+  return outcome;
+}
+
+}  // namespace fairclean

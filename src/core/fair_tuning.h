@@ -1,0 +1,64 @@
+#ifndef FAIRCLEAN_CORE_FAIR_TUNING_H_
+#define FAIRCLEAN_CORE_FAIR_TUNING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "fairness/fairness_metrics.h"
+#include "fairness/group.h"
+#include "ml/tuning.h"
+
+namespace fairclean {
+
+/// Options for fairness-constrained hyperparameter selection.
+struct FairTuneOptions {
+  /// The fairness metric whose validation gap is constrained.
+  FairnessMetric metric = FairnessMetric::kEqualOpportunity;
+  /// Maximum allowed mean |validation fairness gap|. Candidates above the
+  /// budget are excluded unless no candidate fits (then the fairest wins).
+  double max_unfairness = 0.1;
+  /// Cross-validation folds.
+  size_t num_folds = 3;
+};
+
+/// Result of a fairness-constrained search.
+struct FairTuneOutcome {
+  double best_param = 0.0;
+  double best_cv_accuracy = 0.0;
+  /// Mean |validation gap| of the selected hyperparameter.
+  double best_cv_unfairness = 0.0;
+  /// True if the selected candidate satisfies the unfairness budget.
+  bool within_budget = false;
+  std::unique_ptr<Classifier> model;  // trained on the full training set
+};
+
+/// Fairness-constrained grid search — a working version of the paper's
+/// Section VII direction "extend existing [cross-validation] techniques and
+/// implementations to adhere to fairness constraints during the selection
+/// procedure".
+///
+/// For every hyperparameter candidate, k-fold CV measures both the mean
+/// accuracy and the mean |signed fairness gap| of `options.metric` between
+/// the groups given by `group_membership` (parallel to the rows of `x`;
+/// entries: +1 privileged, -1 disadvantaged, 0 excluded). The selected
+/// candidate is the most accurate one whose mean gap fits the unfairness
+/// budget; if none fits, the candidate with the smallest gap is returned
+/// with `within_budget = false`. A fresh model is then trained on the full
+/// training set.
+Result<FairTuneOutcome> FairTuneAndFit(const TunedModelFamily& family,
+                                       const Matrix& x,
+                                       const std::vector<int>& y,
+                                       const std::vector<int>& group_membership,
+                                       const FairTuneOptions& options,
+                                       Rng* rng);
+
+/// Helper: converts a GroupAssignment to the +1/-1/0 membership encoding
+/// used by FairTuneAndFit.
+std::vector<int> MembershipFromAssignment(const GroupAssignment& assignment);
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_CORE_FAIR_TUNING_H_

@@ -1,0 +1,151 @@
+#include "core/quality_report.h"
+
+#include "common/strings.h"
+#include "core/runner.h"
+#include "detect/detector.h"
+#include "ml/encoder.h"
+#include "stats/descriptive.h"
+
+namespace fairclean {
+
+namespace {
+
+std::vector<std::string> ApplicableDetectors(const DatasetSpec& spec) {
+  std::vector<std::string> out;
+  if (spec.HasErrorType("missing_values")) out.push_back("missing_values");
+  if (spec.HasErrorType("outliers")) {
+    out.push_back("outliers-sd");
+    out.push_back("outliers-iqr");
+    out.push_back("outliers-if");
+  }
+  if (spec.HasErrorType("mislabels")) out.push_back("mislabels");
+  return out;
+}
+
+}  // namespace
+
+Result<QualityReport> ComputeQualityReport(const GeneratedDataset& dataset,
+                                           Rng* rng) {
+  const DataFrame& frame = dataset.frame;
+  const DatasetSpec& spec = dataset.spec;
+  if (frame.num_rows() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+
+  QualityReport report;
+  report.dataset = spec.name;
+  report.num_rows = frame.num_rows();
+
+  double n = static_cast<double>(frame.num_rows());
+  for (size_t c = 0; c < frame.num_columns(); ++c) {
+    const Column& column = frame.column(c);
+    ColumnQuality quality;
+    quality.name = column.name();
+    quality.numeric = column.is_numeric();
+    quality.missing_count = column.MissingCount();
+    quality.missing_fraction = static_cast<double>(quality.missing_count) / n;
+    if (column.is_numeric()) {
+      Result<double> mean = Mean(column.values());
+      Result<double> median = Median(column.values());
+      Result<double> p25 = Percentile(column.values(), 25.0);
+      Result<double> p75 = Percentile(column.values(), 75.0);
+      quality.mean = mean.ok() ? *mean : 0.0;
+      quality.median = median.ok() ? *median : 0.0;
+      quality.p25 = p25.ok() ? *p25 : 0.0;
+      quality.p75 = p75.ok() ? *p75 : 0.0;
+    } else {
+      quality.cardinality = column.dictionary().size();
+    }
+    report.columns.push_back(std::move(quality));
+  }
+
+  DetectionContext context;
+  context.inspect_columns = spec.FeatureColumns(frame);
+  context.label_column = spec.label;
+  for (const std::string& name : ApplicableDetectors(spec)) {
+    FC_ASSIGN_OR_RETURN(std::unique_ptr<ErrorDetector> detector,
+                        DetectorByName(name));
+    Rng detector_rng = rng->Fork(std::hash<std::string>{}(name));
+    FC_ASSIGN_OR_RETURN(ErrorMask mask,
+                        detector->Detect(frame, context, &detector_rng));
+    DetectorQuality quality;
+    quality.detector = name;
+    quality.flagged_rows = mask.FlaggedRowCount();
+    quality.flagged_fraction = static_cast<double>(quality.flagged_rows) / n;
+    report.detectors.push_back(std::move(quality));
+  }
+
+  FC_ASSIGN_OR_RETURN(std::vector<int> labels,
+                      ExtractBinaryLabels(frame, spec.label));
+  for (const GroupDefinition& group : GroupDefinitionsFor(spec)) {
+    GroupAssignment assignment;
+    if (group.intersectional) {
+      FC_ASSIGN_OR_RETURN(assignment,
+                          IntersectionalGroups(frame, group.first,
+                                               group.second));
+    } else {
+      FC_ASSIGN_OR_RETURN(assignment,
+                          SingleAttributeGroups(frame, group.first));
+    }
+    GroupQuality quality;
+    quality.group_key = group.key;
+    double priv_pos = 0.0;
+    double dis_pos = 0.0;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (assignment.privileged[i]) {
+        ++quality.privileged_count;
+        priv_pos += labels[i];
+      } else if (assignment.disadvantaged[i]) {
+        ++quality.disadvantaged_count;
+        dis_pos += labels[i];
+      }
+    }
+    quality.privileged_positive_rate =
+        quality.privileged_count
+            ? priv_pos / static_cast<double>(quality.privileged_count)
+            : 0.0;
+    quality.disadvantaged_positive_rate =
+        quality.disadvantaged_count
+            ? dis_pos / static_cast<double>(quality.disadvantaged_count)
+            : 0.0;
+    report.groups.push_back(std::move(quality));
+  }
+  return report;
+}
+
+std::string QualityReport::Format() const {
+  std::string out = StrFormat("== %s: %zu rows ==\n", dataset.c_str(),
+                              num_rows);
+  out += "columns:\n";
+  for (const ColumnQuality& column : columns) {
+    if (column.numeric) {
+      out += StrFormat(
+          "  %-22s numeric      missing %5.2f%%  mean %10.2f  p25/50/75 "
+          "%.2f/%.2f/%.2f\n",
+          column.name.c_str(), 100.0 * column.missing_fraction, column.mean,
+          column.p25, column.median, column.p75);
+    } else {
+      out += StrFormat(
+          "  %-22s categorical  missing %5.2f%%  %zu categories\n",
+          column.name.c_str(), 100.0 * column.missing_fraction,
+          column.cardinality);
+    }
+  }
+  out += "detectors:\n";
+  for (const DetectorQuality& detector : detectors) {
+    out += StrFormat("  %-15s flags %5.2f%% of tuples (%zu rows)\n",
+                     detector.detector.c_str(),
+                     100.0 * detector.flagged_fraction, detector.flagged_rows);
+  }
+  out += "groups:\n";
+  for (const GroupQuality& group : groups) {
+    out += StrFormat(
+        "  %-12s priv n=%-7zu pos %5.1f%% | dis n=%-7zu pos %5.1f%%\n",
+        group.group_key.c_str(), group.privileged_count,
+        100.0 * group.privileged_positive_rate, group.disadvantaged_count,
+        100.0 * group.disadvantaged_positive_rate);
+  }
+  return out;
+}
+
+}  // namespace fairclean

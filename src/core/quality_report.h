@@ -1,0 +1,68 @@
+#ifndef FAIRCLEAN_CORE_QUALITY_REPORT_H_
+#define FAIRCLEAN_CORE_QUALITY_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "datasets/spec.h"
+
+namespace fairclean {
+
+/// Per-column quality statistics.
+struct ColumnQuality {
+  std::string name;
+  bool numeric = false;
+  size_t missing_count = 0;
+  double missing_fraction = 0.0;
+  // Numeric columns only.
+  double mean = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  // Categorical columns only.
+  size_t cardinality = 0;
+};
+
+/// Per-detector flag statistics.
+struct DetectorQuality {
+  std::string detector;
+  size_t flagged_rows = 0;
+  double flagged_fraction = 0.0;
+};
+
+/// Per-group base-rate statistics.
+struct GroupQuality {
+  std::string group_key;
+  size_t privileged_count = 0;
+  size_t disadvantaged_count = 0;
+  double privileged_positive_rate = 0.0;
+  double disadvantaged_positive_rate = 0.0;
+};
+
+/// A data-quality profile of one dataset: schema-level statistics, the
+/// fraction of tuples each of the paper's five detection strategies flags,
+/// and label base rates per protected group. This is the library face of
+/// the Section III analysis (the RQ1 disparity tests live in
+/// core/disparity.h).
+struct QualityReport {
+  std::string dataset;
+  size_t num_rows = 0;
+  std::vector<ColumnQuality> columns;
+  std::vector<DetectorQuality> detectors;
+  std::vector<GroupQuality> groups;
+
+  /// Aligned ASCII rendering.
+  std::string Format() const;
+};
+
+/// Profiles `dataset`: column statistics, flag rates of every detection
+/// strategy applicable to the dataset's error types, and per-group
+/// positive rates. `rng` drives randomized detectors.
+Result<QualityReport> ComputeQualityReport(const GeneratedDataset& dataset,
+                                           Rng* rng);
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_CORE_QUALITY_REPORT_H_

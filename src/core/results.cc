@@ -1,0 +1,192 @@
+#include "core/results.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace fairclean {
+
+void ResultStore::Put(const std::string& key, double value) {
+  values_[key] = value;
+}
+
+bool ResultStore::Contains(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+Result<double> ResultStore::Get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return Status::NotFound("no such result key: " + key);
+  }
+  return it->second;
+}
+
+std::vector<std::string> ResultStore::KeysWithPrefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = values_.lower_bound(prefix); it != values_.end(); ++it) {
+    if (!StartsWith(it->first, prefix)) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+namespace {
+
+std::string EscapeJsonString(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ResultStore::ToJson() const {
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& [key, value] : values_) {
+    if (!first) out += ",\n";
+    first = false;
+    if (std::isfinite(value)) {
+      out += StrFormat("  \"%s\": %.17g", EscapeJsonString(key).c_str(),
+                       value);
+    } else {
+      out += StrFormat("  \"%s\": null", EscapeJsonString(key).c_str());
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+Result<ResultStore> ResultStore::FromJson(const std::string& json) {
+  ResultStore store;
+  size_t pos = 0;
+  auto skip_ws = [&] {
+    while (pos < json.size() &&
+           (json[pos] == ' ' || json[pos] == '\n' || json[pos] == '\t' ||
+            json[pos] == '\r' || json[pos] == ',')) {
+      ++pos;
+    }
+  };
+  skip_ws();
+  if (pos >= json.size() || json[pos] != '{') {
+    return Status::InvalidArgument("expected '{' in result JSON");
+  }
+  ++pos;
+  while (true) {
+    skip_ws();
+    if (pos >= json.size()) {
+      return Status::InvalidArgument("unterminated result JSON");
+    }
+    if (json[pos] == '}') break;
+    if (json[pos] != '"') {
+      return Status::InvalidArgument("expected key string in result JSON");
+    }
+    ++pos;
+    std::string key;
+    while (pos < json.size() && json[pos] != '"') {
+      if (json[pos] == '\\' && pos + 1 < json.size()) {
+        ++pos;
+        switch (json[pos]) {
+          case 'n':
+            key.push_back('\n');
+            break;
+          case 't':
+            key.push_back('\t');
+            break;
+          default:
+            key.push_back(json[pos]);
+        }
+      } else {
+        key.push_back(json[pos]);
+      }
+      ++pos;
+    }
+    if (pos >= json.size()) {
+      return Status::InvalidArgument("unterminated key in result JSON");
+    }
+    ++pos;  // closing quote
+    skip_ws();
+    if (pos >= json.size() || json[pos] != ':') {
+      return Status::InvalidArgument("expected ':' in result JSON");
+    }
+    ++pos;
+    skip_ws();
+    if (StartsWith(std::string_view(json).substr(pos), "null")) {
+      store.Put(key, std::nan(""));
+      pos += 4;
+      continue;
+    }
+    const char* begin = json.c_str() + pos;
+    char* end = nullptr;
+    double value = std::strtod(begin, &end);
+    if (end == begin) {
+      return Status::InvalidArgument("expected number in result JSON");
+    }
+    pos += static_cast<size_t>(end - begin);
+    store.Put(key, value);
+  }
+  return store;
+}
+
+Status ResultStore::SaveToFile(const std::string& path) const {
+  std::ofstream stream(path);
+  if (!stream) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  stream << ToJson();
+  if (!stream) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<ResultStore> ResultStore::LoadFromFile(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream) {
+    return Status::IoError("cannot open: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return FromJson(buffer.str());
+}
+
+void ResultStore::MergeFrom(const ResultStore& other) {
+  for (const auto& [key, value] : other.values_) {
+    values_[key] = value;
+  }
+}
+
+std::string MetricKey(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& part : parts) {
+    if (part.empty()) continue;
+    if (!out.empty()) out += "__";
+    out += part;
+  }
+  return out;
+}
+
+}  // namespace fairclean

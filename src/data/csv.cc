@@ -1,0 +1,199 @@
+#include "data/csv.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace fairclean {
+
+namespace {
+
+// Splits one CSV record, honoring double-quote quoting with "" escapes.
+Result<std::vector<std::string>> SplitRecord(const std::string& line,
+                                             char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field: " + line);
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+bool IsMissingToken(const std::string& value, const CsvOptions& options) {
+  for (const std::string& token : options.missing_tokens) {
+    if (value == token) return true;
+  }
+  return false;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  double value = std::strtod(begin, &end);
+  if (end == begin) return false;
+  while (*end == ' ' || *end == '\t') ++end;
+  if (*end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+std::string EscapeField(const std::string& value, char delimiter) {
+  bool needs_quotes = value.find(delimiter) != std::string::npos ||
+                      value.find('"') != std::string::npos ||
+                      value.find('\n') != std::string::npos;
+  if (!needs_quotes) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+Result<DataFrame> ReadCsvFromString(const std::string& text,
+                                    const CsvOptions& options) {
+  std::vector<std::string> lines;
+  {
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      lines.push_back(line);
+    }
+  }
+  if (lines.empty()) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  FC_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                      SplitRecord(lines[0], options.delimiter));
+  size_t num_columns = header.size();
+  std::vector<std::vector<std::string>> cells(num_columns);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    FC_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                        SplitRecord(lines[i], options.delimiter));
+    if (fields.size() != num_columns) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu fields, header has %zu", i,
+                    fields.size(), num_columns));
+    }
+    for (size_t c = 0; c < num_columns; ++c) {
+      cells[c].push_back(std::move(fields[c]));
+    }
+  }
+
+  DataFrame frame;
+  for (size_t c = 0; c < num_columns; ++c) {
+    bool numeric = true;
+    bool any_value = false;
+    for (const std::string& value : cells[c]) {
+      if (IsMissingToken(value, options)) continue;
+      any_value = true;
+      double parsed;
+      if (!ParseDouble(value, &parsed)) {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric && any_value) {
+      std::vector<double> values;
+      values.reserve(cells[c].size());
+      for (const std::string& value : cells[c]) {
+        if (IsMissingToken(value, options)) {
+          values.push_back(std::nan(""));
+        } else {
+          double parsed = 0.0;
+          ParseDouble(value, &parsed);
+          values.push_back(parsed);
+        }
+      }
+      FC_RETURN_IF_ERROR(
+          frame.AddColumn(Column::Numeric(header[c], std::move(values))));
+    } else {
+      // Normalize every configured missing token to the empty string so
+      // FromStrings maps them all to missing cells.
+      std::vector<std::string> normalized;
+      normalized.reserve(cells[c].size());
+      for (const std::string& value : cells[c]) {
+        normalized.push_back(IsMissingToken(value, options) ? "" : value);
+      }
+      FC_RETURN_IF_ERROR(
+          frame.AddColumn(Column::FromStrings(header[c], normalized)));
+    }
+  }
+  return frame;
+}
+
+Result<DataFrame> ReadCsvFile(const std::string& path,
+                              const CsvOptions& options) {
+  std::ifstream stream(path);
+  if (!stream) {
+    return Status::IoError("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return ReadCsvFromString(buffer.str(), options);
+}
+
+std::string WriteCsvToString(const DataFrame& frame,
+                             const CsvOptions& options) {
+  std::string out;
+  for (size_t c = 0; c < frame.num_columns(); ++c) {
+    if (c > 0) out.push_back(options.delimiter);
+    out += EscapeField(frame.column(c).name(), options.delimiter);
+  }
+  out.push_back('\n');
+  for (size_t row = 0; row < frame.num_rows(); ++row) {
+    for (size_t c = 0; c < frame.num_columns(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      out += EscapeField(frame.column(c).CellToString(row), options.delimiter);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const DataFrame& frame, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream stream(path);
+  if (!stream) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
+  stream << WriteCsvToString(frame, options);
+  if (!stream) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace fairclean

@@ -1,0 +1,38 @@
+#ifndef FAIRCLEAN_DATA_CSV_H_
+#define FAIRCLEAN_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataframe.h"
+
+namespace fairclean {
+
+/// Options controlling CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Cell values treated as missing (in addition to the empty string).
+  std::vector<std::string> missing_tokens = {"", "NA", "NaN", "NULL", "?"};
+};
+
+/// Parses CSV `text` (first line = header) into a DataFrame. A column is
+/// numeric if every non-missing cell parses as a double, categorical
+/// otherwise. Quoted fields with embedded delimiters/quotes are supported.
+Result<DataFrame> ReadCsvFromString(const std::string& text,
+                                    const CsvOptions& options = {});
+
+/// Reads and parses a CSV file.
+Result<DataFrame> ReadCsvFile(const std::string& path,
+                              const CsvOptions& options = {});
+
+/// Serializes a DataFrame to CSV text (missing cells render empty).
+std::string WriteCsvToString(const DataFrame& frame,
+                             const CsvOptions& options = {});
+
+/// Writes a DataFrame to a CSV file.
+Status WriteCsvFile(const DataFrame& frame, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_DATA_CSV_H_

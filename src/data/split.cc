@@ -1,0 +1,48 @@
+#include "data/split.h"
+
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace fairclean {
+
+TrainTestIndices SplitTrainTest(size_t n, double test_fraction, Rng* rng) {
+  FC_CHECK_GT(n, 0u);
+  FC_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  std::vector<size_t> perm = rng->Permutation(n);
+  size_t test_size = static_cast<size_t>(
+      static_cast<double>(n) * test_fraction);
+  if (n >= 2) {
+    if (test_size == 0) test_size = 1;
+    if (test_size == n) test_size = n - 1;
+  }
+  TrainTestIndices out;
+  out.test.assign(perm.begin(), perm.begin() + static_cast<ptrdiff_t>(test_size));
+  out.train.assign(perm.begin() + static_cast<ptrdiff_t>(test_size), perm.end());
+  return out;
+}
+
+std::vector<TrainTestIndices> KFoldIndices(size_t n, size_t k, Rng* rng) {
+  FC_CHECK_GE(k, 2u);
+  FC_CHECK_GE(n, k);
+  std::vector<size_t> perm = rng->Permutation(n);
+  std::vector<TrainTestIndices> folds(k);
+  size_t base = n / k;
+  size_t extra = n % k;
+  size_t offset = 0;
+  for (size_t f = 0; f < k; ++f) {
+    size_t fold_size = base + (f < extra ? 1 : 0);
+    for (size_t i = 0; i < n; ++i) {
+      bool in_fold = i >= offset && i < offset + fold_size;
+      if (in_fold) {
+        folds[f].test.push_back(perm[i]);
+      } else {
+        folds[f].train.push_back(perm[i]);
+      }
+    }
+    offset += fold_size;
+  }
+  return folds;
+}
+
+}  // namespace fairclean

@@ -1,0 +1,28 @@
+#ifndef FAIRCLEAN_DATA_SPLIT_H_
+#define FAIRCLEAN_DATA_SPLIT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace fairclean {
+
+/// Row indices of a train/test partition.
+struct TrainTestIndices {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Randomly partitions {0, ..., n-1} into train/test with `test_fraction`
+/// of rows in the test set (at least one row each when n >= 2).
+TrainTestIndices SplitTrainTest(size_t n, double test_fraction, Rng* rng);
+
+/// K contiguous folds over a random permutation of {0, ..., n-1}. Fold f's
+/// `test` holds the f-th block; `train` holds the rest. Fold sizes differ by
+/// at most one.
+std::vector<TrainTestIndices> KFoldIndices(size_t n, size_t k, Rng* rng);
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_DATA_SPLIT_H_

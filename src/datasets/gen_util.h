@@ -1,0 +1,54 @@
+#ifndef FAIRCLEAN_DATASETS_GEN_UTIL_H_
+#define FAIRCLEAN_DATASETS_GEN_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/column.h"
+
+namespace fairclean {
+namespace internal_datasets {
+
+inline double Sigmoid(double z) {
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+inline double Clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+/// Clamped, rounded normal draw — the workhorse for integer-ish columns
+/// like age or hours-per-week.
+inline double RoundedNormal(Rng* rng, double mean, double stddev, double lo,
+                            double hi) {
+  return Clamp(std::round(rng->Normal(mean, stddev)), lo, hi);
+}
+
+/// Beta(a, b) draw via two gamma draws.
+inline double Beta(Rng* rng, double a, double b) {
+  std::gamma_distribution<double> ga(a, 1.0);
+  std::gamma_distribution<double> gb(b, 1.0);
+  double x = ga(rng->engine());
+  double y = gb(rng->engine());
+  if (x + y == 0.0) return 0.5;
+  return x / (x + y);
+}
+
+/// Convenience builder for a categorical column with a fixed dictionary.
+inline Column MakeCategorical(std::string name,
+                              std::vector<std::string> dictionary,
+                              std::vector<int32_t> codes) {
+  return Column::Categorical(std::move(name), std::move(codes),
+                             std::move(dictionary));
+}
+
+}  // namespace internal_datasets
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_DATASETS_GEN_UTIL_H_

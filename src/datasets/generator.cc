@@ -1,0 +1,30 @@
+#include "datasets/generator.h"
+
+namespace fairclean {
+
+Result<GeneratedDataset> MakeDataset(const std::string& name, size_t num_rows,
+                                     Rng* rng) {
+  if (name == "adult") return MakeAdultDataset(num_rows, rng);
+  if (name == "folk") return MakeFolkDataset(num_rows, rng);
+  if (name == "credit") return MakeCreditDataset(num_rows, rng);
+  if (name == "german") return MakeGermanDataset(num_rows, rng);
+  if (name == "heart") return MakeHeartDataset(num_rows, rng);
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+std::vector<std::string> AllDatasetNames() {
+  return {"adult", "folk", "credit", "german", "heart"};
+}
+
+size_t DefaultRowCount(const std::string& name) {
+  // Scaled-down stand-ins for the Table I row counts (the paper samples
+  // 15,000 records per run anyway); german keeps its real size of 1,000.
+  if (name == "adult") return 12000;
+  if (name == "folk") return 15000;
+  if (name == "credit") return 12000;
+  if (name == "german") return 1000;
+  if (name == "heart") return 14000;
+  return 10000;
+}
+
+}  // namespace fairclean

@@ -1,0 +1,35 @@
+#include "datasets/spec.h"
+
+#include <algorithm>
+
+namespace fairclean {
+
+bool DatasetSpec::HasErrorType(const std::string& error_type) const {
+  return std::find(error_types.begin(), error_types.end(), error_type) !=
+         error_types.end();
+}
+
+Result<SensitiveAttribute> DatasetSpec::SensitiveAttributeByName(
+    const std::string& attribute) const {
+  for (const SensitiveAttribute& sensitive : sensitive_attributes) {
+    if (sensitive.name == attribute) return sensitive;
+  }
+  return Status::NotFound("no sensitive attribute '" + attribute +
+                          "' in dataset " + name);
+}
+
+std::vector<std::string> DatasetSpec::FeatureColumns(
+    const DataFrame& frame) const {
+  std::vector<std::string> out;
+  for (const std::string& column : frame.column_names()) {
+    if (column == label) continue;
+    if (std::find(drop_variables.begin(), drop_variables.end(), column) !=
+        drop_variables.end()) {
+      continue;
+    }
+    out.push_back(column);
+  }
+  return out;
+}
+
+}  // namespace fairclean

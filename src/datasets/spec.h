@@ -1,0 +1,63 @@
+#ifndef FAIRCLEAN_DATASETS_SPEC_H_
+#define FAIRCLEAN_DATASETS_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataframe.h"
+#include "fairness/group.h"
+
+namespace fairclean {
+
+/// A sensitive attribute together with the predicate defining its
+/// privileged group, e.g. {"age", age > 25}.
+struct SensitiveAttribute {
+  std::string name;
+  GroupPredicate privileged;
+};
+
+/// Declarative description of a benchmark dataset — the C++ analog of the
+/// paper's Listing 1 (CleanML dataset definition extended with
+/// privileged_groups). The experiment framework derives everything it needs
+/// (feature columns, group assignments, applicable error types) from this
+/// structure.
+struct DatasetSpec {
+  std::string name;
+  /// Source domain ("census", "finance", "healthcare").
+  std::string source;
+  /// Name of the binary label column; 1 is the desirable outcome.
+  std::string label;
+  /// Columns hidden from the classifier (sensitive attributes and their
+  /// raw encodings, as in the paper).
+  std::vector<std::string> drop_variables;
+  /// Error types applicable to this dataset
+  /// ("missing_values", "outliers", "mislabels").
+  std::vector<std::string> error_types;
+  /// Sensitive attributes with privileged-group predicates.
+  std::vector<SensitiveAttribute> sensitive_attributes;
+  /// True if the paper analyses this dataset intersectionally (first two
+  /// sensitive attributes combined).
+  bool intersectional = false;
+
+  /// True if `error_type` applies to this dataset.
+  bool HasErrorType(const std::string& error_type) const;
+
+  /// The sensitive attribute entry with the given name.
+  Result<SensitiveAttribute> SensitiveAttributeByName(
+      const std::string& attribute) const;
+
+  /// Columns of `frame` visible to the classifier: everything except the
+  /// label and drop_variables.
+  std::vector<std::string> FeatureColumns(const DataFrame& frame) const;
+};
+
+/// A generated dataset: the data plus its declarative spec.
+struct GeneratedDataset {
+  DataFrame frame;
+  DatasetSpec spec;
+};
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_DATASETS_SPEC_H_

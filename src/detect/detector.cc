@@ -1,0 +1,34 @@
+#include "detect/detector.h"
+
+#include "detect/mislabel_detector.h"
+#include "detect/missing_detector.h"
+#include "detect/outlier_detectors.h"
+
+namespace fairclean {
+
+Result<std::unique_ptr<ErrorDetector>> DetectorByName(
+    const std::string& name) {
+  if (name == "missing_values") {
+    return std::unique_ptr<ErrorDetector>(new MissingValueDetector());
+  }
+  if (name == "outliers-sd") {
+    return std::unique_ptr<ErrorDetector>(new SdOutlierDetector());
+  }
+  if (name == "outliers-iqr") {
+    return std::unique_ptr<ErrorDetector>(new IqrOutlierDetector());
+  }
+  if (name == "outliers-if") {
+    return std::unique_ptr<ErrorDetector>(new IsolationForestOutlierDetector());
+  }
+  if (name == "mislabels") {
+    return std::unique_ptr<ErrorDetector>(new MislabelDetector());
+  }
+  return Status::NotFound("unknown detector: " + name);
+}
+
+std::vector<std::string> AllDetectorNames() {
+  return {"missing_values", "outliers-sd", "outliers-iqr", "outliers-if",
+          "mislabels"};
+}
+
+}  // namespace fairclean

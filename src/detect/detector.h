@@ -1,0 +1,48 @@
+#ifndef FAIRCLEAN_DETECT_DETECTOR_H_
+#define FAIRCLEAN_DETECT_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/dataframe.h"
+#include "detect/error_mask.h"
+
+namespace fairclean {
+
+/// What a detector may look at: the candidate columns (typically the model
+/// features — sensitive attributes and the label are excluded from value
+/// inspection) and, for label-error detection, the label column.
+struct DetectionContext {
+  std::vector<std::string> inspect_columns;
+  std::string label_column;
+};
+
+/// Common interface for the paper's five error-detection strategies
+/// (missing_values, outliers-sd, outliers-iqr, outliers-if, mislabels).
+class ErrorDetector {
+ public:
+  virtual ~ErrorDetector() = default;
+
+  /// Flags potentially erroneous cells/rows of `frame`. `rng` drives any
+  /// randomized internals (isolation forest, CV folds).
+  virtual Result<ErrorMask> Detect(const DataFrame& frame,
+                                   const DetectionContext& context,
+                                   Rng* rng) const = 0;
+
+  /// Strategy name as used in the paper ("missing_values", "outliers-sd",
+  /// "outliers-iqr", "outliers-if", "mislabels").
+  virtual std::string name() const = 0;
+};
+
+/// Builds a detector by its paper name with default parameters.
+Result<std::unique_ptr<ErrorDetector>> DetectorByName(const std::string& name);
+
+/// All five strategy names in the paper's order.
+std::vector<std::string> AllDetectorNames();
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_DETECT_DETECTOR_H_

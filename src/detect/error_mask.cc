@@ -1,0 +1,76 @@
+#include "detect/error_mask.h"
+
+#include <algorithm>
+
+namespace fairclean {
+
+namespace {
+const std::vector<bool> kEmptyFlags;
+}  // namespace
+
+void ErrorMask::FlagCell(const std::string& column, size_t row) {
+  FC_CHECK_LT(row, num_rows_);
+  auto [it, inserted] = cell_flags_.try_emplace(column);
+  if (inserted) it->second.assign(num_rows_, false);
+  it->second[row] = true;
+}
+
+void ErrorMask::FlagRow(size_t row) {
+  FC_CHECK_LT(row, num_rows_);
+  if (row_flags_.empty()) row_flags_.assign(num_rows_, false);
+  row_flags_[row] = true;
+}
+
+bool ErrorMask::CellFlagged(const std::string& column, size_t row) const {
+  FC_CHECK_LT(row, num_rows_);
+  auto it = cell_flags_.find(column);
+  if (it == cell_flags_.end()) return false;
+  return it->second[row];
+}
+
+bool ErrorMask::RowFlagged(size_t row) const {
+  FC_CHECK_LT(row, num_rows_);
+  if (!row_flags_.empty() && row_flags_[row]) return true;
+  for (const auto& [column, flags] : cell_flags_) {
+    if (flags[row]) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ErrorMask::FlaggedColumns() const {
+  std::vector<std::string> out;
+  for (const auto& [column, flags] : cell_flags_) {
+    if (std::find(flags.begin(), flags.end(), true) != flags.end()) {
+      out.push_back(column);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::vector<bool>& ErrorMask::ColumnFlags(
+    const std::string& column) const {
+  auto it = cell_flags_.find(column);
+  if (it == cell_flags_.end()) return kEmptyFlags;
+  return it->second;
+}
+
+size_t ErrorMask::FlaggedRowCount() const {
+  size_t count = 0;
+  for (size_t row = 0; row < num_rows_; ++row) {
+    if (RowFlagged(row)) ++count;
+  }
+  return count;
+}
+
+size_t ErrorMask::FlaggedCellCount() const {
+  size_t count = 0;
+  for (const auto& [column, flags] : cell_flags_) {
+    for (bool flag : flags) {
+      if (flag) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace fairclean

@@ -1,0 +1,45 @@
+#ifndef FAIRCLEAN_DETECT_MISLABEL_DETECTOR_H_
+#define FAIRCLEAN_DETECT_MISLABEL_DETECTOR_H_
+
+#include <string>
+
+#include "detect/detector.h"
+
+namespace fairclean {
+
+/// Options for confident-learning label-error detection.
+struct MislabelDetectorOptions {
+  /// Folds used to obtain out-of-sample predicted probabilities.
+  size_t num_folds = 5;
+  /// Regularization of the logistic-regression base classifier.
+  double logreg_c = 1.0;
+};
+
+/// Detects likely label errors with confident learning (Northcutt et al.),
+/// the algorithm behind the cleanlab library the paper uses, with a
+/// logistic-regression base classifier as in the paper.
+///
+/// Procedure: (1) obtain out-of-fold predicted probabilities via k-fold
+/// cross-validation; (2) compute per-class confidence thresholds as the
+/// mean self-confidence of examples carrying that label; (3) count the
+/// confident joint between given and (confidently) predicted labels;
+/// (4) flag the off-diagonal examples — those whose given label differs
+/// from their confident label — as potential mislabels. Flags are
+/// row-level.
+class MislabelDetector : public ErrorDetector {
+ public:
+  explicit MislabelDetector(MislabelDetectorOptions options = {})
+      : options_(options) {}
+
+  Result<ErrorMask> Detect(const DataFrame& frame,
+                           const DetectionContext& context,
+                           Rng* rng) const override;
+  std::string name() const override { return "mislabels"; }
+
+ private:
+  MislabelDetectorOptions options_;
+};
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_DETECT_MISLABEL_DETECTOR_H_

@@ -1,0 +1,22 @@
+#include "detect/missing_detector.h"
+
+namespace fairclean {
+
+Result<ErrorMask> MissingValueDetector::Detect(const DataFrame& frame,
+                                               const DetectionContext& context,
+                                               Rng* rng) const {
+  (void)rng;
+  ErrorMask mask(frame.num_rows());
+  for (const std::string& name : context.inspect_columns) {
+    if (!frame.HasColumn(name)) {
+      return Status::NotFound("inspect column not found: " + name);
+    }
+    const Column& column = frame.column(name);
+    for (size_t row = 0; row < column.size(); ++row) {
+      if (column.IsMissing(row)) mask.FlagCell(name, row);
+    }
+  }
+  return mask;
+}
+
+}  // namespace fairclean

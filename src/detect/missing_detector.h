@@ -1,0 +1,22 @@
+#ifndef FAIRCLEAN_DETECT_MISSING_DETECTOR_H_
+#define FAIRCLEAN_DETECT_MISSING_DETECTOR_H_
+
+#include <string>
+
+#include "detect/detector.h"
+
+namespace fairclean {
+
+/// Flags cells holding NULL/NaN values (the paper's `missing_values`
+/// strategy). Detection is exact: a cell either is missing or it is not.
+class MissingValueDetector : public ErrorDetector {
+ public:
+  Result<ErrorMask> Detect(const DataFrame& frame,
+                           const DetectionContext& context,
+                           Rng* rng) const override;
+  std::string name() const override { return "missing_values"; }
+};
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_DETECT_MISSING_DETECTOR_H_

@@ -1,0 +1,65 @@
+#ifndef FAIRCLEAN_DETECT_OUTLIER_DETECTORS_H_
+#define FAIRCLEAN_DETECT_OUTLIER_DETECTORS_H_
+
+#include <string>
+
+#include "detect/detector.h"
+#include "ml/isolation_forest.h"
+
+namespace fairclean {
+
+/// `outliers-sd`: a numeric cell is an outlier if it is more than
+/// `num_stddevs` sample standard deviations away from the column mean
+/// (paper default n = 3). Univariate, cell-level. Missing cells are never
+/// flagged (they belong to the missing_values strategy).
+class SdOutlierDetector : public ErrorDetector {
+ public:
+  explicit SdOutlierDetector(double num_stddevs = 3.0)
+      : num_stddevs_(num_stddevs) {}
+
+  Result<ErrorMask> Detect(const DataFrame& frame,
+                           const DetectionContext& context,
+                           Rng* rng) const override;
+  std::string name() const override { return "outliers-sd"; }
+
+ private:
+  double num_stddevs_;
+};
+
+/// `outliers-iqr`: a numeric cell is an outlier if it lies outside
+/// [p25 - k*iqr, p75 + k*iqr] (paper default k = 1.5). Univariate,
+/// cell-level.
+class IqrOutlierDetector : public ErrorDetector {
+ public:
+  explicit IqrOutlierDetector(double k = 1.5) : k_(k) {}
+
+  Result<ErrorMask> Detect(const DataFrame& frame,
+                           const DetectionContext& context,
+                           Rng* rng) const override;
+  std::string name() const override { return "outliers-iqr"; }
+
+ private:
+  double k_;
+};
+
+/// `outliers-if`: a tuple is an outlier if an isolation forest trained on
+/// the numeric view of the inspected columns flags it (paper contamination
+/// = 0.01). Multivariate, row-level. Categorical columns enter as their
+/// dictionary codes; missing values as the column mean/modal code.
+class IsolationForestOutlierDetector : public ErrorDetector {
+ public:
+  explicit IsolationForestOutlierDetector(IsolationForestOptions options = {})
+      : options_(options) {}
+
+  Result<ErrorMask> Detect(const DataFrame& frame,
+                           const DetectionContext& context,
+                           Rng* rng) const override;
+  std::string name() const override { return "outliers-if"; }
+
+ private:
+  IsolationForestOptions options_;
+};
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_DETECT_OUTLIER_DETECTORS_H_

@@ -1,0 +1,127 @@
+#include "fairness/group.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace fairclean {
+
+namespace {
+
+const char* OpSymbol(PredicateOp op) {
+  switch (op) {
+    case PredicateOp::kEq:
+      return "=";
+    case PredicateOp::kGt:
+      return ">";
+    case PredicateOp::kGe:
+      return ">=";
+    case PredicateOp::kLt:
+      return "<";
+    case PredicateOp::kLe:
+      return "<=";
+  }
+  return "?";
+}
+
+bool CompareNumeric(double value, PredicateOp op, double threshold) {
+  switch (op) {
+    case PredicateOp::kEq:
+      return value == threshold;
+    case PredicateOp::kGt:
+      return value > threshold;
+    case PredicateOp::kGe:
+      return value >= threshold;
+    case PredicateOp::kLt:
+      return value < threshold;
+    case PredicateOp::kLe:
+      return value <= threshold;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<bool>> GroupPredicate::Evaluate(
+    const DataFrame& frame) const {
+  if (!frame.HasColumn(attribute)) {
+    return Status::NotFound("sensitive attribute not found: " + attribute);
+  }
+  const Column& column = frame.column(attribute);
+  std::vector<bool> out(frame.num_rows(), false);
+  if (column.is_numeric()) {
+    for (size_t row = 0; row < column.size(); ++row) {
+      double v = column.Value(row);
+      if (std::isfinite(v)) out[row] = CompareNumeric(v, op, numeric_value);
+    }
+    return out;
+  }
+  if (op != PredicateOp::kEq) {
+    return Status::InvalidArgument(
+        "categorical predicates support only equality: " + attribute);
+  }
+  int32_t code = column.CodeOf(category);
+  if (code == Column::kMissingCode) {
+    return Status::NotFound(StrFormat("category '%s' not in attribute '%s'",
+                                      category.c_str(), attribute.c_str()));
+  }
+  for (size_t row = 0; row < column.size(); ++row) {
+    out[row] = column.Code(row) == code;
+  }
+  return out;
+}
+
+std::string GroupPredicate::Description() const {
+  if (category.empty()) {
+    return StrFormat("%s %s %g", attribute.c_str(), OpSymbol(op),
+                     numeric_value);
+  }
+  return StrFormat("%s %s %s", attribute.c_str(), OpSymbol(op),
+                   category.c_str());
+}
+
+size_t GroupAssignment::PrivilegedCount() const {
+  size_t count = 0;
+  for (bool member : privileged) {
+    if (member) ++count;
+  }
+  return count;
+}
+
+size_t GroupAssignment::DisadvantagedCount() const {
+  size_t count = 0;
+  for (bool member : disadvantaged) {
+    if (member) ++count;
+  }
+  return count;
+}
+
+Result<GroupAssignment> SingleAttributeGroups(
+    const DataFrame& frame, const GroupPredicate& predicate) {
+  FC_ASSIGN_OR_RETURN(std::vector<bool> privileged,
+                      predicate.Evaluate(frame));
+  GroupAssignment assignment;
+  assignment.disadvantaged.resize(privileged.size());
+  for (size_t row = 0; row < privileged.size(); ++row) {
+    assignment.disadvantaged[row] = !privileged[row];
+  }
+  assignment.privileged = std::move(privileged);
+  return assignment;
+}
+
+Result<GroupAssignment> IntersectionalGroups(const DataFrame& frame,
+                                             const GroupPredicate& first,
+                                             const GroupPredicate& second) {
+  FC_ASSIGN_OR_RETURN(std::vector<bool> first_priv, first.Evaluate(frame));
+  FC_ASSIGN_OR_RETURN(std::vector<bool> second_priv, second.Evaluate(frame));
+  GroupAssignment assignment;
+  assignment.privileged.resize(first_priv.size());
+  assignment.disadvantaged.resize(first_priv.size());
+  for (size_t row = 0; row < first_priv.size(); ++row) {
+    assignment.privileged[row] = first_priv[row] && second_priv[row];
+    assignment.disadvantaged[row] = !first_priv[row] && !second_priv[row];
+  }
+  return assignment;
+}
+
+}  // namespace fairclean

@@ -1,0 +1,76 @@
+#ifndef FAIRCLEAN_FAIRNESS_GROUP_H_
+#define FAIRCLEAN_FAIRNESS_GROUP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataframe.h"
+
+namespace fairclean {
+
+/// Comparison operators for privileged-group predicates (Listing 1 of the
+/// paper uses operator.gt / operator.eq).
+enum class PredicateOp { kEq, kGt, kGe, kLt, kLe };
+
+/// A declarative membership test on a sensitive attribute, e.g.
+/// ("age", kGt, 25) or ("sex", kEq, "male"). Rows satisfying the predicate
+/// belong to the privileged group.
+struct GroupPredicate {
+  std::string attribute;
+  PredicateOp op = PredicateOp::kEq;
+  /// Threshold for numeric attributes.
+  double numeric_value = 0.0;
+  /// Category for categorical attributes (kEq only).
+  std::string category;
+
+  static GroupPredicate NumericGt(std::string attribute, double value) {
+    GroupPredicate p;
+    p.attribute = std::move(attribute);
+    p.op = PredicateOp::kGt;
+    p.numeric_value = value;
+    return p;
+  }
+  static GroupPredicate CategoryEq(std::string attribute,
+                                   std::string category) {
+    GroupPredicate p;
+    p.attribute = std::move(attribute);
+    p.op = PredicateOp::kEq;
+    p.category = std::move(category);
+    return p;
+  }
+
+  /// Evaluates the predicate per row. Rows with a missing sensitive value
+  /// evaluate to false (treated as not privileged).
+  Result<std::vector<bool>> Evaluate(const DataFrame& frame) const;
+
+  /// Human-readable form, e.g. "age > 25" or "sex = male".
+  std::string Description() const;
+};
+
+/// Per-row group membership. For single-attribute definitions this is a
+/// partition (privileged[i] XOR disadvantaged[i]); for intersectional
+/// definitions rows that are privileged along one axis and disadvantaged
+/// along the other belong to neither group, following the paper.
+struct GroupAssignment {
+  std::vector<bool> privileged;
+  std::vector<bool> disadvantaged;
+
+  size_t PrivilegedCount() const;
+  size_t DisadvantagedCount() const;
+};
+
+/// Single-attribute grouping: privileged = predicate holds, disadvantaged =
+/// all other rows.
+Result<GroupAssignment> SingleAttributeGroups(const DataFrame& frame,
+                                              const GroupPredicate& predicate);
+
+/// Intersectional grouping over two axes: privileged = both predicates
+/// hold; disadvantaged = neither holds; mixed rows are excluded.
+Result<GroupAssignment> IntersectionalGroups(const DataFrame& frame,
+                                             const GroupPredicate& first,
+                                             const GroupPredicate& second);
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_FAIRNESS_GROUP_H_

@@ -1,0 +1,47 @@
+#ifndef FAIRCLEAN_ML_CLASSIFIER_H_
+#define FAIRCLEAN_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace fairclean {
+
+/// Common interface for the study's binary classifiers (logistic
+/// regression, kNN, gradient-boosted trees). Labels are 0/1; the positive
+/// class denotes the desirable outcome.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on feature matrix `x` and parallel labels `y`. `rng` seeds any
+  /// internal randomized decisions; implementations must be deterministic
+  /// given the rng state.
+  virtual Status Fit(const Matrix& x, const std::vector<int>& y,
+                     Rng* rng) = 0;
+
+  /// P(y = 1) for every row of `x`. Requires a prior successful Fit.
+  virtual std::vector<double> PredictProba(const Matrix& x) const = 0;
+
+  /// Hard predictions at the 0.5 threshold.
+  std::vector<int> Predict(const Matrix& x) const {
+    std::vector<double> proba = PredictProba(x);
+    std::vector<int> out(proba.size());
+    for (size_t i = 0; i < proba.size(); ++i) out[i] = proba[i] >= 0.5 ? 1 : 0;
+    return out;
+  }
+
+  /// A fresh, untrained copy with the same hyperparameters.
+  virtual std::unique_ptr<Classifier> Clone() const = 0;
+
+  /// Model family name ("log-reg", "knn", "xgboost").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_ML_CLASSIFIER_H_

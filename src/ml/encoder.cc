@@ -1,0 +1,129 @@
+#include "ml/encoder.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "stats/descriptive.h"
+
+namespace fairclean {
+
+Status FeatureEncoder::Fit(const DataFrame& frame,
+                           const std::vector<std::string>& feature_columns) {
+  encodings_.clear();
+  num_features_ = 0;
+  fitted_ = false;
+  if (feature_columns.empty()) {
+    return Status::InvalidArgument("no feature columns given");
+  }
+  for (const std::string& name : feature_columns) {
+    if (!frame.HasColumn(name)) {
+      return Status::NotFound("feature column not found: " + name);
+    }
+    const Column& column = frame.column(name);
+    ColumnEncoding enc;
+    enc.name = name;
+    enc.offset = num_features_;
+    if (column.is_numeric()) {
+      enc.numeric = true;
+      Result<double> mean = Mean(column.values());
+      enc.mean = mean.ok() ? *mean : 0.0;
+      Result<double> sd = SampleStdDev(column.values());
+      enc.stddev = (sd.ok() && *sd > 0.0) ? *sd : 1.0;
+      num_features_ += 1;
+    } else {
+      enc.numeric = false;
+      enc.cardinality = column.dictionary().size();
+      if (enc.cardinality == 0) {
+        return Status::InvalidArgument(
+            "categorical column has empty dictionary: " + name);
+      }
+      num_features_ += enc.cardinality;
+    }
+    encodings_.push_back(std::move(enc));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<Matrix> FeatureEncoder::Transform(const DataFrame& frame) const {
+  if (!fitted_) {
+    return Status::Internal("encoder not fitted");
+  }
+  size_t n = frame.num_rows();
+  Matrix out(n, num_features_);
+  for (const ColumnEncoding& enc : encodings_) {
+    if (!frame.HasColumn(enc.name)) {
+      return Status::NotFound("feature column not found: " + enc.name);
+    }
+    const Column& column = frame.column(enc.name);
+    if (enc.numeric != column.is_numeric()) {
+      return Status::InvalidArgument(
+          "column type changed between fit and transform: " + enc.name);
+    }
+    if (enc.numeric) {
+      for (size_t row = 0; row < n; ++row) {
+        double v = column.Value(row);
+        if (!std::isfinite(v)) v = enc.mean;
+        out(row, enc.offset) = (v - enc.mean) / enc.stddev;
+      }
+    } else {
+      for (size_t row = 0; row < n; ++row) {
+        int32_t code = column.Code(row);
+        if (code >= 0 && static_cast<size_t>(code) < enc.cardinality) {
+          out(row, enc.offset + static_cast<size_t>(code)) = 1.0;
+        }
+        // Missing or unseen categories leave the block all-zero.
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<int>> ExtractBinaryLabels(
+    const DataFrame& frame, const std::string& label_column,
+    const std::string& positive_category) {
+  if (!frame.HasColumn(label_column)) {
+    return Status::NotFound("label column not found: " + label_column);
+  }
+  const Column& column = frame.column(label_column);
+  std::vector<int> labels;
+  labels.reserve(frame.num_rows());
+  if (column.is_numeric()) {
+    for (size_t row = 0; row < column.size(); ++row) {
+      double v = column.Value(row);
+      if (v == 0.0) {
+        labels.push_back(0);
+      } else if (v == 1.0) {
+        labels.push_back(1);
+      } else {
+        return Status::InvalidArgument(StrFormat(
+            "non-binary label %g at row %zu in column '%s'", v, row,
+            label_column.c_str()));
+      }
+    }
+    return labels;
+  }
+  if (column.dictionary().size() != 2) {
+    return Status::InvalidArgument(
+        "categorical label must have exactly two categories: " + label_column);
+  }
+  int32_t positive_code = 1;
+  if (!positive_category.empty()) {
+    positive_code = column.CodeOf(positive_category);
+    if (positive_code == Column::kMissingCode) {
+      return Status::NotFound("positive category not in dictionary: " +
+                              positive_category);
+    }
+  }
+  for (size_t row = 0; row < column.size(); ++row) {
+    int32_t code = column.Code(row);
+    if (code == Column::kMissingCode) {
+      return Status::InvalidArgument(
+          StrFormat("missing label at row %zu", row));
+    }
+    labels.push_back(code == positive_code ? 1 : 0);
+  }
+  return labels;
+}
+
+}  // namespace fairclean

@@ -1,0 +1,67 @@
+#ifndef FAIRCLEAN_ML_ENCODER_H_
+#define FAIRCLEAN_ML_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataframe.h"
+#include "ml/matrix.h"
+
+namespace fairclean {
+
+/// Turns a DataFrame into the dense feature matrix consumed by classifiers.
+///
+/// Numeric columns are standardized to zero mean / unit variance with
+/// statistics fitted on the training frame. Categorical columns are one-hot
+/// encoded over the dictionary observed at fit time.
+///
+/// The experiment protocol removes or imputes missing values before
+/// encoding; as a defensive fallback, a missing numeric cell encodes to the
+/// fitted mean (0 after standardization) and a missing categorical cell to
+/// an all-zero one-hot block.
+class FeatureEncoder {
+ public:
+  /// Fits the encoder on `frame` using `feature_columns` (all must exist).
+  Status Fit(const DataFrame& frame,
+             const std::vector<std::string>& feature_columns);
+
+  /// Encodes `frame` with the fitted statistics. The frame must contain all
+  /// feature columns with compatible types. Categorical codes beyond the
+  /// fitted dictionary encode as all-zeros (unseen-category fallback).
+  Result<Matrix> Transform(const DataFrame& frame) const;
+
+  /// Number of encoded feature dimensions.
+  size_t num_features() const { return num_features_; }
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  struct ColumnEncoding {
+    std::string name;
+    bool numeric = false;
+    // Numeric: standardization parameters.
+    double mean = 0.0;
+    double stddev = 1.0;
+    // Categorical: number of one-hot slots (fitted dictionary size).
+    size_t cardinality = 0;
+    // First output dimension of this column's block.
+    size_t offset = 0;
+  };
+
+  bool fitted_ = false;
+  size_t num_features_ = 0;
+  std::vector<ColumnEncoding> encodings_;
+};
+
+/// Extracts a 0/1 label vector from `frame[label_column]`. Numeric columns
+/// must contain only 0 and 1; categorical columns must have exactly two
+/// categories, of which `positive_category` (or dictionary entry 1 when
+/// empty) maps to 1. Missing labels are rejected.
+Result<std::vector<int>> ExtractBinaryLabels(
+    const DataFrame& frame, const std::string& label_column,
+    const std::string& positive_category = "");
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_ML_ENCODER_H_

@@ -1,0 +1,111 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fairclean {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+double LogisticLoss(double y, double p) {
+  constexpr double kEps = 1e-12;
+  double clipped = std::min(1.0 - kEps, std::max(kEps, p));
+  return -(y * std::log(clipped) + (1.0 - y) * std::log(1.0 - clipped));
+}
+
+}  // namespace
+
+Status GradientBoostedTrees::Fit(const Matrix& x, const std::vector<int>& y,
+                                 Rng* rng) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("feature/label size mismatch");
+  }
+  if (x.rows() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (options_.num_rounds <= 0 || options_.learning_rate <= 0.0) {
+    return Status::InvalidArgument("invalid boosting options");
+  }
+  if (options_.subsample <= 0.0 || options_.subsample > 1.0) {
+    return Status::InvalidArgument("subsample must be in (0, 1]");
+  }
+  size_t n = x.rows();
+
+  // Initialize with the log-odds of the base rate (clipped for degenerate
+  // single-class training sets).
+  double positives = 0.0;
+  for (int label : y) positives += label;
+  double rate = std::min(1.0 - 1e-6, std::max(1e-6, positives / n));
+  base_score_ = std::log(rate / (1.0 - rate));
+
+  RegressionTreeOptions tree_options = options_.tree;
+  tree_options.max_depth = options_.max_depth;
+
+  std::vector<double> margin(n, base_score_);
+  std::vector<double> grad(n);
+  std::vector<double> hess(n);
+  trees_.clear();
+  loss_curve_.clear();
+
+  // The feature ordering is invariant across boosting rounds; presort once.
+  PresortedFeatures presorted = PresortedFeatures::Compute(x);
+
+  for (int round = 0; round < options_.num_rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) {
+      double p = Sigmoid(margin[i]);
+      grad[i] = p - static_cast<double>(y[i]);
+      hess[i] = std::max(1e-10, p * (1.0 - p));
+    }
+
+    std::vector<size_t> sample;
+    if (options_.subsample < 1.0 && rng != nullptr) {
+      size_t k = std::max<size_t>(
+          1, static_cast<size_t>(options_.subsample * static_cast<double>(n)));
+      sample = rng->SampleWithoutReplacement(n, k);
+    } else {
+      sample.resize(n);
+      for (size_t i = 0; i < n; ++i) sample[i] = i;
+    }
+
+    RegressionTree tree;
+    FC_RETURN_IF_ERROR(
+        tree.FitPresorted(x, grad, hess, sample, presorted, tree_options));
+
+    double loss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      margin[i] += options_.learning_rate * tree.PredictOne(x.Row(i));
+      loss += LogisticLoss(static_cast<double>(y[i]), Sigmoid(margin[i]));
+    }
+    loss_curve_.push_back(loss / static_cast<double>(n));
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> GradientBoostedTrees::PredictProba(const Matrix& x) const {
+  FC_CHECK_MSG(fitted_, "PredictProba before Fit");
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.Row(i);
+    double margin = base_score_;
+    for (const RegressionTree& tree : trees_) {
+      margin += options_.learning_rate * tree.PredictOne(row);
+    }
+    out[i] = Sigmoid(margin);
+  }
+  return out;
+}
+
+}  // namespace fairclean

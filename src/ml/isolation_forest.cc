@@ -1,0 +1,148 @@
+#include "ml/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fairclean {
+
+namespace {
+constexpr double kEulerMascheroni = 0.5772156649015329;
+}  // namespace
+
+double AveragePathLength(size_t n) {
+  if (n <= 1) return 0.0;
+  if (n == 2) return 1.0;
+  double nd = static_cast<double>(n);
+  double harmonic = std::log(nd - 1.0) + kEulerMascheroni;
+  return 2.0 * harmonic - 2.0 * (nd - 1.0) / nd;
+}
+
+Status IsolationForest::Fit(const Matrix& x, Rng* rng) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("empty training matrix");
+  }
+  if (options_.num_trees <= 0 || options_.subsample_size == 0) {
+    return Status::InvalidArgument("invalid isolation forest options");
+  }
+  if (options_.contamination <= 0.0 || options_.contamination >= 0.5) {
+    return Status::InvalidArgument("contamination must be in (0, 0.5)");
+  }
+  size_t psi = std::min(options_.subsample_size, x.rows());
+  normalizer_ = AveragePathLength(psi);
+  int depth_limit =
+      static_cast<int>(std::ceil(std::log2(static_cast<double>(psi)))) + 1;
+
+  trees_.clear();
+  trees_.resize(static_cast<size_t>(options_.num_trees));
+  for (Tree& tree : trees_) {
+    std::vector<size_t> sample = rng->SampleWithoutReplacement(x.rows(), psi);
+    BuildNode(x, &sample, 0, depth_limit, rng, &tree);
+  }
+  fitted_ = true;
+
+  // Threshold = (1 - contamination) quantile of the training scores, so
+  // that a `contamination` fraction of the training rows is flagged.
+  std::vector<double> scores = Score(x);
+  std::vector<double> sorted = scores;
+  std::sort(sorted.begin(), sorted.end());
+  double rank = (1.0 - options_.contamination) *
+                static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  threshold_ = sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  return Status::OK();
+}
+
+int IsolationForest::BuildNode(const Matrix& x, std::vector<size_t>* indices,
+                               int depth, int depth_limit, Rng* rng,
+                               Tree* tree) {
+  int node_id = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+  tree->nodes[static_cast<size_t>(node_id)].size = indices->size();
+
+  if (indices->size() <= 1 || depth >= depth_limit) return node_id;
+
+  // Choose a split feature with spread; give up after a few attempts if the
+  // subsample is constant in every tried dimension.
+  size_t feature = 0;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool found = false;
+  for (int attempt = 0; attempt < 8 && !found; ++attempt) {
+    feature = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(x.cols()) - 1));
+    lo = x.Row((*indices)[0])[feature];
+    hi = lo;
+    for (size_t index : *indices) {
+      lo = std::min(lo, x.Row(index)[feature]);
+      hi = std::max(hi, x.Row(index)[feature]);
+    }
+    found = hi > lo;
+  }
+  if (!found) return node_id;
+
+  double split = rng->Uniform(lo, hi);
+  std::vector<size_t> left_indices;
+  std::vector<size_t> right_indices;
+  for (size_t index : *indices) {
+    if (x.Row(index)[feature] < split) {
+      left_indices.push_back(index);
+    } else {
+      right_indices.push_back(index);
+    }
+  }
+  if (left_indices.empty() || right_indices.empty()) return node_id;
+  indices->clear();
+  indices->shrink_to_fit();
+
+  int left = BuildNode(x, &left_indices, depth + 1, depth_limit, rng, tree);
+  int right = BuildNode(x, &right_indices, depth + 1, depth_limit, rng, tree);
+  Node& node = tree->nodes[static_cast<size_t>(node_id)];
+  node.is_leaf = false;
+  node.feature = feature;
+  node.threshold = split;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+double IsolationForest::PathLength(const Tree& tree, const double* row) const {
+  int node_id = 0;
+  double depth = 0.0;
+  while (true) {
+    const Node& node = tree.nodes[static_cast<size_t>(node_id)];
+    if (node.is_leaf) {
+      return depth + AveragePathLength(node.size);
+    }
+    depth += 1.0;
+    node_id = row[node.feature] < node.threshold ? node.left : node.right;
+  }
+}
+
+std::vector<double> IsolationForest::Score(const Matrix& x) const {
+  FC_CHECK_MSG(fitted_, "Score before Fit");
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double mean_path = 0.0;
+    for (const Tree& tree : trees_) {
+      mean_path += PathLength(tree, x.Row(i));
+    }
+    mean_path /= static_cast<double>(trees_.size());
+    out[i] = std::pow(2.0, -mean_path / normalizer_);
+  }
+  return out;
+}
+
+std::vector<bool> IsolationForest::IsAnomaly(const Matrix& x) const {
+  std::vector<double> scores = Score(x);
+  std::vector<bool> out(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    out[i] = scores[i] > threshold_;
+  }
+  return out;
+}
+
+}  // namespace fairclean

@@ -1,0 +1,75 @@
+#ifndef FAIRCLEAN_ML_ISOLATION_FOREST_H_
+#define FAIRCLEAN_ML_ISOLATION_FOREST_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace fairclean {
+
+/// Hyperparameters for IsolationForest (defaults follow Liu et al. and
+/// scikit-learn).
+struct IsolationForestOptions {
+  int num_trees = 100;
+  /// Subsample size per tree (psi).
+  size_t subsample_size = 256;
+  /// Expected fraction of anomalies; determines the score threshold used by
+  /// IsAnomaly. The paper uses contamination = 0.01.
+  double contamination = 0.01;
+};
+
+/// Isolation forest anomaly detector (Liu, Ting, Zhou 2008): trees isolate
+/// points with uniformly random axis-aligned splits; anomalous points have
+/// short expected path lengths. Backs the paper's multivariate
+/// `outliers-if` detection strategy.
+class IsolationForest {
+ public:
+  explicit IsolationForest(IsolationForestOptions options = {})
+      : options_(options) {}
+
+  /// Builds the forest on the rows of `x`.
+  Status Fit(const Matrix& x, Rng* rng);
+
+  /// Anomaly score in (0, 1) per row of `x`; higher = more anomalous.
+  /// Score 0.5 corresponds to the average path length of an ordinary point.
+  std::vector<double> Score(const Matrix& x) const;
+
+  /// Flags per row of `x`: true for rows whose score exceeds the
+  /// contamination threshold fitted on the training scores.
+  std::vector<bool> IsAnomaly(const Matrix& x) const;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    size_t feature = 0;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    size_t size = 0;  // training points at this leaf
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  int BuildNode(const Matrix& x, std::vector<size_t>* indices, int depth,
+                int depth_limit, Rng* rng, Tree* tree);
+  double PathLength(const Tree& tree, const double* row) const;
+
+  IsolationForestOptions options_;
+  std::vector<Tree> trees_;
+  double normalizer_ = 1.0;  // c(psi)
+  double threshold_ = 0.5;
+  bool fitted_ = false;
+};
+
+/// Average path length of an unsuccessful BST search over n points
+/// (the c(n) normalizer from the isolation-forest paper).
+double AveragePathLength(size_t n);
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_ML_ISOLATION_FOREST_H_

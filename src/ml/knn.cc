@@ -1,0 +1,59 @@
+#include "ml/knn.h"
+
+#include <cstddef>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fairclean {
+
+Status KnnClassifier::Fit(const Matrix& x, const std::vector<int>& y,
+                          Rng* rng) {
+  (void)rng;
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("feature/label size mismatch");
+  }
+  if (x.rows() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (options_.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  train_x_ = x;
+  train_y_ = y;
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> KnnClassifier::PredictProba(const Matrix& x) const {
+  FC_CHECK_MSG(fitted_, "PredictProba before Fit");
+  FC_CHECK_EQ(x.cols(), train_x_.cols());
+  size_t n_train = train_x_.rows();
+  size_t k = std::min(static_cast<size_t>(options_.k), n_train);
+  size_t d = x.cols();
+
+  std::vector<double> out(x.rows());
+  std::vector<std::pair<double, size_t>> dist(n_train);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* query = x.Row(i);
+    for (size_t t = 0; t < n_train; ++t) {
+      const double* row = train_x_.Row(t);
+      double sq = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        double diff = query[j] - row[j];
+        sq += diff * diff;
+      }
+      dist[t] = {sq, t};
+    }
+    std::partial_sort(dist.begin(),
+                      dist.begin() + static_cast<ptrdiff_t>(k), dist.end());
+    int positives = 0;
+    for (size_t j = 0; j < k; ++j) positives += train_y_[dist[j].second];
+    out[i] = static_cast<double>(positives) / static_cast<double>(k);
+  }
+  return out;
+}
+
+}  // namespace fairclean

@@ -1,0 +1,65 @@
+#include "ml/linalg.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fairclean {
+
+Result<std::vector<double>> SolveCholesky(const std::vector<double>& a,
+                                          const std::vector<double>& b,
+                                          size_t n) {
+  FC_CHECK_EQ(a.size(), n * n);
+  FC_CHECK_EQ(b.size(), n);
+  // Lower-triangular factor L with A = L L^T.
+  std::vector<double> l(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (size_t k = 0; k < j; ++k) sum -= l[i * n + k] * l[j * n + k];
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          return Status::InvalidArgument("matrix not positive definite");
+        }
+        l[i * n + i] = std::sqrt(sum);
+      } else {
+        l[i * n + j] = sum / l[j * n + j];
+      }
+    }
+  }
+  // Forward substitution: L z = b.
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l[i * n + k] * z[k];
+    z[i] = sum / l[i * n + i];
+  }
+  // Back substitution: L^T x = z.
+  std::vector<double> x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double sum = z[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= l[k * n + i] * x[k];
+    x[i] = sum / l[i * n + i];
+  }
+  return x;
+}
+
+Result<std::vector<double>> SolveCholeskyWithJitter(std::vector<double> a,
+                                                    const std::vector<double>& b,
+                                                    size_t n) {
+  double jitter = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (attempt > 0) {
+      double add = (jitter == 0.0) ? 1e-8 : jitter * 9.0;
+      for (size_t i = 0; i < n; ++i) a[i * n + i] += add;
+      jitter += add;
+    }
+    Result<std::vector<double>> solved = SolveCholesky(a, b, n);
+    if (solved.ok()) return solved;
+  }
+  return Status::InvalidArgument(
+      "matrix not positive definite even with jitter");
+}
+
+}  // namespace fairclean

@@ -1,0 +1,25 @@
+#ifndef FAIRCLEAN_ML_LINALG_H_
+#define FAIRCLEAN_ML_LINALG_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairclean {
+
+/// Solves A x = b for a symmetric positive-definite matrix A (row-major,
+/// n x n) via Cholesky decomposition. Fails if A is not positive definite.
+Result<std::vector<double>> SolveCholesky(const std::vector<double>& a,
+                                          const std::vector<double>& b,
+                                          size_t n);
+
+/// Like SolveCholesky but retries with increasing diagonal jitter when the
+/// matrix is (numerically) singular; intended for Newton steps where a tiny
+/// ridge does not change the optimum meaningfully.
+Result<std::vector<double>> SolveCholeskyWithJitter(std::vector<double> a,
+                                                    const std::vector<double>& b,
+                                                    size_t n);
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_ML_LINALG_H_

@@ -1,0 +1,63 @@
+#ifndef FAIRCLEAN_ML_MATRIX_H_
+#define FAIRCLEAN_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fairclean {
+
+/// Dense row-major matrix of doubles — the feature representation consumed
+/// by all classifiers. Row-major layout keeps per-example access (the hot
+/// path in kNN distance computation and tree traversal) contiguous.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) {
+    FC_CHECK_LT(r, rows_);
+    FC_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    FC_CHECK_LT(r, rows_);
+    FC_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the first element of row `r` (cols() contiguous doubles).
+  const double* Row(size_t r) const {
+    FC_CHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+  double* MutableRow(size_t r) {
+    FC_CHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+
+  /// A new matrix containing rows at `indices` (repetition allowed).
+  Matrix TakeRows(const std::vector<size_t>& indices) const {
+    Matrix out(indices.size(), cols_);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const double* src = Row(indices[i]);
+      double* dst = out.MutableRow(i);
+      for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+    }
+    return out;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_ML_MATRIX_H_

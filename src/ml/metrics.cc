@@ -1,0 +1,84 @@
+#include "ml/metrics.h"
+
+#include "common/check.h"
+
+namespace fairclean {
+
+Result<ConfusionMatrix> ConfusionMatrix::From(const std::vector<int>& y_true,
+                                              const std::vector<int>& y_pred) {
+  if (y_true.size() != y_pred.size()) {
+    return Status::InvalidArgument("label/prediction size mismatch");
+  }
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    int t = y_true[i];
+    int p = y_pred[i];
+    if ((t != 0 && t != 1) || (p != 0 && p != 1)) {
+      return Status::InvalidArgument("labels must be binary (0/1)");
+    }
+    if (t == 1 && p == 1) ++cm.tp;
+    else if (t == 1 && p == 0) ++cm.fn;
+    else if (t == 0 && p == 1) ++cm.fp;
+    else ++cm.tn;
+  }
+  return cm;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  int64_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(tp + tn) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::Precision(double undefined_value) const {
+  int64_t denom = tp + fp;
+  if (denom == 0) return undefined_value;
+  return static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::Recall(double undefined_value) const {
+  int64_t denom = tp + fn;
+  if (denom == 0) return undefined_value;
+  return static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::F1() const {
+  double p = Precision();
+  double r = Recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::PositiveRate() const {
+  int64_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(tp + fp) / static_cast<double>(n);
+}
+
+ConfusionMatrix ConfusionMatrix::operator+(const ConfusionMatrix& other) const {
+  ConfusionMatrix out;
+  out.tn = tn + other.tn;
+  out.fp = fp + other.fp;
+  out.fn = fn + other.fn;
+  out.tp = tp + other.tp;
+  return out;
+}
+
+double AccuracyScore(const std::vector<int>& y_true,
+                     const std::vector<int>& y_pred) {
+  FC_CHECK_EQ(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == y_pred[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(y_true.size());
+}
+
+double F1Score(const std::vector<int>& y_true,
+               const std::vector<int>& y_pred) {
+  ConfusionMatrix cm = ConfusionMatrix::From(y_true, y_pred).ValueOrDie();
+  return cm.F1();
+}
+
+}  // namespace fairclean

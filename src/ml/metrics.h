@@ -1,0 +1,51 @@
+#ifndef FAIRCLEAN_ML_METRICS_H_
+#define FAIRCLEAN_ML_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairclean {
+
+/// Binary-classification confusion matrix. The positive class (label 1)
+/// always denotes the desirable outcome (creditworthy, prioritized care),
+/// matching the paper's convention.
+struct ConfusionMatrix {
+  int64_t tn = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+  int64_t tp = 0;
+
+  /// Tallies a confusion matrix from parallel label/prediction vectors
+  /// (entries must be 0 or 1).
+  static Result<ConfusionMatrix> From(const std::vector<int>& y_true,
+                                      const std::vector<int>& y_pred);
+
+  int64_t total() const { return tn + fp + fn + tp; }
+
+  /// (tp + tn) / total; 0 when empty.
+  double Accuracy() const;
+  /// tp / (tp + fp); returns `undefined_value` when no positive predictions.
+  double Precision(double undefined_value = 0.0) const;
+  /// tp / (tp + fn); returns `undefined_value` when no positive labels.
+  double Recall(double undefined_value = 0.0) const;
+  /// Harmonic mean of precision and recall; 0 when undefined.
+  double F1() const;
+  /// (fp + tp) / total: fraction predicted positive; 0 when empty.
+  double PositiveRate() const;
+
+  /// Element-wise sum, used to aggregate per-group matrices.
+  ConfusionMatrix operator+(const ConfusionMatrix& other) const;
+};
+
+/// Fraction of equal entries; dies on size mismatch.
+double AccuracyScore(const std::vector<int>& y_true,
+                     const std::vector<int>& y_pred);
+
+/// F1 of the positive class.
+double F1Score(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_ML_METRICS_H_

@@ -1,0 +1,76 @@
+#ifndef FAIRCLEAN_ML_REGRESSION_TREE_H_
+#define FAIRCLEAN_ML_REGRESSION_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace fairclean {
+
+/// Structural hyperparameters for a single gradient tree.
+struct RegressionTreeOptions {
+  int max_depth = 3;
+  /// L2 regularization on leaf weights (XGBoost's lambda).
+  double lambda = 1.0;
+  /// Minimum split gain (XGBoost's gamma).
+  double gamma = 0.0;
+  /// Minimum hessian sum per child (XGBoost's min_child_weight).
+  double min_child_weight = 1.0;
+};
+
+/// Feature-sorted row orderings shared across the trees of one boosting
+/// run: the presort is the dominant per-tree cost and the ordering never
+/// changes, so GradientBoostedTrees computes it once.
+struct PresortedFeatures {
+  /// order[f] = all row ids of the matrix sorted ascending by feature f.
+  std::vector<std::vector<size_t>> order;
+
+  static PresortedFeatures Compute(const Matrix& x);
+};
+
+/// A depth-limited regression tree fitted to per-example gradients and
+/// hessians with exact greedy splits — the weak learner inside
+/// GradientBoostedTrees (second-order boosting, XGBoost-style).
+class RegressionTree {
+ public:
+  /// Fits the tree on the rows of `x` listed in `sample_indices` with
+  /// parallel gradient/hessian statistics (indexed by absolute row).
+  Status Fit(const Matrix& x, const std::vector<double>& grad,
+             const std::vector<double>& hess,
+             const std::vector<size_t>& sample_indices,
+             const RegressionTreeOptions& options);
+
+  /// Like Fit, but reuses a precomputed full-matrix feature presort
+  /// (rows outside `sample_indices` are skipped during the scans).
+  Status FitPresorted(const Matrix& x, const std::vector<double>& grad,
+                      const std::vector<double>& hess,
+                      const std::vector<size_t>& sample_indices,
+                      const PresortedFeatures& presorted,
+                      const RegressionTreeOptions& options);
+
+  /// Leaf weight for a single feature row (length = x.cols() at fit time).
+  double PredictOne(const double* row) const;
+
+  /// Number of nodes (internal + leaves); 0 before Fit.
+  size_t num_nodes() const { return nodes_.size(); }
+  /// Number of leaves.
+  size_t num_leaves() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    size_t feature = 0;
+    double threshold = 0.0;  // go left if value < threshold
+    int left = -1;
+    int right = -1;
+    double value = 0.0;  // leaf weight
+  };
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_ML_REGRESSION_TREE_H_

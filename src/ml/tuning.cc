@@ -1,0 +1,120 @@
+#include "ml/tuning.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "data/split.h"
+#include "ml/gbdt.h"
+#include "ml/knn.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+
+namespace fairclean {
+
+TunedModelFamily LogRegFamily() {
+  TunedModelFamily family;
+  family.name = "log-reg";
+  family.param_grid = {0.1, 1.0, 10.0};
+  family.make = [](double c) -> std::unique_ptr<Classifier> {
+    LogisticRegressionOptions options;
+    options.c = c;
+    return std::make_unique<LogisticRegression>(options);
+  };
+  return family;
+}
+
+TunedModelFamily KnnFamily() {
+  TunedModelFamily family;
+  family.name = "knn";
+  family.param_grid = {5.0, 15.0, 31.0};
+  family.make = [](double k) -> std::unique_ptr<Classifier> {
+    KnnOptions options;
+    options.k = static_cast<int>(k);
+    return std::make_unique<KnnClassifier>(options);
+  };
+  return family;
+}
+
+TunedModelFamily GbdtFamily() {
+  TunedModelFamily family;
+  family.name = "xgboost";
+  family.param_grid = {2.0, 3.0, 4.0};
+  family.make = [](double depth) -> std::unique_ptr<Classifier> {
+    GbdtOptions options;
+    options.max_depth = static_cast<int>(depth);
+    return std::make_unique<GradientBoostedTrees>(options);
+  };
+  return family;
+}
+
+Result<TunedModelFamily> ModelFamilyByName(const std::string& name) {
+  if (name == "log-reg") return LogRegFamily();
+  if (name == "knn") return KnnFamily();
+  if (name == "xgboost") return GbdtFamily();
+  return Status::NotFound("unknown model family: " + name);
+}
+
+std::vector<std::string> AllModelNames() {
+  return {"log-reg", "knn", "xgboost"};
+}
+
+Result<TuneOutcome> TuneAndFit(const TunedModelFamily& family, const Matrix& x,
+                               const std::vector<int>& y, size_t num_folds,
+                               Rng* rng) {
+  if (family.param_grid.empty()) {
+    return Status::InvalidArgument("empty hyperparameter grid");
+  }
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("feature/label size mismatch");
+  }
+  if (x.rows() < num_folds) {
+    return Status::InvalidArgument("fewer rows than folds");
+  }
+
+  Rng fold_rng = rng->Fork(0x5eed);
+  std::vector<TrainTestIndices> folds =
+      KFoldIndices(x.rows(), num_folds, &fold_rng);
+
+  double best_accuracy = -1.0;
+  double best_param = family.param_grid.front();
+  for (double param : family.param_grid) {
+    double accuracy_sum = 0.0;
+    size_t evaluated = 0;
+    for (size_t f = 0; f < folds.size(); ++f) {
+      Matrix train_x = x.TakeRows(folds[f].train);
+      std::vector<int> train_y;
+      train_y.reserve(folds[f].train.size());
+      for (size_t index : folds[f].train) train_y.push_back(y[index]);
+      Matrix valid_x = x.TakeRows(folds[f].test);
+      std::vector<int> valid_y;
+      valid_y.reserve(folds[f].test.size());
+      for (size_t index : folds[f].test) valid_y.push_back(y[index]);
+
+      std::unique_ptr<Classifier> model = family.make(param);
+      Rng fit_rng = rng->Fork(0xf17 + f);
+      Status st = model->Fit(train_x, train_y, &fit_rng);
+      if (!st.ok()) continue;  // e.g. single-class fold; skip
+      accuracy_sum += AccuracyScore(valid_y, model->Predict(valid_x));
+      ++evaluated;
+    }
+    if (evaluated == 0) continue;
+    double mean_accuracy = accuracy_sum / static_cast<double>(evaluated);
+    if (mean_accuracy > best_accuracy) {
+      best_accuracy = mean_accuracy;
+      best_param = param;
+    }
+  }
+  if (best_accuracy < 0.0) {
+    return Status::Internal("no hyperparameter could be evaluated");
+  }
+
+  TuneOutcome outcome;
+  outcome.best_param = best_param;
+  outcome.best_cv_accuracy = best_accuracy;
+  outcome.model = family.make(best_param);
+  Rng final_rng = rng->Fork(0xf17a1);
+  FC_RETURN_IF_ERROR(outcome.model->Fit(x, y, &final_rng));
+  return outcome;
+}
+
+}  // namespace fairclean

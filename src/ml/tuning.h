@@ -1,0 +1,53 @@
+#ifndef FAIRCLEAN_ML_TUNING_H_
+#define FAIRCLEAN_ML_TUNING_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "ml/classifier.h"
+
+namespace fairclean {
+
+/// A model family with one tuned hyperparameter, mirroring the paper's
+/// setup: log-reg tunes the regularization strength C, knn tunes the number
+/// of neighbors, xgboost tunes the maximum tree depth.
+struct TunedModelFamily {
+  std::string name;
+  /// Candidate values of the tuned hyperparameter.
+  std::vector<double> param_grid;
+  /// Builds an untrained classifier for a hyperparameter value.
+  std::function<std::unique_ptr<Classifier>(double)> make;
+};
+
+/// The three families of the study with their default grids.
+TunedModelFamily LogRegFamily();
+TunedModelFamily KnnFamily();
+TunedModelFamily GbdtFamily();
+
+/// Looks up a family by its paper name ("log-reg", "knn", "xgboost").
+Result<TunedModelFamily> ModelFamilyByName(const std::string& name);
+
+/// Names of all model families, in the paper's order.
+std::vector<std::string> AllModelNames();
+
+/// Outcome of hyperparameter search + final training.
+struct TuneOutcome {
+  double best_param = 0.0;
+  double best_cv_accuracy = 0.0;
+  std::unique_ptr<Classifier> model;  // trained on the full training set
+};
+
+/// Selects the best hyperparameter by mean k-fold CV accuracy (ties go to
+/// the earlier grid entry), then trains a fresh model on the full training
+/// set. All randomized decisions derive from `rng`.
+Result<TuneOutcome> TuneAndFit(const TunedModelFamily& family, const Matrix& x,
+                               const std::vector<int>& y, size_t num_folds,
+                               Rng* rng);
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_ML_TUNING_H_

@@ -1,0 +1,104 @@
+#include "repair/imputer.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "stats/descriptive.h"
+
+namespace fairclean {
+
+const char* NumericImputeName(NumericImpute kind) {
+  switch (kind) {
+    case NumericImpute::kMean:
+      return "mean";
+    case NumericImpute::kMedian:
+      return "median";
+    case NumericImpute::kMode:
+      return "mode";
+  }
+  return "unknown";
+}
+
+const char* CategoricalImputeName(CategoricalImpute kind) {
+  switch (kind) {
+    case CategoricalImpute::kMode:
+      return "mode";
+    case CategoricalImpute::kDummy:
+      return "dummy";
+  }
+  return "unknown";
+}
+
+Status MissingValueImputer::Fit(const DataFrame& train,
+                                const std::vector<std::string>& columns) {
+  numeric_fill_.clear();
+  categorical_fill_.clear();
+  columns_ = columns;
+  for (const std::string& name : columns) {
+    if (!train.HasColumn(name)) {
+      return Status::NotFound("imputer column not found: " + name);
+    }
+    const Column& column = train.column(name);
+    if (column.is_numeric()) {
+      Result<double> fill(0.0);
+      switch (numeric_kind_) {
+        case NumericImpute::kMean:
+          fill = Mean(column.values());
+          break;
+        case NumericImpute::kMedian:
+          fill = Median(column.values());
+          break;
+        case NumericImpute::kMode:
+          fill = NumericMode(column.values());
+          break;
+      }
+      numeric_fill_[name] = fill.ok() ? *fill : 0.0;
+    } else {
+      if (categorical_kind_ == CategoricalImpute::kDummy) {
+        categorical_fill_[name] = kDummyCategory;
+      } else {
+        Result<int32_t> mode = CodeMode(column.codes(), Column::kMissingCode);
+        categorical_fill_[name] =
+            mode.ok() ? column.CategoryName(*mode) : kDummyCategory;
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status MissingValueImputer::Apply(DataFrame* frame) const {
+  if (!fitted_) {
+    return Status::Internal("imputer not fitted");
+  }
+  for (const std::string& name : columns_) {
+    if (!frame->HasColumn(name)) {
+      return Status::NotFound("imputer column not found: " + name);
+    }
+    Column& column = frame->mutable_column(name);
+    if (column.is_numeric()) {
+      double fill = numeric_fill_.at(name);
+      for (size_t row = 0; row < column.size(); ++row) {
+        if (column.IsMissing(row)) column.SetValue(row, fill);
+      }
+    } else {
+      const std::string& category = categorical_fill_.at(name);
+      int32_t code = Column::kMissingCode;
+      for (size_t row = 0; row < column.size(); ++row) {
+        if (!column.IsMissing(row)) continue;
+        if (code == Column::kMissingCode) {
+          code = column.GetOrAddCategory(category);
+        }
+        column.SetCode(row, code);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string MissingValueImputer::MethodName() const {
+  return StrFormat("impute_%s_%s", NumericImputeName(numeric_kind_),
+                   CategoricalImputeName(categorical_kind_));
+}
+
+}  // namespace fairclean

@@ -1,0 +1,59 @@
+#ifndef FAIRCLEAN_REPAIR_IMPUTER_H_
+#define FAIRCLEAN_REPAIR_IMPUTER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataframe.h"
+
+namespace fairclean {
+
+/// Imputation strategies for numeric columns (paper: mean, median, mode).
+enum class NumericImpute { kMean, kMedian, kMode };
+
+/// Imputation strategies for categorical columns (paper: mode, or a
+/// constant "dummy" indicator category).
+enum class CategoricalImpute { kMode, kDummy };
+
+const char* NumericImputeName(NumericImpute kind);
+const char* CategoricalImputeName(CategoricalImpute kind);
+
+/// The dictionary entry introduced by dummy imputation.
+inline constexpr char kDummyCategory[] = "missing_dummy";
+
+/// Fills missing cells with statistics fitted on a training frame — the
+/// paper's missing-value repair. Fit computes per-column fill values on the
+/// train split; Apply writes them into any frame (train or test), so the
+/// test set is repaired with training statistics, as in scikit-learn.
+class MissingValueImputer {
+ public:
+  MissingValueImputer(NumericImpute numeric_kind,
+                      CategoricalImpute categorical_kind)
+      : numeric_kind_(numeric_kind), categorical_kind_(categorical_kind) {}
+
+  /// Computes fill values for `columns` on `train`. Columns whose training
+  /// values are all missing fall back to 0 / the dummy category.
+  Status Fit(const DataFrame& train, const std::vector<std::string>& columns);
+
+  /// Replaces every missing cell of the fitted columns in `frame`. Dummy
+  /// imputation extends the column dictionary if needed.
+  Status Apply(DataFrame* frame) const;
+
+  /// CleanML-style method name, e.g. "impute_mean_dummy".
+  std::string MethodName() const;
+
+ private:
+  NumericImpute numeric_kind_;
+  CategoricalImpute categorical_kind_;
+  bool fitted_ = false;
+  std::unordered_map<std::string, double> numeric_fill_;
+  // For kMode: the modal category name (resolved to a code per frame).
+  std::unordered_map<std::string, std::string> categorical_fill_;
+  std::vector<std::string> columns_;
+};
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_REPAIR_IMPUTER_H_

@@ -1,0 +1,38 @@
+#include "repair/label_repair.h"
+
+namespace fairclean {
+
+Result<size_t> FlipFlaggedLabels(DataFrame* frame, const ErrorMask& mask,
+                                 const std::string& label_column) {
+  if (mask.num_rows() != frame->num_rows()) {
+    return Status::InvalidArgument("mask/frame size mismatch");
+  }
+  if (!frame->HasColumn(label_column)) {
+    return Status::NotFound("label column not found: " + label_column);
+  }
+  Column& column = frame->mutable_column(label_column);
+  if (column.is_categorical() && column.dictionary().size() != 2) {
+    return Status::InvalidArgument(
+        "categorical label must have exactly two categories");
+  }
+  size_t flipped = 0;
+  for (size_t row = 0; row < column.size(); ++row) {
+    if (!mask.RowFlagged(row)) continue;
+    if (column.IsMissing(row)) {
+      return Status::InvalidArgument("cannot flip a missing label");
+    }
+    if (column.is_numeric()) {
+      double v = column.Value(row);
+      if (v != 0.0 && v != 1.0) {
+        return Status::InvalidArgument("label must be binary (0/1)");
+      }
+      column.SetValue(row, v == 0.0 ? 1.0 : 0.0);
+    } else {
+      column.SetCode(row, column.Code(row) == 0 ? 1 : 0);
+    }
+    ++flipped;
+  }
+  return flipped;
+}
+
+}  // namespace fairclean

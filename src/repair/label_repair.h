@@ -1,0 +1,24 @@
+#ifndef FAIRCLEAN_REPAIR_LABEL_REPAIR_H_
+#define FAIRCLEAN_REPAIR_LABEL_REPAIR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataframe.h"
+#include "detect/error_mask.h"
+
+namespace fairclean {
+
+/// Repairs predicted label errors by flipping the binary label of every
+/// row flagged in `mask` (the paper's mislabel repair). The label column
+/// must be numeric 0/1 or categorical with exactly two categories. Returns
+/// the number of labels flipped.
+///
+/// Per the paper's protocol this is applied to training data only — labels
+/// are never flipped on the test set.
+Result<size_t> FlipFlaggedLabels(DataFrame* frame, const ErrorMask& mask,
+                                 const std::string& label_column);
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_REPAIR_LABEL_REPAIR_H_

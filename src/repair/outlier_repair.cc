@@ -1,0 +1,85 @@
+#include "repair/outlier_repair.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "stats/descriptive.h"
+
+namespace fairclean {
+
+Status OutlierRepairer::Fit(const DataFrame& train,
+                            const ErrorMask& train_mask,
+                            const std::vector<std::string>& columns) {
+  if (train_mask.num_rows() != train.num_rows()) {
+    return Status::InvalidArgument("mask/frame size mismatch");
+  }
+  fill_.clear();
+  columns_.clear();
+  for (const std::string& name : columns) {
+    if (!train.HasColumn(name)) {
+      return Status::NotFound("repair column not found: " + name);
+    }
+    const Column& column = train.column(name);
+    if (!column.is_numeric()) continue;
+    columns_.push_back(name);
+
+    std::vector<double> clean_values;
+    clean_values.reserve(column.size());
+    for (size_t row = 0; row < column.size(); ++row) {
+      if (train_mask.CellFlagged(name, row) || train_mask.RowFlagged(row)) {
+        continue;
+      }
+      double v = column.Value(row);
+      if (std::isfinite(v)) clean_values.push_back(v);
+    }
+
+    Result<double> fill(0.0);
+    switch (kind_) {
+      case NumericImpute::kMean:
+        fill = Mean(clean_values);
+        break;
+      case NumericImpute::kMedian:
+        fill = Median(clean_values);
+        break;
+      case NumericImpute::kMode:
+        fill = NumericMode(clean_values);
+        break;
+    }
+    if (!fill.ok()) {
+      // Everything flagged: fall back to the overall column statistic.
+      fill = Mean(column.values());
+    }
+    fill_[name] = fill.ok() ? *fill : 0.0;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status OutlierRepairer::Apply(DataFrame* frame, const ErrorMask& mask) const {
+  if (!fitted_) {
+    return Status::Internal("outlier repairer not fitted");
+  }
+  if (mask.num_rows() != frame->num_rows()) {
+    return Status::InvalidArgument("mask/frame size mismatch");
+  }
+  for (const std::string& name : columns_) {
+    if (!frame->HasColumn(name)) {
+      return Status::NotFound("repair column not found: " + name);
+    }
+    Column& column = frame->mutable_column(name);
+    double fill = fill_.at(name);
+    for (size_t row = 0; row < column.size(); ++row) {
+      if (column.IsMissing(row)) continue;
+      if (mask.CellFlagged(name, row) || mask.RowFlagged(row)) {
+        column.SetValue(row, fill);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string OutlierRepairer::MethodName() const {
+  return StrFormat("impute_%s", NumericImputeName(kind_));
+}
+
+}  // namespace fairclean

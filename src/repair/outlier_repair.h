@@ -1,0 +1,48 @@
+#ifndef FAIRCLEAN_REPAIR_OUTLIER_REPAIR_H_
+#define FAIRCLEAN_REPAIR_OUTLIER_REPAIR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataframe.h"
+#include "detect/error_mask.h"
+#include "repair/imputer.h"
+
+namespace fairclean {
+
+/// Repairs flagged outlier values in numeric columns by replacing them with
+/// the column mean, median or mode (the paper's outlier repair methods).
+///
+/// Fit computes replacement values on the training frame from the
+/// *unflagged* cells (so extreme values do not contaminate their own
+/// repair); Apply rewrites flagged cells in any frame using those training
+/// statistics. For row-level masks (outliers-if), every numeric cell of a
+/// flagged row is repaired.
+class OutlierRepairer {
+ public:
+  explicit OutlierRepairer(NumericImpute kind) : kind_(kind) {}
+
+  /// Computes per-column replacement values on `train`, ignoring cells
+  /// flagged in `train_mask`. Non-numeric columns are skipped.
+  Status Fit(const DataFrame& train, const ErrorMask& train_mask,
+             const std::vector<std::string>& columns);
+
+  /// Replaces cells of `frame` flagged in `mask` (cell-level flags, plus
+  /// all numeric cells of row-flagged tuples).
+  Status Apply(DataFrame* frame, const ErrorMask& mask) const;
+
+  /// CleanML-style repair name, e.g. "impute_mean".
+  std::string MethodName() const;
+
+ private:
+  NumericImpute kind_;
+  bool fitted_ = false;
+  std::unordered_map<std::string, double> fill_;
+  std::vector<std::string> columns_;
+};
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_REPAIR_OUTLIER_REPAIR_H_

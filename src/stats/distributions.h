@@ -1,0 +1,28 @@
+#ifndef FAIRCLEAN_STATS_DISTRIBUTIONS_H_
+#define FAIRCLEAN_STATS_DISTRIBUTIONS_H_
+
+namespace fairclean {
+
+/// Regularized lower incomplete gamma function P(a, x), a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Regularized incomplete beta function I_x(a, b), 0 <= x <= 1.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Survival function of the chi-square distribution with `df` degrees of
+/// freedom: Pr[X >= x].
+double ChiSquareSurvival(double x, double df);
+
+/// Two-sided p-value of a Student-t statistic with `df` degrees of freedom:
+/// Pr[|T| >= |t|].
+double StudentTTwoSidedPValue(double t, double df);
+
+/// CDF of the standard normal distribution.
+double NormalCdf(double z);
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_STATS_DISTRIBUTIONS_H_

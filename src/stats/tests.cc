@@ -1,0 +1,112 @@
+#include "stats/tests.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "stats/distributions.h"
+
+namespace fairclean {
+
+namespace {
+
+struct Expected2x2 {
+  double ea, eb, ec, ed;
+};
+
+Result<Expected2x2> ExpectedCounts(const ContingencyTable2x2& t) {
+  if (t.a < 0 || t.b < 0 || t.c < 0 || t.d < 0) {
+    return Status::InvalidArgument("negative cell count");
+  }
+  double n = static_cast<double>(t.a + t.b + t.c + t.d);
+  double row1 = static_cast<double>(t.a + t.b);
+  double row2 = static_cast<double>(t.c + t.d);
+  double col1 = static_cast<double>(t.a + t.c);
+  double col2 = static_cast<double>(t.b + t.d);
+  if (row1 == 0 || row2 == 0 || col1 == 0 || col2 == 0) {
+    return Status::InvalidArgument("zero margin in contingency table");
+  }
+  Expected2x2 e;
+  e.ea = row1 * col1 / n;
+  e.eb = row1 * col2 / n;
+  e.ec = row2 * col1 / n;
+  e.ed = row2 * col2 / n;
+  return e;
+}
+
+double GTerm(int64_t observed, double expected) {
+  if (observed == 0) return 0.0;
+  double o = static_cast<double>(observed);
+  return o * std::log(o / expected);
+}
+
+double ChiTerm(int64_t observed, double expected) {
+  double diff = static_cast<double>(observed) - expected;
+  return diff * diff / expected;
+}
+
+}  // namespace
+
+Result<TestResult> GTest2x2(const ContingencyTable2x2& table) {
+  FC_ASSIGN_OR_RETURN(Expected2x2 e, ExpectedCounts(table));
+  double g2 = 2.0 * (GTerm(table.a, e.ea) + GTerm(table.b, e.eb) +
+                     GTerm(table.c, e.ec) + GTerm(table.d, e.ed));
+  if (g2 < 0.0) g2 = 0.0;  // guard tiny negative rounding
+  TestResult result;
+  result.statistic = g2;
+  result.p_value = ChiSquareSurvival(g2, 1.0);
+  return result;
+}
+
+Result<TestResult> ChiSquareTest2x2(const ContingencyTable2x2& table) {
+  FC_ASSIGN_OR_RETURN(Expected2x2 e, ExpectedCounts(table));
+  double chi2 = ChiTerm(table.a, e.ea) + ChiTerm(table.b, e.eb) +
+                ChiTerm(table.c, e.ec) + ChiTerm(table.d, e.ed);
+  TestResult result;
+  result.statistic = chi2;
+  result.p_value = ChiSquareSurvival(chi2, 1.0);
+  return result;
+}
+
+Result<TestResult> PairedTTest(const std::vector<double>& x,
+                               const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("paired t-test requires equal sizes");
+  }
+  size_t n = x.size();
+  if (n < 2) {
+    return Status::InvalidArgument("paired t-test requires at least 2 pairs");
+  }
+  double mean_diff = 0.0;
+  for (size_t i = 0; i < n; ++i) mean_diff += x[i] - y[i];
+  mean_diff /= static_cast<double>(n);
+  double ss = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = (x[i] - y[i]) - mean_diff;
+    ss += d * d;
+  }
+  double var = ss / static_cast<double>(n - 1);
+  TestResult result;
+  if (var <= 0.0) {
+    // All differences identical: degenerate but well-defined outcome.
+    result.statistic = mean_diff == 0.0
+                           ? 0.0
+                           : std::copysign(
+                                 std::numeric_limits<double>::infinity(),
+                                 mean_diff);
+    result.p_value = mean_diff == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  double se = std::sqrt(var / static_cast<double>(n));
+  double t = mean_diff / se;
+  result.statistic = t;
+  result.p_value = StudentTTwoSidedPValue(t, static_cast<double>(n - 1));
+  return result;
+}
+
+double BonferroniAlpha(double alpha, size_t num_hypotheses) {
+  FC_CHECK_GT(num_hypotheses, 0u);
+  return alpha / static_cast<double>(num_hypotheses);
+}
+
+}  // namespace fairclean

@@ -1,0 +1,58 @@
+#ifndef FAIRCLEAN_STATS_TESTS_H_
+#define FAIRCLEAN_STATS_TESTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairclean {
+
+/// Outcome of a significance test.
+struct TestResult {
+  double statistic = 0.0;
+  double p_value = 1.0;
+
+  /// Convenience: significant at level `alpha`.
+  bool SignificantAt(double alpha) const { return p_value < alpha; }
+};
+
+/// A 2x2 contingency table:
+///
+///              flagged   not flagged
+///   group A      a            b
+///   group B      c            d
+///
+/// Used in RQ1 to compare how often an error detector flags tuples from the
+/// privileged vs the disadvantaged group.
+struct ContingencyTable2x2 {
+  int64_t a = 0;
+  int64_t b = 0;
+  int64_t c = 0;
+  int64_t d = 0;
+};
+
+/// G-test (likelihood-ratio chi-square, the "G^2 significance test" of the
+/// paper's Section III) for independence on a 2x2 table, 1 degree of
+/// freedom. G^2 = 2 * sum O * ln(O / E); cells with O = 0 contribute 0.
+/// Fails if any margin is zero (independence is undefined).
+Result<TestResult> GTest2x2(const ContingencyTable2x2& table);
+
+/// Pearson chi-square test on the same table; provided as a cross-check for
+/// the G-test (they agree asymptotically).
+Result<TestResult> ChiSquareTest2x2(const ContingencyTable2x2& table);
+
+/// Two-sided paired-sample t-test on equally long score vectors, as used by
+/// CleanML/the paper to compare dirty-vs-repaired metric scores across
+/// repeated runs. Fails if fewer than 2 pairs or the sizes differ. A zero
+/// variance of differences yields p = 1 when the mean difference is zero and
+/// p = 0 otherwise.
+Result<TestResult> PairedTTest(const std::vector<double>& x,
+                               const std::vector<double>& y);
+
+/// Bonferroni-corrected significance level: alpha / num_hypotheses.
+double BonferroniAlpha(double alpha, size_t num_hypotheses);
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_STATS_TESTS_H_

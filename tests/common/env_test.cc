@@ -1,0 +1,43 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace fairclean {
+namespace {
+
+TEST(EnvTest, UnsetReturnsDefault) {
+  unsetenv("FAIRCLEAN_TEST_KNOB");
+  EXPECT_EQ(GetEnvInt64("FAIRCLEAN_TEST_KNOB", 42), 42);
+  EXPECT_EQ(GetEnvString("FAIRCLEAN_TEST_KNOB", "dflt"), "dflt");
+}
+
+TEST(EnvTest, ParsesInteger) {
+  setenv("FAIRCLEAN_TEST_KNOB", "123", 1);
+  EXPECT_EQ(GetEnvInt64("FAIRCLEAN_TEST_KNOB", 42), 123);
+  unsetenv("FAIRCLEAN_TEST_KNOB");
+}
+
+TEST(EnvTest, ParsesNegativeInteger) {
+  setenv("FAIRCLEAN_TEST_KNOB", "-7", 1);
+  EXPECT_EQ(GetEnvInt64("FAIRCLEAN_TEST_KNOB", 42), -7);
+  unsetenv("FAIRCLEAN_TEST_KNOB");
+}
+
+TEST(EnvTest, GarbageFallsBackToDefault) {
+  setenv("FAIRCLEAN_TEST_KNOB", "12abc", 1);
+  EXPECT_EQ(GetEnvInt64("FAIRCLEAN_TEST_KNOB", 42), 42);
+  setenv("FAIRCLEAN_TEST_KNOB", "", 1);
+  EXPECT_EQ(GetEnvInt64("FAIRCLEAN_TEST_KNOB", 42), 42);
+  unsetenv("FAIRCLEAN_TEST_KNOB");
+}
+
+TEST(EnvTest, ReadsString) {
+  setenv("FAIRCLEAN_TEST_KNOB", "value", 1);
+  EXPECT_EQ(GetEnvString("FAIRCLEAN_TEST_KNOB", "dflt"), "value");
+  unsetenv("FAIRCLEAN_TEST_KNOB");
+}
+
+}  // namespace
+}  // namespace fairclean

@@ -1,0 +1,151 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fairclean {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Uniform() != b.Uniform()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values hit over 1000 draws
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(9);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  double rate = static_cast<double>(hits) / kDraws;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = rng.Normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / kDraws;
+  double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {1.0, 3.0};
+  int count1 = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Categorical(weights) == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / kDraws, 0.75, 0.02);
+}
+
+TEST(RngTest, CategoricalSingleOutcome) {
+  Rng rng(19);
+  EXPECT_EQ(rng.Categorical({5.0}), 0u);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(21);
+  std::vector<size_t> perm = rng.Permutation(50);
+  ASSERT_EQ(perm.size(), 50u);
+  std::vector<size_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t index : sample) EXPECT_LT(index, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementCapsAtN) {
+  Rng rng(25);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(10, 50);
+  EXPECT_EQ(sample.size(), 10u);
+}
+
+TEST(RngTest, ForkDecorrelatesStreams) {
+  Rng parent(31);
+  Rng child_a = parent.Fork(1);
+  Rng child_b = parent.Fork(2);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (child_a.Uniform() != child_b.Uniform()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(0.0, 1.5), 0.0);
+  }
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(41);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+}  // namespace
+}  // namespace fairclean

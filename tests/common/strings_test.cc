@@ -1,0 +1,68 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace fairclean {
+namespace {
+
+TEST(StringsTest, JoinEmpty) { EXPECT_EQ(Join({}, ","), ""); }
+
+TEST(StringsTest, JoinSingle) { EXPECT_EQ(Join({"a"}, ","), "a"); }
+
+TEST(StringsTest, JoinMultiple) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, SplitBasic) {
+  std::vector<std::string> parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  std::vector<std::string> parts = Split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitNoSeparator) {
+  std::vector<std::string> parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  hello \t\n"), "hello");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace("x"), "x");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("foo", "foobar"));
+  EXPECT_FALSE(StartsWith("bar", "foo"));
+}
+
+TEST(StringsTest, StrFormatBasic) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+}
+
+TEST(StringsTest, StrFormatLongOutput) {
+  std::string long_arg(500, 'y');
+  std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 502u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace fairclean

@@ -1,0 +1,196 @@
+#include "core/cleaning.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datasets/generator.h"
+
+namespace fairclean {
+namespace {
+
+TEST(CleaningMethodsTest, MissingValuesHasSixCombinations) {
+  Result<std::vector<CleaningMethod>> methods =
+      CleaningMethodsFor("missing_values");
+  ASSERT_TRUE(methods.ok());
+  EXPECT_EQ(methods->size(), 6u);
+  std::set<std::string> names;
+  for (const CleaningMethod& method : *methods) names.insert(method.Name());
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_TRUE(names.count("impute_mean_dummy"));
+  EXPECT_TRUE(names.count("impute_mode_mode"));
+}
+
+TEST(CleaningMethodsTest, OutliersHasNineCombinations) {
+  Result<std::vector<CleaningMethod>> methods = CleaningMethodsFor("outliers");
+  ASSERT_TRUE(methods.ok());
+  EXPECT_EQ(methods->size(), 9u);
+  std::set<std::string> names;
+  for (const CleaningMethod& method : *methods) names.insert(method.Name());
+  EXPECT_TRUE(names.count("outliers-iqr__impute_median"));
+  EXPECT_TRUE(names.count("outliers-if__impute_mode"));
+}
+
+TEST(CleaningMethodsTest, MislabelsHasOne) {
+  Result<std::vector<CleaningMethod>> methods =
+      CleaningMethodsFor("mislabels");
+  ASSERT_TRUE(methods.ok());
+  ASSERT_EQ(methods->size(), 1u);
+  EXPECT_EQ((*methods)[0].Name(), "flip_mislabels");
+}
+
+TEST(CleaningMethodsTest, UnknownErrorTypeFails) {
+  EXPECT_FALSE(CleaningMethodsFor("typos").ok());
+}
+
+class ProtocolTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(3);
+    dataset_ = MakeDataset("german", 1000, &rng).ValueOrDie();
+    DataFrame& frame = dataset_.frame;
+    std::vector<size_t> train_rows;
+    std::vector<size_t> test_rows;
+    for (size_t i = 0; i < frame.num_rows(); ++i) {
+      (i % 4 == 0 ? test_rows : train_rows).push_back(i);
+    }
+    train_ = frame.Take(train_rows);
+    test_ = frame.Take(test_rows);
+  }
+
+  size_t CountMissingFeatureRows(const DataFrame& frame) {
+    std::vector<std::string> features = dataset_.spec.FeatureColumns(frame);
+    size_t count = 0;
+    for (size_t row = 0; row < frame.num_rows(); ++row) {
+      for (const std::string& name : features) {
+        if (frame.column(name).IsMissing(row)) {
+          ++count;
+          break;
+        }
+      }
+    }
+    return count;
+  }
+
+  GeneratedDataset dataset_;
+  DataFrame train_;
+  DataFrame test_;
+};
+
+TEST_F(ProtocolTest, MissingValueDirtyDropsTrainRowsAndImputesTest) {
+  PreparedData base =
+      PrepareBase(train_, test_, dataset_.spec, "missing_values")
+          .ValueOrDie();
+  EXPECT_EQ(base.train.num_rows(), train_.num_rows());  // raw passthrough
+  PreparedData dirty =
+      MakeDirtyVersion(base, dataset_.spec, "missing_values").ValueOrDie();
+  EXPECT_LT(dirty.train.num_rows(), train_.num_rows());
+  EXPECT_EQ(CountMissingFeatureRows(dirty.train), 0u);
+  // Test rows are never dropped, only imputed.
+  EXPECT_EQ(dirty.test.num_rows(), test_.num_rows());
+  EXPECT_EQ(CountMissingFeatureRows(dirty.test), 0u);
+}
+
+TEST_F(ProtocolTest, MissingValueRepairImputesBothSplits) {
+  PreparedData base =
+      PrepareBase(train_, test_, dataset_.spec, "missing_values")
+          .ValueOrDie();
+  CleaningMethod method;
+  method.error_type = "missing_values";
+  method.detector = "missing_values";
+  method.numeric_impute = NumericImpute::kMedian;
+  method.categorical_impute = CategoricalImpute::kDummy;
+  Rng rng(4);
+  PreparedData repaired =
+      MakeRepairedVersion(base, dataset_.spec, method, &rng).ValueOrDie();
+  EXPECT_EQ(repaired.train.num_rows(), train_.num_rows());  // nothing dropped
+  EXPECT_EQ(CountMissingFeatureRows(repaired.train), 0u);
+  EXPECT_EQ(CountMissingFeatureRows(repaired.test), 0u);
+  // Dummy imputation introduced the indicator category on train.
+  EXPECT_NE(repaired.train.column("savings").CodeOf("missing_dummy"),
+            Column::kMissingCode);
+}
+
+TEST_F(ProtocolTest, OutlierBaseRemovesIncompleteTuples) {
+  PreparedData base =
+      PrepareBase(train_, test_, dataset_.spec, "outliers").ValueOrDie();
+  EXPECT_EQ(CountMissingFeatureRows(base.train), 0u);
+  EXPECT_EQ(CountMissingFeatureRows(base.test), 0u);
+  EXPECT_LT(base.train.num_rows(), train_.num_rows());
+}
+
+TEST_F(ProtocolTest, OutlierDirtyKeepsDataAsIs) {
+  PreparedData base =
+      PrepareBase(train_, test_, dataset_.spec, "outliers").ValueOrDie();
+  PreparedData dirty =
+      MakeDirtyVersion(base, dataset_.spec, "outliers").ValueOrDie();
+  EXPECT_EQ(dirty.train.num_rows(), base.train.num_rows());
+  // Spot-check equality of a numeric column.
+  for (size_t row = 0; row < base.train.num_rows(); ++row) {
+    EXPECT_EQ(base.train.column("credit_amount").Value(row),
+              dirty.train.column("credit_amount").Value(row));
+  }
+}
+
+TEST_F(ProtocolTest, OutlierRepairChangesFlaggedCellsOnly) {
+  PreparedData base =
+      PrepareBase(train_, test_, dataset_.spec, "outliers").ValueOrDie();
+  CleaningMethod method;
+  method.error_type = "outliers";
+  method.detector = "outliers-iqr";
+  method.numeric_impute = NumericImpute::kMedian;
+  Rng rng(5);
+  PreparedData repaired =
+      MakeRepairedVersion(base, dataset_.spec, method, &rng).ValueOrDie();
+  size_t changed = 0;
+  const Column& before = base.train.column("credit_amount");
+  const Column& after = repaired.train.column("credit_amount");
+  for (size_t row = 0; row < base.train.num_rows(); ++row) {
+    if (before.Value(row) != after.Value(row)) ++changed;
+  }
+  EXPECT_GT(changed, 0u);                          // something repaired
+  EXPECT_LT(changed, base.train.num_rows() / 2);   // but not everything
+}
+
+TEST_F(ProtocolTest, MislabelRepairFlipsTrainOnly) {
+  PreparedData base =
+      PrepareBase(train_, test_, dataset_.spec, "mislabels").ValueOrDie();
+  CleaningMethod method;
+  method.error_type = "mislabels";
+  method.detector = "mislabels";
+  Rng rng(6);
+  PreparedData repaired =
+      MakeRepairedVersion(base, dataset_.spec, method, &rng).ValueOrDie();
+  size_t train_changed = 0;
+  for (size_t row = 0; row < base.train.num_rows(); ++row) {
+    if (base.train.column("credit").Value(row) !=
+        repaired.train.column("credit").Value(row)) {
+      ++train_changed;
+    }
+  }
+  EXPECT_GT(train_changed, 0u);
+  // Labels are never flipped on the test set.
+  for (size_t row = 0; row < base.test.num_rows(); ++row) {
+    EXPECT_EQ(base.test.column("credit").Value(row),
+              repaired.test.column("credit").Value(row));
+  }
+}
+
+TEST_F(ProtocolTest, FeatureValuesUntouchedByMislabelRepair) {
+  PreparedData base =
+      PrepareBase(train_, test_, dataset_.spec, "mislabels").ValueOrDie();
+  CleaningMethod method;
+  method.error_type = "mislabels";
+  method.detector = "mislabels";
+  Rng rng(7);
+  PreparedData repaired =
+      MakeRepairedVersion(base, dataset_.spec, method, &rng).ValueOrDie();
+  for (size_t row = 0; row < base.train.num_rows(); ++row) {
+    EXPECT_EQ(base.train.column("duration").Value(row),
+              repaired.train.column("duration").Value(row));
+  }
+}
+
+}  // namespace
+}  // namespace fairclean

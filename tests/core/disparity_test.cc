@@ -1,0 +1,123 @@
+#include "core/disparity.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/generator.h"
+
+namespace fairclean {
+namespace {
+
+TEST(DisparityTest, SingleAttributeRowsCoverAllGroupDetectorPairs) {
+  Rng rng(1);
+  GeneratedDataset dataset = MakeDataset("german", 1000, &rng).ValueOrDie();
+  DisparityOptions options;
+  Rng analysis_rng(2);
+  Result<std::vector<DisparityRow>> rows =
+      AnalyzeDisparities(dataset, /*intersectional=*/false, options,
+                         &analysis_rng);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // german: 5 detectors x 2 sensitive attributes.
+  EXPECT_EQ(rows->size(), 10u);
+  for (const DisparityRow& row : *rows) {
+    EXPECT_EQ(row.dataset, "german");
+    EXPECT_FALSE(row.intersectional);
+    EXPECT_EQ(row.privileged_total + row.disadvantaged_total,
+              dataset.frame.num_rows());
+    EXPECT_LE(row.privileged_flagged, row.privileged_total);
+    EXPECT_LE(row.disadvantaged_flagged, row.disadvantaged_total);
+    EXPECT_GE(row.g2.p_value, 0.0);
+    EXPECT_LE(row.g2.p_value, 1.0);
+  }
+}
+
+TEST(DisparityTest, IntersectionalRowsExcludeMixedTuples) {
+  Rng rng(3);
+  GeneratedDataset dataset = MakeDataset("heart", 3000, &rng).ValueOrDie();
+  DisparityOptions options;
+  Rng analysis_rng(4);
+  Result<std::vector<DisparityRow>> rows =
+      AnalyzeDisparities(dataset, /*intersectional=*/true, options,
+                         &analysis_rng);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_FALSE(rows->empty());
+  for (const DisparityRow& row : *rows) {
+    EXPECT_TRUE(row.intersectional);
+    EXPECT_EQ(row.group_key, "sex*age");
+    EXPECT_LT(row.privileged_total + row.disadvantaged_total,
+              dataset.frame.num_rows());
+  }
+}
+
+TEST(DisparityTest, CreditHasNoIntersectionalDefinition) {
+  Rng rng(5);
+  GeneratedDataset dataset = MakeDataset("credit", 2000, &rng).ValueOrDie();
+  DisparityOptions options;
+  Rng analysis_rng(6);
+  Result<std::vector<DisparityRow>> rows =
+      AnalyzeDisparities(dataset, /*intersectional=*/true, options,
+                         &analysis_rng);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(DisparityTest, DetectorFilterRestrictsAnalysis) {
+  Rng rng(7);
+  GeneratedDataset dataset = MakeDataset("adult", 2000, &rng).ValueOrDie();
+  DisparityOptions options;
+  options.detectors = {"missing_values"};
+  Rng analysis_rng(8);
+  Result<std::vector<DisparityRow>> rows =
+      AnalyzeDisparities(dataset, false, options, &analysis_rng);
+  ASSERT_TRUE(rows.ok());
+  for (const DisparityRow& row : *rows) {
+    EXPECT_EQ(row.detector, "missing_values");
+  }
+}
+
+TEST(DisparityTest, AdultMissingValuesDisparityIsSignificant) {
+  // The generator plants higher missingness for disadvantaged groups in
+  // adult (the paper's RQ1 headline finding); with 12k rows the G^2 test
+  // must pick it up.
+  Rng rng(9);
+  GeneratedDataset dataset = MakeDataset("adult", 0, &rng).ValueOrDie();
+  DisparityOptions options;
+  options.detectors = {"missing_values"};
+  Rng analysis_rng(10);
+  Result<std::vector<DisparityRow>> rows =
+      AnalyzeDisparities(dataset, false, options, &analysis_rng);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);  // sex and race
+  for (const DisparityRow& row : *rows) {
+    EXPECT_TRUE(row.significant) << row.group_key;
+    EXPECT_GT(row.DisadvantagedFraction(), row.PrivilegedFraction())
+        << row.group_key;
+  }
+}
+
+TEST(DisparityTest, FormatProducesOneLinePerRow) {
+  Rng rng(11);
+  GeneratedDataset dataset = MakeDataset("german", 500, &rng).ValueOrDie();
+  DisparityOptions options;
+  options.detectors = {"missing_values", "outliers-sd"};
+  Rng analysis_rng(12);
+  std::vector<DisparityRow> rows =
+      AnalyzeDisparities(dataset, false, options, &analysis_rng)
+          .ValueOrDie();
+  std::string table = FormatDisparityTable(rows);
+  size_t lines = static_cast<size_t>(
+      std::count(table.begin(), table.end(), '\n'));
+  EXPECT_EQ(lines, rows.size() + 2);  // header + separator + rows
+  EXPECT_NE(table.find("german"), std::string::npos);
+}
+
+TEST(DisparityRowTest, FractionsHandleEmptyGroups) {
+  DisparityRow row;
+  EXPECT_DOUBLE_EQ(row.PrivilegedFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(row.DisadvantagedFraction(), 0.0);
+  row.privileged_total = 10;
+  row.privileged_flagged = 3;
+  EXPECT_DOUBLE_EQ(row.PrivilegedFraction(), 0.3);
+}
+
+}  // namespace
+}  // namespace fairclean

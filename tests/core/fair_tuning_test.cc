@@ -1,0 +1,138 @@
+#include "core/fair_tuning.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/ml/test_data.h"
+
+namespace fairclean {
+namespace {
+
+// A problem where the tuned hyperparameter trades accuracy for fairness:
+// group +1 points are separated along axis 0, group -1 points carry a
+// weaker version of the signal, so flexible models learn the privileged
+// group better and open a recall gap.
+struct GroupedProblem {
+  Matrix x;
+  std::vector<int> y;
+  std::vector<int> membership;
+};
+
+GroupedProblem MakeGroupedProblem(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  GroupedProblem problem;
+  problem.x = Matrix(n, 2);
+  problem.y.resize(n);
+  problem.membership.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool privileged = rng.Bernoulli(0.5);
+    int label = rng.Bernoulli(0.5) ? 1 : 0;
+    double separation = privileged ? 3.0 : 1.0;
+    problem.x(i, 0) =
+        rng.Normal(label == 1 ? separation / 2 : -separation / 2, 1.0);
+    problem.x(i, 1) = rng.Normal(privileged ? 1.0 : -1.0, 0.5);
+    problem.y[i] = label;
+    problem.membership[i] = privileged ? 1 : -1;
+  }
+  return problem;
+}
+
+TEST(FairTuneTest, SelectsFromGridAndTrains) {
+  GroupedProblem problem = MakeGroupedProblem(400, 1);
+  FairTuneOptions options;
+  options.max_unfairness = 1.0;  // no effective constraint
+  Rng rng(2);
+  Result<FairTuneOutcome> outcome = FairTuneAndFit(
+      LogRegFamily(), problem.x, problem.y, problem.membership, options,
+      &rng);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->within_budget);
+  bool in_grid = false;
+  for (double param : LogRegFamily().param_grid) {
+    if (param == outcome->best_param) in_grid = true;
+  }
+  EXPECT_TRUE(in_grid);
+  EXPECT_GT(outcome->best_cv_accuracy, 0.6);
+  ASSERT_NE(outcome->model, nullptr);
+  EXPECT_EQ(outcome->model->Predict(problem.x).size(), 400u);
+}
+
+TEST(FairTuneTest, TightBudgetSelectsFairerCandidate) {
+  GroupedProblem problem = MakeGroupedProblem(500, 3);
+  Rng rng_loose(4);
+  FairTuneOptions loose;
+  loose.max_unfairness = 1.0;
+  FairTuneOutcome unconstrained =
+      FairTuneAndFit(LogRegFamily(), problem.x, problem.y,
+                     problem.membership, loose, &rng_loose)
+          .ValueOrDie();
+
+  Rng rng_tight(4);
+  FairTuneOptions tight;
+  tight.max_unfairness = 0.0;  // nothing fits: fairest candidate wins
+  FairTuneOutcome constrained =
+      FairTuneAndFit(LogRegFamily(), problem.x, problem.y,
+                     problem.membership, tight, &rng_tight)
+          .ValueOrDie();
+  EXPECT_FALSE(constrained.within_budget);
+  // The fairest candidate can be no less fair than the most accurate one.
+  EXPECT_LE(constrained.best_cv_unfairness,
+            unconstrained.best_cv_unfairness + 1e-12);
+}
+
+TEST(FairTuneTest, ZeroBudgetNeverWithinBudgetOnUnfairProblem) {
+  GroupedProblem problem = MakeGroupedProblem(300, 5);
+  FairTuneOptions options;
+  options.max_unfairness = 0.0;
+  Rng rng(6);
+  FairTuneOutcome outcome =
+      FairTuneAndFit(LogRegFamily(), problem.x, problem.y,
+                     problem.membership, options, &rng)
+          .ValueOrDie();
+  EXPECT_FALSE(outcome.within_budget);
+  EXPECT_GT(outcome.best_cv_unfairness, 0.0);
+}
+
+TEST(FairTuneTest, RejectsBadInput) {
+  GroupedProblem problem = MakeGroupedProblem(100, 7);
+  FairTuneOptions options;
+  Rng rng(8);
+  TunedModelFamily empty = LogRegFamily();
+  empty.param_grid.clear();
+  EXPECT_FALSE(FairTuneAndFit(empty, problem.x, problem.y,
+                              problem.membership, options, &rng)
+                   .ok());
+  std::vector<int> short_membership(10, 1);
+  EXPECT_FALSE(FairTuneAndFit(LogRegFamily(), problem.x, problem.y,
+                              short_membership, options, &rng)
+                   .ok());
+  FairTuneOptions negative_budget;
+  negative_budget.max_unfairness = -0.1;
+  EXPECT_FALSE(FairTuneAndFit(LogRegFamily(), problem.x, problem.y,
+                              problem.membership, negative_budget, &rng)
+                   .ok());
+}
+
+TEST(FairTuneTest, MembershipFromAssignmentEncoding) {
+  GroupAssignment assignment;
+  assignment.privileged = {true, false, false};
+  assignment.disadvantaged = {false, true, false};
+  std::vector<int> membership = MembershipFromAssignment(assignment);
+  EXPECT_EQ(membership, (std::vector<int>{1, -1, 0}));
+}
+
+TEST(FairTuneTest, WorksWithAllModelFamilies) {
+  GroupedProblem problem = MakeGroupedProblem(200, 9);
+  FairTuneOptions options;
+  options.max_unfairness = 1.0;
+  for (const std::string& name : AllModelNames()) {
+    Rng rng(10);
+    Result<FairTuneOutcome> outcome =
+        FairTuneAndFit(ModelFamilyByName(name).ValueOrDie(), problem.x,
+                       problem.y, problem.membership, options, &rng);
+    ASSERT_TRUE(outcome.ok()) << name;
+    EXPECT_NE(outcome->model, nullptr) << name;
+  }
+}
+
+}  // namespace
+}  // namespace fairclean

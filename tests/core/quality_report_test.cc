@@ -1,0 +1,94 @@
+#include "core/quality_report.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/generator.h"
+
+namespace fairclean {
+namespace {
+
+TEST(QualityReportTest, CoversEveryColumn) {
+  Rng rng(1);
+  GeneratedDataset dataset = MakeDataset("german", 800, &rng).ValueOrDie();
+  Rng report_rng(2);
+  QualityReport report =
+      ComputeQualityReport(dataset, &report_rng).ValueOrDie();
+  EXPECT_EQ(report.dataset, "german");
+  EXPECT_EQ(report.num_rows, 800u);
+  EXPECT_EQ(report.columns.size(), dataset.frame.num_columns());
+  for (const ColumnQuality& column : report.columns) {
+    EXPECT_TRUE(dataset.frame.HasColumn(column.name));
+    EXPECT_GE(column.missing_fraction, 0.0);
+    EXPECT_LE(column.missing_fraction, 1.0);
+    if (!column.numeric) {
+      EXPECT_GT(column.cardinality, 0u);
+    }
+  }
+}
+
+TEST(QualityReportTest, DetectorsMatchErrorTypes) {
+  Rng rng(3);
+  GeneratedDataset heart = MakeDataset("heart", 1500, &rng).ValueOrDie();
+  Rng report_rng(4);
+  QualityReport report =
+      ComputeQualityReport(heart, &report_rng).ValueOrDie();
+  // heart has outliers + mislabels but no missing values.
+  ASSERT_EQ(report.detectors.size(), 4u);
+  for (const DetectorQuality& detector : report.detectors) {
+    EXPECT_NE(detector.detector, "missing_values");
+    EXPECT_LE(detector.flagged_fraction, 1.0);
+  }
+}
+
+TEST(QualityReportTest, GroupsIncludeIntersectional) {
+  Rng rng(5);
+  GeneratedDataset adult = MakeDataset("adult", 2000, &rng).ValueOrDie();
+  Rng report_rng(6);
+  QualityReport report =
+      ComputeQualityReport(adult, &report_rng).ValueOrDie();
+  ASSERT_EQ(report.groups.size(), 3u);  // sex, race, sex*race
+  for (const GroupQuality& group : report.groups) {
+    EXPECT_GT(group.privileged_count, 0u);
+    EXPECT_GT(group.disadvantaged_count, 0u);
+    EXPECT_GE(group.privileged_positive_rate, 0.0);
+    EXPECT_LE(group.privileged_positive_rate, 1.0);
+  }
+}
+
+TEST(QualityReportTest, MissingStatisticsMatchFrame) {
+  Rng rng(7);
+  GeneratedDataset german = MakeDataset("german", 600, &rng).ValueOrDie();
+  Rng report_rng(8);
+  QualityReport report =
+      ComputeQualityReport(german, &report_rng).ValueOrDie();
+  for (const ColumnQuality& column : report.columns) {
+    EXPECT_EQ(column.missing_count,
+              german.frame.column(column.name).MissingCount())
+        << column.name;
+  }
+}
+
+TEST(QualityReportTest, FormatMentionsKeySections) {
+  Rng rng(9);
+  GeneratedDataset credit = MakeDataset("credit", 800, &rng).ValueOrDie();
+  Rng report_rng(10);
+  QualityReport report =
+      ComputeQualityReport(credit, &report_rng).ValueOrDie();
+  std::string text = report.Format();
+  EXPECT_NE(text.find("credit"), std::string::npos);
+  EXPECT_NE(text.find("columns:"), std::string::npos);
+  EXPECT_NE(text.find("detectors:"), std::string::npos);
+  EXPECT_NE(text.find("groups:"), std::string::npos);
+  EXPECT_NE(text.find("outliers-iqr"), std::string::npos);
+}
+
+TEST(QualityReportTest, RejectsEmptyDataset) {
+  GeneratedDataset empty;
+  empty.spec.name = "empty";
+  empty.spec.label = "y";
+  Rng rng(11);
+  EXPECT_FALSE(ComputeQualityReport(empty, &rng).ok());
+}
+
+}  // namespace
+}  // namespace fairclean

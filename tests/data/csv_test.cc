@@ -1,0 +1,115 @@
+#include "data/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace fairclean {
+namespace {
+
+TEST(CsvTest, ParsesNumericAndCategorical) {
+  Result<DataFrame> frame = ReadCsvFromString(
+      "age,city,score\n30,amsterdam,1.5\n41,new york,2.25\n");
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->num_rows(), 2u);
+  EXPECT_TRUE(frame->column("age").is_numeric());
+  EXPECT_TRUE(frame->column("city").is_categorical());
+  EXPECT_DOUBLE_EQ(frame->column("score").Value(1), 2.25);
+  EXPECT_EQ(frame->column("city").CategoryName(frame->column("city").Code(1)),
+            "new york");
+}
+
+TEST(CsvTest, MissingTokensBecomeMissingCells) {
+  Result<DataFrame> frame =
+      ReadCsvFromString("a,b\n1,x\n,\nNA,y\nNaN,NULL\n");
+  ASSERT_TRUE(frame.ok());
+  const Column& a = frame->column("a");
+  EXPECT_TRUE(a.is_numeric());
+  EXPECT_EQ(a.MissingCount(), 3u);
+  const Column& b = frame->column("b");
+  EXPECT_EQ(b.MissingCount(), 2u);
+}
+
+TEST(CsvTest, AllMissingColumnIsCategorical) {
+  Result<DataFrame> frame = ReadCsvFromString("a\nNA\nNA\n");
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(frame->column("a").is_categorical());
+  EXPECT_EQ(frame->column("a").MissingCount(), 2u);
+}
+
+TEST(CsvTest, BlankLinesAreSkipped) {
+  Result<DataFrame> frame = ReadCsvFromString("a,b\n1,x\n\n2,y\n\n");
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->num_rows(), 2u);
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimitersAndEscapes) {
+  Result<DataFrame> frame =
+      ReadCsvFromString("name,v\n\"a,b\",1\n\"he said \"\"hi\"\"\",2\n");
+  ASSERT_TRUE(frame.ok());
+  const Column& name = frame->column("name");
+  EXPECT_EQ(name.CategoryName(name.Code(0)), "a,b");
+  EXPECT_EQ(name.CategoryName(name.Code(1)), "he said \"hi\"");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  Result<DataFrame> frame = ReadCsvFromString("a,b\n1\n");
+  EXPECT_FALSE(frame.ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ReadCsvFromString("").ok());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ReadCsvFromString("a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  Result<DataFrame> frame = ReadCsvFromString("a,b\r\n1,x\r\n");
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(frame->column("a").Value(0), 1.0);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  Result<DataFrame> frame = ReadCsvFromString("a;b\n1;2\n", options);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->num_columns(), 2u);
+}
+
+TEST(CsvTest, RoundTripPreservesData) {
+  Result<DataFrame> original = ReadCsvFromString(
+      "age,city\n30,amsterdam\n,\"a,b\"\n41,\n");
+  ASSERT_TRUE(original.ok());
+  std::string serialized = WriteCsvToString(*original);
+  Result<DataFrame> reparsed = ReadCsvFromString(serialized);
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->num_rows(), original->num_rows());
+  for (size_t row = 0; row < original->num_rows(); ++row) {
+    for (size_t col = 0; col < original->num_columns(); ++col) {
+      EXPECT_EQ(original->column(col).CellToString(row),
+                reparsed->column(col).CellToString(row));
+    }
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Result<DataFrame> frame = ReadCsvFromString("a,b\n1,x\n2,y\n");
+  ASSERT_TRUE(frame.ok());
+  std::string path = testing::TempDir() + "/fairclean_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(*frame, path).ok());
+  Result<DataFrame> loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace fairclean

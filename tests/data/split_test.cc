@@ -1,0 +1,85 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fairclean {
+namespace {
+
+TEST(SplitTest, TrainTestPartition) {
+  Rng rng(1);
+  TrainTestIndices split = SplitTrainTest(100, 0.25, &rng);
+  EXPECT_EQ(split.test.size(), 25u);
+  EXPECT_EQ(split.train.size(), 75u);
+  std::set<size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitTest, AtLeastOneRowEachSide) {
+  Rng rng(2);
+  TrainTestIndices split = SplitTrainTest(2, 0.01, &rng);
+  EXPECT_EQ(split.test.size(), 1u);
+  EXPECT_EQ(split.train.size(), 1u);
+  Rng rng2(3);
+  TrainTestIndices split2 = SplitTrainTest(2, 0.99, &rng2);
+  EXPECT_EQ(split2.test.size(), 1u);
+  EXPECT_EQ(split2.train.size(), 1u);
+}
+
+TEST(SplitTest, DeterministicGivenSeed) {
+  Rng a(7);
+  Rng b(7);
+  TrainTestIndices sa = SplitTrainTest(50, 0.2, &a);
+  TrainTestIndices sb = SplitTrainTest(50, 0.2, &b);
+  EXPECT_EQ(sa.train, sb.train);
+  EXPECT_EQ(sa.test, sb.test);
+}
+
+TEST(KFoldTest, FoldsPartitionData) {
+  Rng rng(11);
+  std::vector<TrainTestIndices> folds = KFoldIndices(23, 5, &rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<size_t> test_union;
+  size_t total_test = 0;
+  for (const TrainTestIndices& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), 23u);
+    total_test += fold.test.size();
+    test_union.insert(fold.test.begin(), fold.test.end());
+    // Train and test within a fold are disjoint.
+    std::set<size_t> train_set(fold.train.begin(), fold.train.end());
+    for (size_t index : fold.test) {
+      EXPECT_EQ(train_set.count(index), 0u);
+    }
+  }
+  EXPECT_EQ(total_test, 23u);
+  EXPECT_EQ(test_union.size(), 23u);
+}
+
+TEST(KFoldTest, FoldSizesDifferByAtMostOne) {
+  Rng rng(13);
+  std::vector<TrainTestIndices> folds = KFoldIndices(10, 3, &rng);
+  size_t min_size = 10;
+  size_t max_size = 0;
+  for (const TrainTestIndices& fold : folds) {
+    min_size = std::min(min_size, fold.test.size());
+    max_size = std::max(max_size, fold.test.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(KFoldTest, ExactDivision) {
+  Rng rng(17);
+  std::vector<TrainTestIndices> folds = KFoldIndices(20, 4, &rng);
+  for (const TrainTestIndices& fold : folds) {
+    EXPECT_EQ(fold.test.size(), 5u);
+    EXPECT_EQ(fold.train.size(), 15u);
+  }
+}
+
+}  // namespace
+}  // namespace fairclean

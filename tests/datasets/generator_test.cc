@@ -1,0 +1,178 @@
+#include "datasets/generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ml/encoder.h"
+
+namespace fairclean {
+namespace {
+
+class GeneratorTest : public testing::TestWithParam<std::string> {
+ protected:
+  GeneratedDataset Generate(size_t rows = 3000, uint64_t seed = 1) {
+    Rng rng(seed);
+    Result<GeneratedDataset> dataset = MakeDataset(GetParam(), rows, &rng);
+    EXPECT_TRUE(dataset.ok()) << dataset.status().ToString();
+    return std::move(dataset).ValueOrDie();
+  }
+};
+
+TEST_P(GeneratorTest, ProducesRequestedRowCount) {
+  GeneratedDataset dataset = Generate(1234);
+  EXPECT_EQ(dataset.frame.num_rows(), 1234u);
+  EXPECT_EQ(dataset.spec.name, GetParam());
+}
+
+TEST_P(GeneratorTest, ZeroRowsUsesDefaultSize) {
+  Rng rng(2);
+  Result<GeneratedDataset> dataset = MakeDataset(GetParam(), 0, &rng);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->frame.num_rows(), DefaultRowCount(GetParam()));
+}
+
+TEST_P(GeneratorTest, DeterministicGivenSeed) {
+  GeneratedDataset a = Generate(500, 7);
+  GeneratedDataset b = Generate(500, 7);
+  for (size_t c = 0; c < a.frame.num_columns(); ++c) {
+    for (size_t r = 0; r < a.frame.num_rows(); ++r) {
+      EXPECT_EQ(a.frame.column(c).CellToString(r),
+                b.frame.column(c).CellToString(r))
+          << a.frame.column(c).name();
+    }
+  }
+}
+
+TEST_P(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratedDataset a = Generate(500, 7);
+  GeneratedDataset b = Generate(500, 8);
+  bool any_difference = false;
+  for (size_t c = 0; c < a.frame.num_columns() && !any_difference; ++c) {
+    for (size_t r = 0; r < a.frame.num_rows(); ++r) {
+      if (a.frame.column(c).CellToString(r) !=
+          b.frame.column(c).CellToString(r)) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_P(GeneratorTest, LabelIsBinaryAndNonDegenerate) {
+  GeneratedDataset dataset = Generate();
+  Result<std::vector<int>> labels =
+      ExtractBinaryLabels(dataset.frame, dataset.spec.label);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  double positive = 0.0;
+  for (int y : *labels) positive += y;
+  double rate = positive / static_cast<double>(labels->size());
+  EXPECT_GT(rate, 0.05);
+  EXPECT_LT(rate, 0.95);
+}
+
+TEST_P(GeneratorTest, SensitiveAttributesResolve) {
+  GeneratedDataset dataset = Generate();
+  ASSERT_FALSE(dataset.spec.sensitive_attributes.empty());
+  for (const SensitiveAttribute& attribute :
+       dataset.spec.sensitive_attributes) {
+    Result<std::vector<bool>> membership =
+        attribute.privileged.Evaluate(dataset.frame);
+    ASSERT_TRUE(membership.ok()) << attribute.name;
+    size_t privileged = static_cast<size_t>(
+        std::count(membership->begin(), membership->end(), true));
+    // Both groups are non-empty.
+    EXPECT_GT(privileged, 0u);
+    EXPECT_LT(privileged, dataset.frame.num_rows());
+  }
+}
+
+TEST_P(GeneratorTest, FeatureColumnsExcludeLabelAndDropVariables) {
+  GeneratedDataset dataset = Generate();
+  std::vector<std::string> features =
+      dataset.spec.FeatureColumns(dataset.frame);
+  ASSERT_FALSE(features.empty());
+  std::set<std::string> feature_set(features.begin(), features.end());
+  EXPECT_EQ(feature_set.count(dataset.spec.label), 0u);
+  for (const std::string& dropped : dataset.spec.drop_variables) {
+    EXPECT_EQ(feature_set.count(dropped), 0u) << dropped;
+  }
+  for (const std::string& name : features) {
+    EXPECT_TRUE(dataset.frame.HasColumn(name));
+  }
+}
+
+TEST_P(GeneratorTest, SensitiveAttributesNeverMissing) {
+  GeneratedDataset dataset = Generate();
+  for (const SensitiveAttribute& attribute :
+       dataset.spec.sensitive_attributes) {
+    const Column& column = dataset.frame.column(attribute.privileged.attribute);
+    EXPECT_EQ(column.MissingCount(), 0u) << attribute.name;
+  }
+}
+
+TEST_P(GeneratorTest, MissingValuesMatchDeclaredErrorTypes) {
+  GeneratedDataset dataset = Generate(6000);
+  size_t missing_rows = dataset.frame.RowsWithMissing().size();
+  if (dataset.spec.HasErrorType("missing_values")) {
+    EXPECT_GT(missing_rows, 0u);
+  } else {
+    // credit and heart have no missing values at all (paper footnote 8).
+    EXPECT_EQ(missing_rows, 0u);
+  }
+}
+
+TEST_P(GeneratorTest, LabelsNeverMissing) {
+  GeneratedDataset dataset = Generate();
+  EXPECT_EQ(dataset.frame.column(dataset.spec.label).MissingCount(), 0u);
+}
+
+TEST_P(GeneratorTest, IntersectionalSpecHasTwoAttributes) {
+  GeneratedDataset dataset = Generate();
+  if (dataset.spec.intersectional) {
+    EXPECT_GE(dataset.spec.sensitive_attributes.size(), 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, GeneratorTest,
+                         testing::ValuesIn(AllDatasetNames()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(DatasetRegistryTest, UnknownNameFails) {
+  Rng rng(1);
+  EXPECT_FALSE(MakeDataset("mnist", 100, &rng).ok());
+}
+
+TEST(DatasetRegistryTest, TableOneOrder) {
+  std::vector<std::string> names = AllDatasetNames();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "adult");
+  EXPECT_EQ(names[1], "folk");
+  EXPECT_EQ(names[2], "credit");
+  EXPECT_EQ(names[3], "german");
+  EXPECT_EQ(names[4], "heart");
+}
+
+TEST(DatasetSpecTest, ErrorTypeLookup) {
+  Rng rng(1);
+  GeneratedDataset heart = MakeDataset("heart", 100, &rng).ValueOrDie();
+  EXPECT_TRUE(heart.spec.HasErrorType("outliers"));
+  EXPECT_TRUE(heart.spec.HasErrorType("mislabels"));
+  EXPECT_FALSE(heart.spec.HasErrorType("missing_values"));
+}
+
+TEST(DatasetSpecTest, SensitiveAttributeByName) {
+  Rng rng(1);
+  GeneratedDataset german = MakeDataset("german", 100, &rng).ValueOrDie();
+  Result<SensitiveAttribute> age = german.spec.SensitiveAttributeByName("age");
+  ASSERT_TRUE(age.ok());
+  EXPECT_EQ(age->privileged.Description(), "age > 25");
+  EXPECT_FALSE(german.spec.SensitiveAttributeByName("race").ok());
+}
+
+}  // namespace
+}  // namespace fairclean

@@ -1,0 +1,86 @@
+// Property-style sweep over all five detection strategies: shared
+// behavioural contract (valid mask dimensions, determinism, monotone
+// behaviour under obvious corruptions).
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datasets/generator.h"
+#include "detect/detector.h"
+
+namespace fairclean {
+namespace {
+
+class DetectorContractTest : public testing::TestWithParam<std::string> {
+ protected:
+  static const GeneratedDataset& Dataset() {
+    static const GeneratedDataset* dataset = [] {
+      Rng rng(55);
+      // german is small and has every error type.
+      return new GeneratedDataset(
+          MakeDataset("german", 800, &rng).ValueOrDie());
+    }();
+    return *dataset;
+  }
+
+  DetectionContext Context() {
+    DetectionContext context;
+    context.inspect_columns = Dataset().spec.FeatureColumns(Dataset().frame);
+    context.label_column = Dataset().spec.label;
+    return context;
+  }
+};
+
+TEST_P(DetectorContractTest, MaskMatchesFrameDimensions) {
+  std::unique_ptr<ErrorDetector> detector =
+      DetectorByName(GetParam()).ValueOrDie();
+  Rng rng(56);
+  Result<ErrorMask> mask =
+      detector->Detect(Dataset().frame, Context(), &rng);
+  ASSERT_TRUE(mask.ok()) << mask.status().ToString();
+  EXPECT_EQ(mask->num_rows(), Dataset().frame.num_rows());
+}
+
+TEST_P(DetectorContractTest, DeterministicGivenRng) {
+  std::unique_ptr<ErrorDetector> detector =
+      DetectorByName(GetParam()).ValueOrDie();
+  Rng rng_a(57);
+  Rng rng_b(57);
+  ErrorMask a =
+      detector->Detect(Dataset().frame, Context(), &rng_a).ValueOrDie();
+  ErrorMask b =
+      detector->Detect(Dataset().frame, Context(), &rng_b).ValueOrDie();
+  for (size_t row = 0; row < a.num_rows(); ++row) {
+    EXPECT_EQ(a.RowFlagged(row), b.RowFlagged(row));
+  }
+}
+
+TEST_P(DetectorContractTest, FlagCountWithinFrame) {
+  std::unique_ptr<ErrorDetector> detector =
+      DetectorByName(GetParam()).ValueOrDie();
+  Rng rng(58);
+  ErrorMask mask =
+      detector->Detect(Dataset().frame, Context(), &rng).ValueOrDie();
+  EXPECT_LE(mask.FlaggedRowCount(), mask.num_rows());
+}
+
+TEST_P(DetectorContractTest, NameRoundTripsThroughRegistry) {
+  std::unique_ptr<ErrorDetector> detector =
+      DetectorByName(GetParam()).ValueOrDie();
+  EXPECT_EQ(detector->name(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDetectors, DetectorContractTest,
+                         testing::ValuesIn(AllDetectorNames()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace fairclean

@@ -1,0 +1,130 @@
+#include "detect/mislabel_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace fairclean {
+namespace {
+
+// A cleanly separable two-blob problem with `n_flipped` labels flipped at
+// known positions — confident learning should recover most of the flips.
+struct NoisyProblem {
+  DataFrame frame;
+  std::vector<size_t> flipped_rows;
+};
+
+NoisyProblem MakeNoisyProblem(size_t n, size_t n_flipped, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x1(n), x2(n), label(n);
+  for (size_t i = 0; i < n; ++i) {
+    int y = rng.Bernoulli(0.5) ? 1 : 0;
+    double center = y == 1 ? 3.0 : -3.0;
+    x1[i] = rng.Normal(center, 1.0);
+    x2[i] = rng.Normal(0.0, 1.0);
+    label[i] = y;
+  }
+  NoisyProblem problem;
+  for (size_t i = 0; i < n_flipped; ++i) {
+    size_t row = i * (n / n_flipped);
+    label[row] = 1.0 - label[row];
+    problem.flipped_rows.push_back(row);
+  }
+  EXPECT_TRUE(problem.frame.AddColumn(Column::Numeric("x1", std::move(x1)))
+                  .ok());
+  EXPECT_TRUE(problem.frame.AddColumn(Column::Numeric("x2", std::move(x2)))
+                  .ok());
+  EXPECT_TRUE(
+      problem.frame.AddColumn(Column::Numeric("label", std::move(label)))
+          .ok());
+  return problem;
+}
+
+DetectionContext MakeContext() {
+  DetectionContext context;
+  context.inspect_columns = {"x1", "x2"};
+  context.label_column = "label";
+  return context;
+}
+
+TEST(MislabelDetectorTest, RecoversPlantedFlips) {
+  NoisyProblem problem = MakeNoisyProblem(500, 25, 1);
+  MislabelDetector detector;
+  Rng rng(2);
+  Result<ErrorMask> mask = detector.Detect(problem.frame, MakeContext(), &rng);
+  ASSERT_TRUE(mask.ok());
+  size_t recovered = 0;
+  for (size_t row : problem.flipped_rows) {
+    if (mask->RowFlagged(row)) ++recovered;
+  }
+  // At least 80% of planted flips found on this easy problem.
+  EXPECT_GE(recovered, 20u);
+}
+
+TEST(MislabelDetectorTest, FewFalsePositivesOnSeparableData) {
+  NoisyProblem problem = MakeNoisyProblem(500, 25, 3);
+  MislabelDetector detector;
+  Rng rng(4);
+  Result<ErrorMask> mask = detector.Detect(problem.frame, MakeContext(), &rng);
+  ASSERT_TRUE(mask.ok());
+  size_t flagged = mask->FlaggedRowCount();
+  // Total flags should be in the ballpark of the planted 25, not hundreds.
+  EXPECT_LE(flagged, 60u);
+  EXPECT_GE(flagged, 15u);
+}
+
+TEST(MislabelDetectorTest, CleanSeparableDataFlagsLittle) {
+  NoisyProblem problem = MakeNoisyProblem(400, 0, 5);
+  MislabelDetector detector;
+  Rng rng(6);
+  Result<ErrorMask> mask = detector.Detect(problem.frame, MakeContext(), &rng);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_LE(mask->FlaggedRowCount(), 12u);  // <= 3%
+}
+
+TEST(MislabelDetectorTest, FlagsAreRowLevel) {
+  NoisyProblem problem = MakeNoisyProblem(300, 10, 7);
+  MislabelDetector detector;
+  Rng rng(8);
+  Result<ErrorMask> mask = detector.Detect(problem.frame, MakeContext(), &rng);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(mask->FlaggedCellCount(), 0u);
+}
+
+TEST(MislabelDetectorTest, DeterministicGivenSeed) {
+  NoisyProblem problem = MakeNoisyProblem(300, 10, 9);
+  MislabelDetector detector;
+  Rng rng_a(10);
+  Rng rng_b(10);
+  Result<ErrorMask> a = detector.Detect(problem.frame, MakeContext(), &rng_a);
+  Result<ErrorMask> b = detector.Detect(problem.frame, MakeContext(), &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t row = 0; row < problem.frame.num_rows(); ++row) {
+    EXPECT_EQ(a->RowFlagged(row), b->RowFlagged(row));
+  }
+}
+
+TEST(MislabelDetectorTest, RequiresLabelAndRng) {
+  NoisyProblem problem = MakeNoisyProblem(100, 5, 11);
+  MislabelDetector detector;
+  DetectionContext no_label = MakeContext();
+  no_label.label_column.clear();
+  Rng rng(12);
+  EXPECT_FALSE(detector.Detect(problem.frame, no_label, &rng).ok());
+  EXPECT_FALSE(detector.Detect(problem.frame, MakeContext(), nullptr).ok());
+}
+
+TEST(MislabelDetectorTest, RejectsSingleClassLabels) {
+  DataFrame frame;
+  ASSERT_TRUE(
+      frame.AddColumn(Column::Numeric("x1", {1, 2, 3, 4, 5, 6})).ok());
+  ASSERT_TRUE(
+      frame.AddColumn(Column::Numeric("x2", {1, 2, 3, 4, 5, 6})).ok());
+  ASSERT_TRUE(
+      frame.AddColumn(Column::Numeric("label", {1, 1, 1, 1, 1, 1})).ok());
+  MislabelDetector detector;
+  Rng rng(13);
+  EXPECT_FALSE(detector.Detect(frame, MakeContext(), &rng).ok());
+}
+
+}  // namespace
+}  // namespace fairclean

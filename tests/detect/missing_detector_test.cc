@@ -1,0 +1,61 @@
+#include "detect/missing_detector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fairclean {
+namespace {
+
+DataFrame MakeFrame() {
+  DataFrame frame;
+  EXPECT_TRUE(
+      frame.AddColumn(Column::Numeric("num", {1.0, std::nan(""), 3.0})).ok());
+  EXPECT_TRUE(frame
+                  .AddColumn(Column::Categorical(
+                      "cat", {0, 1, Column::kMissingCode}, {"a", "b"}))
+                  .ok());
+  EXPECT_TRUE(frame.AddColumn(Column::Numeric("full", {1.0, 2.0, 3.0})).ok());
+  return frame;
+}
+
+TEST(MissingDetectorTest, FlagsExactlyMissingCells) {
+  DataFrame frame = MakeFrame();
+  MissingValueDetector detector;
+  DetectionContext context;
+  context.inspect_columns = {"num", "cat", "full"};
+  Result<ErrorMask> mask = detector.Detect(frame, context, nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_TRUE(mask->CellFlagged("num", 1));
+  EXPECT_TRUE(mask->CellFlagged("cat", 2));
+  EXPECT_FALSE(mask->CellFlagged("num", 0));
+  EXPECT_FALSE(mask->CellFlagged("full", 0));
+  EXPECT_EQ(mask->FlaggedCellCount(), 2u);
+  EXPECT_EQ(mask->FlaggedRowCount(), 2u);
+  EXPECT_FALSE(mask->RowFlagged(0));
+}
+
+TEST(MissingDetectorTest, RespectsInspectColumns) {
+  DataFrame frame = MakeFrame();
+  MissingValueDetector detector;
+  DetectionContext context;
+  context.inspect_columns = {"full"};
+  Result<ErrorMask> mask = detector.Detect(frame, context, nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(mask->FlaggedRowCount(), 0u);
+}
+
+TEST(MissingDetectorTest, UnknownColumnFails) {
+  DataFrame frame = MakeFrame();
+  MissingValueDetector detector;
+  DetectionContext context;
+  context.inspect_columns = {"ghost"};
+  EXPECT_FALSE(detector.Detect(frame, context, nullptr).ok());
+}
+
+TEST(MissingDetectorTest, Name) {
+  EXPECT_EQ(MissingValueDetector().name(), "missing_values");
+}
+
+}  // namespace
+}  // namespace fairclean

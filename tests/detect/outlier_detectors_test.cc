@@ -1,0 +1,152 @@
+#include "detect/outlier_detectors.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "detect/detector.h"
+
+namespace fairclean {
+namespace {
+
+// 100 well-behaved values plus one enormous spike at row 100.
+DataFrame MakeSpikedFrame() {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(10.0 + 0.1 * (i % 10));
+  }
+  values.push_back(1e6);
+  DataFrame frame;
+  EXPECT_TRUE(frame.AddColumn(Column::Numeric("x", std::move(values))).ok());
+  std::vector<int32_t> codes(101, 0);
+  EXPECT_TRUE(
+      frame.AddColumn(Column::Categorical("c", std::move(codes), {"a"})).ok());
+  return frame;
+}
+
+DetectionContext MakeContext() {
+  DetectionContext context;
+  context.inspect_columns = {"x", "c"};
+  return context;
+}
+
+TEST(SdOutlierDetectorTest, FlagsTheSpike) {
+  DataFrame frame = MakeSpikedFrame();
+  SdOutlierDetector detector(3.0);
+  Result<ErrorMask> mask = detector.Detect(frame, MakeContext(), nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_TRUE(mask->CellFlagged("x", 100));
+  EXPECT_EQ(mask->FlaggedRowCount(), 1u);
+}
+
+TEST(SdOutlierDetectorTest, NoFlagsOnTightData) {
+  DataFrame frame;
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) values.push_back(5.0 + 0.01 * (i % 5));
+  ASSERT_TRUE(frame.AddColumn(Column::Numeric("x", std::move(values))).ok());
+  SdOutlierDetector detector(3.0);
+  DetectionContext context;
+  context.inspect_columns = {"x"};
+  Result<ErrorMask> mask = detector.Detect(frame, context, nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(mask->FlaggedRowCount(), 0u);
+}
+
+TEST(SdOutlierDetectorTest, SkipsMissingValues) {
+  DataFrame frame;
+  std::vector<double> values = {1.0, 1.1, 0.9, 1.0, std::nan(""), 1.05,
+                                0.95, 1.0, 1.1, 0.9};
+  ASSERT_TRUE(frame.AddColumn(Column::Numeric("x", std::move(values))).ok());
+  SdOutlierDetector detector(3.0);
+  DetectionContext context;
+  context.inspect_columns = {"x"};
+  Result<ErrorMask> mask = detector.Detect(frame, context, nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_FALSE(mask->CellFlagged("x", 4));
+}
+
+TEST(IqrOutlierDetectorTest, FlagsOutsideWhiskers) {
+  // Values 1..100 plus 1000: p25=25.75, p75=75.25, iqr=49.5,
+  // bounds [-48.5, 149.5] -> only 1000 flagged.
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(i);
+  values.push_back(1000.0);
+  DataFrame frame;
+  ASSERT_TRUE(frame.AddColumn(Column::Numeric("x", std::move(values))).ok());
+  IqrOutlierDetector detector(1.5);
+  DetectionContext context;
+  context.inspect_columns = {"x"};
+  Result<ErrorMask> mask = detector.Detect(frame, context, nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_TRUE(mask->CellFlagged("x", 100));
+  EXPECT_EQ(mask->FlaggedRowCount(), 1u);
+}
+
+TEST(IqrOutlierDetectorTest, ZeroIqrFlagsEverythingOffMedianBand) {
+  // Binary-ish column where >75% of values are 0: iqr = 0, so every 1 is
+  // outside [0, 0] — the paper's over-flagging pathology of the IQR rule.
+  std::vector<double> values(90, 0.0);
+  for (int i = 0; i < 10; ++i) values.push_back(1.0);
+  DataFrame frame;
+  ASSERT_TRUE(frame.AddColumn(Column::Numeric("x", std::move(values))).ok());
+  IqrOutlierDetector detector(1.5);
+  DetectionContext context;
+  context.inspect_columns = {"x"};
+  Result<ErrorMask> mask = detector.Detect(frame, context, nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(mask->FlaggedRowCount(), 10u);
+}
+
+TEST(IqrFlagsSupersetOfLooseSd, IqrIsMoreAggressiveOnHeavyTails) {
+  // Lognormal-ish tail: IQR typically flags more than the 3-sd rule,
+  // matching the paper's Section VI observation.
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) values.push_back(rng.LogNormal(0.0, 1.0));
+  DataFrame frame;
+  ASSERT_TRUE(frame.AddColumn(Column::Numeric("x", std::move(values))).ok());
+  DetectionContext context;
+  context.inspect_columns = {"x"};
+  Result<ErrorMask> sd = SdOutlierDetector(3.0).Detect(frame, context, nullptr);
+  Result<ErrorMask> iqr =
+      IqrOutlierDetector(1.5).Detect(frame, context, nullptr);
+  ASSERT_TRUE(sd.ok());
+  ASSERT_TRUE(iqr.ok());
+  EXPECT_GT(iqr->FlaggedRowCount(), sd->FlaggedRowCount());
+}
+
+TEST(IsolationForestDetectorTest, FlagsRowsNotCells) {
+  DataFrame frame = MakeSpikedFrame();
+  IsolationForestOutlierDetector detector;
+  Rng rng(2);
+  Result<ErrorMask> mask = detector.Detect(frame, MakeContext(), &rng);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(mask->FlaggedCellCount(), 0u);
+  EXPECT_GE(mask->FlaggedRowCount(), 1u);
+  EXPECT_TRUE(mask->RowFlagged(100));  // the spike row is the clear anomaly
+}
+
+TEST(IsolationForestDetectorTest, RequiresRng) {
+  DataFrame frame = MakeSpikedFrame();
+  IsolationForestOutlierDetector detector;
+  EXPECT_FALSE(detector.Detect(frame, MakeContext(), nullptr).ok());
+}
+
+TEST(DetectorRegistryTest, ResolvesAllNames) {
+  for (const std::string& name : AllDetectorNames()) {
+    Result<std::unique_ptr<ErrorDetector>> detector = DetectorByName(name);
+    ASSERT_TRUE(detector.ok()) << name;
+    EXPECT_EQ((*detector)->name(), name);
+  }
+  EXPECT_FALSE(DetectorByName("nonsense").ok());
+}
+
+TEST(DetectorRegistryTest, FiveStrategiesInPaperOrder) {
+  std::vector<std::string> names = AllDetectorNames();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "missing_values");
+  EXPECT_EQ(names[4], "mislabels");
+}
+
+}  // namespace
+}  // namespace fairclean

@@ -1,0 +1,125 @@
+#include "fairness/group.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fairclean {
+namespace {
+
+DataFrame MakeFrame() {
+  DataFrame frame;
+  EXPECT_TRUE(frame
+                  .AddColumn(Column::Categorical(
+                      "sex", {0, 1, 0, 1, Column::kMissingCode},
+                      {"male", "female"}))
+                  .ok());
+  EXPECT_TRUE(frame
+                  .AddColumn(Column::Numeric(
+                      "age", {30.0, 20.0, 50.0, 40.0, 26.0}))
+                  .ok());
+  return frame;
+}
+
+TEST(GroupPredicateTest, CategoryEquality) {
+  DataFrame frame = MakeFrame();
+  GroupPredicate predicate = GroupPredicate::CategoryEq("sex", "male");
+  Result<std::vector<bool>> membership = predicate.Evaluate(frame);
+  ASSERT_TRUE(membership.ok());
+  EXPECT_EQ(*membership, (std::vector<bool>{true, false, true, false, false}));
+}
+
+TEST(GroupPredicateTest, MissingSensitiveValueIsNotPrivileged) {
+  DataFrame frame = MakeFrame();
+  GroupPredicate predicate = GroupPredicate::CategoryEq("sex", "male");
+  std::vector<bool> membership = predicate.Evaluate(frame).ValueOrDie();
+  EXPECT_FALSE(membership[4]);
+}
+
+TEST(GroupPredicateTest, NumericThreshold) {
+  DataFrame frame = MakeFrame();
+  GroupPredicate predicate = GroupPredicate::NumericGt("age", 25.0);
+  std::vector<bool> membership = predicate.Evaluate(frame).ValueOrDie();
+  EXPECT_EQ(membership, (std::vector<bool>{true, false, true, true, true}));
+}
+
+TEST(GroupPredicateTest, AllOperators) {
+  DataFrame frame = MakeFrame();
+  GroupPredicate predicate;
+  predicate.attribute = "age";
+  predicate.numeric_value = 30.0;
+
+  predicate.op = PredicateOp::kGe;
+  EXPECT_TRUE(predicate.Evaluate(frame).ValueOrDie()[0]);
+  predicate.op = PredicateOp::kLt;
+  EXPECT_FALSE(predicate.Evaluate(frame).ValueOrDie()[0]);
+  EXPECT_TRUE(predicate.Evaluate(frame).ValueOrDie()[1]);
+  predicate.op = PredicateOp::kLe;
+  EXPECT_TRUE(predicate.Evaluate(frame).ValueOrDie()[0]);
+  predicate.op = PredicateOp::kEq;
+  EXPECT_TRUE(predicate.Evaluate(frame).ValueOrDie()[0]);
+  EXPECT_FALSE(predicate.Evaluate(frame).ValueOrDie()[2]);
+}
+
+TEST(GroupPredicateTest, Errors) {
+  DataFrame frame = MakeFrame();
+  GroupPredicate missing_attr = GroupPredicate::CategoryEq("race", "white");
+  EXPECT_FALSE(missing_attr.Evaluate(frame).ok());
+  GroupPredicate bad_category = GroupPredicate::CategoryEq("sex", "other");
+  EXPECT_FALSE(bad_category.Evaluate(frame).ok());
+  GroupPredicate bad_op;
+  bad_op.attribute = "sex";
+  bad_op.op = PredicateOp::kGt;
+  bad_op.category = "male";
+  EXPECT_FALSE(bad_op.Evaluate(frame).ok());
+}
+
+TEST(GroupPredicateTest, Description) {
+  EXPECT_EQ(GroupPredicate::NumericGt("age", 25.0).Description(), "age > 25");
+  EXPECT_EQ(GroupPredicate::CategoryEq("sex", "male").Description(),
+            "sex = male");
+}
+
+TEST(SingleAttributeGroupsTest, FormsPartition) {
+  DataFrame frame = MakeFrame();
+  GroupAssignment assignment =
+      SingleAttributeGroups(frame, GroupPredicate::CategoryEq("sex", "male"))
+          .ValueOrDie();
+  for (size_t i = 0; i < frame.num_rows(); ++i) {
+    EXPECT_NE(assignment.privileged[i], assignment.disadvantaged[i]);
+  }
+  EXPECT_EQ(assignment.PrivilegedCount() + assignment.DisadvantagedCount(),
+            frame.num_rows());
+  EXPECT_EQ(assignment.PrivilegedCount(), 2u);
+}
+
+TEST(IntersectionalGroupsTest, ExcludesMixedRows) {
+  DataFrame frame = MakeFrame();
+  GroupAssignment assignment =
+      IntersectionalGroups(frame, GroupPredicate::CategoryEq("sex", "male"),
+                           GroupPredicate::NumericGt("age", 25.0))
+          .ValueOrDie();
+  // Row 0: male & age>25 -> privileged.
+  EXPECT_TRUE(assignment.privileged[0]);
+  // Row 1: female & age<=25 -> disadvantaged.
+  EXPECT_TRUE(assignment.disadvantaged[1]);
+  // Row 3: female & age>25 -> mixed, excluded from both.
+  EXPECT_FALSE(assignment.privileged[3]);
+  EXPECT_FALSE(assignment.disadvantaged[3]);
+  // Counts do not partition the frame.
+  EXPECT_LT(assignment.PrivilegedCount() + assignment.DisadvantagedCount(),
+            frame.num_rows());
+}
+
+TEST(IntersectionalGroupsTest, OrderOfPredicatesIrrelevantForMembership) {
+  DataFrame frame = MakeFrame();
+  GroupPredicate sex = GroupPredicate::CategoryEq("sex", "male");
+  GroupPredicate age = GroupPredicate::NumericGt("age", 25.0);
+  GroupAssignment ab = IntersectionalGroups(frame, sex, age).ValueOrDie();
+  GroupAssignment ba = IntersectionalGroups(frame, age, sex).ValueOrDie();
+  EXPECT_EQ(ab.privileged, ba.privileged);
+  EXPECT_EQ(ab.disadvantaged, ba.disadvantaged);
+}
+
+}  // namespace
+}  // namespace fairclean

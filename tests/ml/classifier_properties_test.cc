@@ -1,0 +1,117 @@
+// Property-style sweep over all three classifier families: every model must
+// satisfy the same behavioural contract (learn separable data, emit valid
+// probabilities, be deterministic given the rng, survive degenerate
+// labels). TEST_P keeps the properties in one place.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "ml/tuning.h"
+#include "tests/ml/test_data.h"
+
+namespace fairclean {
+namespace {
+
+class ClassifierContractTest : public testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<Classifier> MakeModel() {
+    TunedModelFamily family = ModelFamilyByName(GetParam()).ValueOrDie();
+    return family.make(family.param_grid[family.param_grid.size() / 2]);
+  }
+};
+
+TEST_P(ClassifierContractTest, LearnsWellSeparatedBlobs) {
+  test::BlobData train = test::MakeBlobs(400, 3, 5.0, 101);
+  test::BlobData test = test::MakeBlobs(200, 3, 5.0, 102);
+  std::unique_ptr<Classifier> model = MakeModel();
+  Rng rng(103);
+  ASSERT_TRUE(model->Fit(train.x, train.y, &rng).ok());
+  EXPECT_GT(AccuracyScore(test.y, model->Predict(test.x)), 0.9);
+}
+
+TEST_P(ClassifierContractTest, ProbabilitiesInUnitInterval) {
+  test::BlobData data = test::MakeBlobs(200, 2, 1.0, 104);
+  std::unique_ptr<Classifier> model = MakeModel();
+  Rng rng(105);
+  ASSERT_TRUE(model->Fit(data.x, data.y, &rng).ok());
+  for (double p : model->PredictProba(data.x)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST_P(ClassifierContractTest, PredictionsAreBinaryAndThresholded) {
+  test::BlobData data = test::MakeBlobs(150, 2, 2.0, 106);
+  std::unique_ptr<Classifier> model = MakeModel();
+  Rng rng(107);
+  ASSERT_TRUE(model->Fit(data.x, data.y, &rng).ok());
+  std::vector<double> proba = model->PredictProba(data.x);
+  std::vector<int> predictions = model->Predict(data.x);
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    EXPECT_TRUE(predictions[i] == 0 || predictions[i] == 1);
+    EXPECT_EQ(predictions[i], proba[i] >= 0.5 ? 1 : 0);
+  }
+}
+
+TEST_P(ClassifierContractTest, DeterministicGivenRngState) {
+  test::BlobData data = test::MakeBlobs(200, 2, 2.0, 108);
+  std::unique_ptr<Classifier> a = MakeModel();
+  std::unique_ptr<Classifier> b = MakeModel();
+  Rng rng_a(109);
+  Rng rng_b(109);
+  ASSERT_TRUE(a->Fit(data.x, data.y, &rng_a).ok());
+  ASSERT_TRUE(b->Fit(data.x, data.y, &rng_b).ok());
+  std::vector<double> pa = a->PredictProba(data.x);
+  std::vector<double> pb = b->PredictProba(data.x);
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST_P(ClassifierContractTest, RejectsMismatchedLabels) {
+  test::BlobData data = test::MakeBlobs(50, 2, 2.0, 110);
+  std::unique_ptr<Classifier> model = MakeModel();
+  Rng rng(111);
+  std::vector<int> short_labels(10, 1);
+  EXPECT_FALSE(model->Fit(data.x, short_labels, &rng).ok());
+}
+
+TEST_P(ClassifierContractTest, CloneProducesIndependentTrainableModel) {
+  test::BlobData data = test::MakeBlobs(120, 2, 3.0, 112);
+  std::unique_ptr<Classifier> model = MakeModel();
+  std::unique_ptr<Classifier> clone = model->Clone();
+  EXPECT_EQ(clone->name(), GetParam());
+  Rng rng(113);
+  ASSERT_TRUE(clone->Fit(data.x, data.y, &rng).ok());
+  EXPECT_GT(AccuracyScore(data.y, clone->Predict(data.x)), 0.8);
+}
+
+TEST_P(ClassifierContractTest, HandlesConstantFeatures) {
+  Matrix x(60, 3);  // all zeros
+  std::vector<int> y(60);
+  for (size_t i = 0; i < 60; ++i) y[i] = i % 2;
+  std::unique_ptr<Classifier> model = MakeModel();
+  Rng rng(114);
+  ASSERT_TRUE(model->Fit(x, y, &rng).ok());
+  // No information: predictions must still be valid.
+  for (double p : model->PredictProba(x)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ClassifierContractTest,
+                         testing::ValuesIn(AllModelNames()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace fairclean

@@ -1,0 +1,93 @@
+#include "ml/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "tests/ml/test_data.h"
+
+namespace fairclean {
+namespace {
+
+TEST(KnnTest, NearestNeighborMemorizesTrainingSet) {
+  test::BlobData data = test::MakeBlobs(100, 2, 3.0, 1);
+  KnnOptions options;
+  options.k = 1;
+  KnnClassifier model(options);
+  Rng rng(2);
+  ASSERT_TRUE(model.Fit(data.x, data.y, &rng).ok());
+  EXPECT_DOUBLE_EQ(AccuracyScore(data.y, model.Predict(data.x)), 1.0);
+}
+
+TEST(KnnTest, LearnsSeparableBlobs) {
+  test::BlobData train = test::MakeBlobs(300, 3, 4.0, 3);
+  test::BlobData test = test::MakeBlobs(100, 3, 4.0, 4);
+  KnnClassifier model;
+  Rng rng(5);
+  ASSERT_TRUE(model.Fit(train.x, train.y, &rng).ok());
+  EXPECT_GT(AccuracyScore(test.y, model.Predict(test.x)), 0.85);
+}
+
+TEST(KnnTest, ProbaIsNeighborFraction) {
+  // 4 points: 3 positive near origin, 1 negative far away; k=3 query at
+  // origin must see probability 1.0.
+  Matrix x(4, 1);
+  x(0, 0) = 0.0;
+  x(1, 0) = 0.1;
+  x(2, 0) = -0.1;
+  x(3, 0) = 10.0;
+  std::vector<int> y = {1, 1, 1, 0};
+  KnnOptions options;
+  options.k = 3;
+  KnnClassifier model(options);
+  Rng rng(6);
+  ASSERT_TRUE(model.Fit(x, y, &rng).ok());
+  Matrix query(1, 1);
+  query(0, 0) = 0.0;
+  std::vector<double> proba = model.PredictProba(query);
+  EXPECT_DOUBLE_EQ(proba[0], 1.0);
+
+  KnnOptions k4;
+  k4.k = 4;
+  KnnClassifier model4(k4);
+  ASSERT_TRUE(model4.Fit(x, y, &rng).ok());
+  EXPECT_DOUBLE_EQ(model4.PredictProba(query)[0], 0.75);
+}
+
+TEST(KnnTest, KLargerThanTrainingSetIsCapped) {
+  Matrix x(2, 1);
+  x(0, 0) = 0.0;
+  x(1, 0) = 1.0;
+  std::vector<int> y = {1, 0};
+  KnnOptions options;
+  options.k = 100;
+  KnnClassifier model(options);
+  Rng rng(7);
+  ASSERT_TRUE(model.Fit(x, y, &rng).ok());
+  Matrix query(1, 1);
+  query(0, 0) = 0.5;
+  EXPECT_DOUBLE_EQ(model.PredictProba(query)[0], 0.5);
+}
+
+TEST(KnnTest, RejectsBadInput) {
+  Matrix x(2, 1);
+  KnnClassifier model;
+  Rng rng(8);
+  EXPECT_FALSE(model.Fit(x, {1}, &rng).ok());
+  Matrix empty(0, 1);
+  EXPECT_FALSE(model.Fit(empty, {}, &rng).ok());
+  KnnOptions bad;
+  bad.k = 0;
+  KnnClassifier bad_model(bad);
+  EXPECT_FALSE(bad_model.Fit(x, {0, 1}, &rng).ok());
+}
+
+TEST(KnnTest, CloneHasSameHyperparameters) {
+  KnnOptions options;
+  options.k = 7;
+  KnnClassifier model(options);
+  std::unique_ptr<Classifier> clone = model.Clone();
+  EXPECT_EQ(clone->name(), "knn");
+}
+
+}  // namespace
+}  // namespace fairclean

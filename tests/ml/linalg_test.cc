@@ -1,0 +1,70 @@
+#include "ml/linalg.h"
+
+#include <gtest/gtest.h>
+
+namespace fairclean {
+namespace {
+
+TEST(CholeskyTest, SolvesIdentity) {
+  std::vector<double> a = {1, 0, 0, 1};
+  std::vector<double> b = {3, -4};
+  Result<std::vector<double>> x = SolveCholesky(a, b, 2);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], -4.0, 1e-12);
+}
+
+TEST(CholeskyTest, SolvesKnownSystem) {
+  // A = [[4, 2], [2, 3]], b = [10, 8] -> x = [1.75, 1.5].
+  std::vector<double> a = {4, 2, 2, 3};
+  std::vector<double> b = {10, 8};
+  Result<std::vector<double>> x = SolveCholesky(a, b, 2);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.75, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.5, 1e-12);
+}
+
+TEST(CholeskyTest, Solves3x3) {
+  // A = [[6,2,1],[2,5,2],[1,2,4]]: SPD. Verify A*x == b.
+  std::vector<double> a = {6, 2, 1, 2, 5, 2, 1, 2, 4};
+  std::vector<double> b = {1, 2, 3};
+  Result<std::vector<double>> x = SolveCholesky(a, b, 3);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < 3; ++j) acc += a[i * 3 + j] * (*x)[j];
+    EXPECT_NEAR(acc, b[i], 1e-10);
+  }
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  std::vector<double> a = {1, 2, 2, 1};  // eigenvalues 3, -1
+  std::vector<double> b = {1, 1};
+  EXPECT_FALSE(SolveCholesky(a, b, 2).ok());
+}
+
+TEST(CholeskyTest, RejectsSingular) {
+  std::vector<double> a = {1, 1, 1, 1};
+  std::vector<double> b = {1, 1};
+  EXPECT_FALSE(SolveCholesky(a, b, 2).ok());
+}
+
+TEST(CholeskyJitterTest, RecoversSingularWithJitter) {
+  std::vector<double> a = {1, 1, 1, 1};
+  std::vector<double> b = {2, 2};
+  Result<std::vector<double>> x = SolveCholeskyWithJitter(a, b, 2);
+  ASSERT_TRUE(x.ok());
+  // Jittered solution approximately solves the system.
+  EXPECT_NEAR((*x)[0] + (*x)[1], 2.0, 1e-4);
+}
+
+TEST(CholeskyJitterTest, PassthroughWhenAlreadySpd) {
+  std::vector<double> a = {4, 2, 2, 3};
+  std::vector<double> b = {10, 8};
+  Result<std::vector<double>> x = SolveCholeskyWithJitter(a, b, 2);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace fairclean

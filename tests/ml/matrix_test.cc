@@ -1,0 +1,60 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace fairclean {
+namespace {
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, ReadWrite) {
+  Matrix m(2, 2);
+  m(0, 1) = 5.0;
+  m(1, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), -2.0);
+}
+
+TEST(MatrixTest, RowIsContiguous) {
+  Matrix m(2, 3);
+  m(1, 0) = 1.0;
+  m(1, 1) = 2.0;
+  m(1, 2) = 3.0;
+  const double* row = m.Row(1);
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+  EXPECT_DOUBLE_EQ(row[2], 3.0);
+}
+
+TEST(MatrixTest, MutableRowWritesThrough) {
+  Matrix m(1, 2);
+  m.MutableRow(0)[1] = 9.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 9.0);
+}
+
+TEST(MatrixTest, TakeRowsSelectsAndRepeats) {
+  Matrix m(3, 2);
+  for (size_t r = 0; r < 3; ++r) m(r, 0) = static_cast<double>(r);
+  Matrix taken = m.TakeRows({2, 0, 2});
+  ASSERT_EQ(taken.rows(), 3u);
+  EXPECT_DOUBLE_EQ(taken(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(taken(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(taken(2, 0), 2.0);
+}
+
+TEST(MatrixTest, EmptyMatrix) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+}  // namespace
+}  // namespace fairclean

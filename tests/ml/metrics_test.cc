@@ -1,0 +1,83 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace fairclean {
+namespace {
+
+TEST(ConfusionMatrixTest, TalliesCorrectly) {
+  std::vector<int> y_true = {1, 1, 0, 0, 1, 0};
+  std::vector<int> y_pred = {1, 0, 1, 0, 1, 0};
+  Result<ConfusionMatrix> cm = ConfusionMatrix::From(y_true, y_pred);
+  ASSERT_TRUE(cm.ok());
+  EXPECT_EQ(cm->tp, 2);
+  EXPECT_EQ(cm->fn, 1);
+  EXPECT_EQ(cm->fp, 1);
+  EXPECT_EQ(cm->tn, 2);
+  EXPECT_EQ(cm->total(), 6);
+}
+
+TEST(ConfusionMatrixTest, RejectsMismatchedSizes) {
+  EXPECT_FALSE(ConfusionMatrix::From({1}, {1, 0}).ok());
+}
+
+TEST(ConfusionMatrixTest, RejectsNonBinary) {
+  EXPECT_FALSE(ConfusionMatrix::From({2}, {1}).ok());
+  EXPECT_FALSE(ConfusionMatrix::From({1}, {-1}).ok());
+}
+
+TEST(ConfusionMatrixTest, DerivedMetrics) {
+  ConfusionMatrix cm;
+  cm.tp = 6;
+  cm.fp = 2;
+  cm.fn = 3;
+  cm.tn = 9;
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 15.0 / 20.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 6.0 / 8.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 6.0 / 9.0);
+  EXPECT_DOUBLE_EQ(cm.PositiveRate(), 8.0 / 20.0);
+  double p = 0.75;
+  double r = 6.0 / 9.0;
+  EXPECT_DOUBLE_EQ(cm.F1(), 2.0 * p * r / (p + r));
+}
+
+TEST(ConfusionMatrixTest, UndefinedPrecisionAndRecall) {
+  ConfusionMatrix cm;  // all zeros
+  EXPECT_DOUBLE_EQ(cm.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(cm.Recall(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.F1(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, AdditionAggregates) {
+  ConfusionMatrix a;
+  a.tp = 1;
+  a.fn = 2;
+  ConfusionMatrix b;
+  b.tp = 3;
+  b.tn = 4;
+  ConfusionMatrix sum = a + b;
+  EXPECT_EQ(sum.tp, 4);
+  EXPECT_EQ(sum.fn, 2);
+  EXPECT_EQ(sum.tn, 4);
+}
+
+TEST(AccuracyScoreTest, Basic) {
+  EXPECT_DOUBLE_EQ(AccuracyScore({1, 0, 1, 0}, {1, 0, 0, 0}), 0.75);
+  EXPECT_DOUBLE_EQ(AccuracyScore({}, {}), 0.0);
+}
+
+TEST(F1ScoreTest, MatchesConfusionMatrix) {
+  std::vector<int> y_true = {1, 1, 0, 1, 0};
+  std::vector<int> y_pred = {1, 0, 1, 1, 0};
+  ConfusionMatrix cm = ConfusionMatrix::From(y_true, y_pred).ValueOrDie();
+  EXPECT_DOUBLE_EQ(F1Score(y_true, y_pred), cm.F1());
+}
+
+TEST(F1ScoreTest, PerfectPrediction) {
+  EXPECT_DOUBLE_EQ(F1Score({1, 0, 1}, {1, 0, 1}), 1.0);
+}
+
+}  // namespace
+}  // namespace fairclean

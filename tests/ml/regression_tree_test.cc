@@ -1,0 +1,137 @@
+#include "ml/regression_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fairclean {
+namespace {
+
+std::vector<size_t> AllIndices(size_t n) {
+  std::vector<size_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+TEST(RegressionTreeTest, DepthZeroIsSingleLeaf) {
+  Matrix x(4, 1);
+  std::vector<double> grad = {1.0, 1.0, -1.0, -1.0};
+  std::vector<double> hess = {1.0, 1.0, 1.0, 1.0};
+  RegressionTreeOptions options;
+  options.max_depth = 0;
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(x, grad, hess, AllIndices(4), options).ok());
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  // Leaf weight = -sum(g) / (sum(h) + lambda) = 0 / 5.
+  double row = 0.0;
+  EXPECT_DOUBLE_EQ(tree.PredictOne(&row), 0.0);
+}
+
+TEST(RegressionTreeTest, SplitsOnInformativeFeature) {
+  // Gradients perfectly separated by x < 0.5.
+  Matrix x(6, 2);
+  std::vector<double> grad(6);
+  std::vector<double> hess(6, 1.0);
+  for (size_t i = 0; i < 6; ++i) {
+    x(i, 0) = i < 3 ? 0.0 : 1.0;
+    x(i, 1) = static_cast<double>(i % 2);  // uninformative
+    grad[i] = i < 3 ? 2.0 : -2.0;
+  }
+  RegressionTreeOptions options;
+  options.max_depth = 1;
+  options.lambda = 0.0;
+  options.min_child_weight = 0.0;
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(x, grad, hess, AllIndices(6), options).ok());
+  EXPECT_EQ(tree.num_leaves(), 2u);
+  double left_row[2] = {0.0, 0.0};
+  double right_row[2] = {1.0, 0.0};
+  // Leaf weights: -G/H = -6/3 = -2 and +2.
+  EXPECT_DOUBLE_EQ(tree.PredictOne(left_row), -2.0);
+  EXPECT_DOUBLE_EQ(tree.PredictOne(right_row), 2.0);
+}
+
+TEST(RegressionTreeTest, ConstantFeaturesYieldLeaf) {
+  Matrix x(5, 2);  // all zeros
+  std::vector<double> grad = {1, -1, 1, -1, 1};
+  std::vector<double> hess(5, 1.0);
+  RegressionTreeOptions options;
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(x, grad, hess, AllIndices(5), options).ok());
+  EXPECT_EQ(tree.num_leaves(), 1u);
+}
+
+TEST(RegressionTreeTest, RespectsMaxDepth) {
+  Rng rng(1);
+  Matrix x(200, 3);
+  std::vector<double> grad(200);
+  std::vector<double> hess(200, 1.0);
+  for (size_t i = 0; i < 200; ++i) {
+    for (size_t d = 0; d < 3; ++d) x(i, d) = rng.Normal(0, 1);
+    grad[i] = rng.Normal(0, 1);
+  }
+  RegressionTreeOptions options;
+  options.max_depth = 2;
+  options.min_child_weight = 0.0;
+  options.lambda = 0.0;
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(x, grad, hess, AllIndices(200), options).ok());
+  EXPECT_LE(tree.num_leaves(), 4u);  // 2^depth
+}
+
+TEST(RegressionTreeTest, MinChildWeightBlocksSplit) {
+  Matrix x(4, 1);
+  for (size_t i = 0; i < 4; ++i) x(i, 0) = static_cast<double>(i);
+  std::vector<double> grad = {2, 2, -2, -2};
+  std::vector<double> hess(4, 1.0);
+  RegressionTreeOptions options;
+  options.max_depth = 3;
+  options.min_child_weight = 10.0;  // no child can reach hessian sum 10
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(x, grad, hess, AllIndices(4), options).ok());
+  EXPECT_EQ(tree.num_leaves(), 1u);
+}
+
+TEST(RegressionTreeTest, GammaBlocksLowGainSplits) {
+  Matrix x(4, 1);
+  for (size_t i = 0; i < 4; ++i) x(i, 0) = static_cast<double>(i);
+  std::vector<double> grad = {0.1, -0.1, 0.1, -0.1};
+  std::vector<double> hess(4, 1.0);
+  RegressionTreeOptions options;
+  options.max_depth = 3;
+  options.gamma = 100.0;
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(x, grad, hess, AllIndices(4), options).ok());
+  EXPECT_EQ(tree.num_leaves(), 1u);
+}
+
+TEST(RegressionTreeTest, FitsOnSubsetOnly) {
+  Matrix x(4, 1);
+  x(0, 0) = 0.0;
+  x(1, 0) = 1.0;
+  x(2, 0) = 0.0;
+  x(3, 0) = 1.0;
+  std::vector<double> grad = {5.0, -5.0, 100.0, -100.0};
+  std::vector<double> hess(4, 1.0);
+  RegressionTreeOptions options;
+  options.max_depth = 1;
+  options.lambda = 0.0;
+  options.min_child_weight = 0.0;
+  RegressionTree tree;
+  // Only rows 0 and 1 participate; large gradients of 2,3 are ignored.
+  ASSERT_TRUE(tree.Fit(x, grad, hess, {0, 1}, options).ok());
+  double left_row = 0.0;
+  EXPECT_DOUBLE_EQ(tree.PredictOne(&left_row), -5.0);
+}
+
+TEST(RegressionTreeTest, RejectsBadInput) {
+  Matrix x(2, 1);
+  RegressionTree tree;
+  RegressionTreeOptions options;
+  EXPECT_FALSE(tree.Fit(x, {1.0}, {1.0, 1.0}, {0}, options).ok());
+  EXPECT_FALSE(tree.Fit(x, {1.0, 1.0}, {1.0, 1.0}, {}, options).ok());
+}
+
+}  // namespace
+}  // namespace fairclean

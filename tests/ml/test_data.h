@@ -1,0 +1,40 @@
+#ifndef FAIRCLEAN_TESTS_ML_TEST_DATA_H_
+#define FAIRCLEAN_TESTS_ML_TEST_DATA_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "ml/matrix.h"
+
+namespace fairclean {
+namespace test {
+
+/// A linearly separable-ish binary problem: two Gaussian blobs in `dims`
+/// dimensions separated along the first axis.
+struct BlobData {
+  Matrix x;
+  std::vector<int> y;
+};
+
+inline BlobData MakeBlobs(size_t n, size_t dims, double separation,
+                          uint64_t seed) {
+  Rng rng(seed);
+  BlobData data;
+  data.x = Matrix(n, dims);
+  data.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    int label = rng.Bernoulli(0.5) ? 1 : 0;
+    data.y[i] = label;
+    double center = label == 1 ? separation / 2.0 : -separation / 2.0;
+    data.x(i, 0) = rng.Normal(center, 1.0);
+    for (size_t d = 1; d < dims; ++d) {
+      data.x(i, d) = rng.Normal(0.0, 1.0);
+    }
+  }
+  return data;
+}
+
+}  // namespace test
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_TESTS_ML_TEST_DATA_H_

@@ -1,0 +1,93 @@
+#include "ml/tuning.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "tests/ml/test_data.h"
+
+namespace fairclean {
+namespace {
+
+TEST(ModelFamilyTest, RegistryResolvesAllNames) {
+  for (const std::string& name : AllModelNames()) {
+    Result<TunedModelFamily> family = ModelFamilyByName(name);
+    ASSERT_TRUE(family.ok()) << name;
+    EXPECT_EQ(family->name, name);
+    EXPECT_FALSE(family->param_grid.empty());
+    std::unique_ptr<Classifier> model =
+        family->make(family->param_grid.front());
+    EXPECT_EQ(model->name(), name);
+  }
+  EXPECT_FALSE(ModelFamilyByName("svm").ok());
+}
+
+TEST(ModelFamilyTest, PaperOrder) {
+  std::vector<std::string> names = AllModelNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "log-reg");
+  EXPECT_EQ(names[1], "knn");
+  EXPECT_EQ(names[2], "xgboost");
+}
+
+TEST(TuneAndFitTest, TrainsAWorkingModel) {
+  test::BlobData data = test::MakeBlobs(300, 3, 4.0, 1);
+  Rng rng(2);
+  Result<TuneOutcome> outcome =
+      TuneAndFit(LogRegFamily(), data.x, data.y, 3, &rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->best_cv_accuracy, 0.85);
+  EXPECT_GT(AccuracyScore(data.y, outcome->model->Predict(data.x)), 0.85);
+}
+
+TEST(TuneAndFitTest, SelectsFromGrid) {
+  test::BlobData data = test::MakeBlobs(200, 2, 3.0, 3);
+  TunedModelFamily family = KnnFamily();
+  Rng rng(4);
+  Result<TuneOutcome> outcome = TuneAndFit(family, data.x, data.y, 3, &rng);
+  ASSERT_TRUE(outcome.ok());
+  bool in_grid = false;
+  for (double param : family.param_grid) {
+    if (param == outcome->best_param) in_grid = true;
+  }
+  EXPECT_TRUE(in_grid);
+}
+
+TEST(TuneAndFitTest, DeterministicGivenSeed) {
+  test::BlobData data = test::MakeBlobs(200, 2, 2.0, 5);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  Result<TuneOutcome> a = TuneAndFit(GbdtFamily(), data.x, data.y, 3, &rng_a);
+  Result<TuneOutcome> b = TuneAndFit(GbdtFamily(), data.x, data.y, 3, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->best_param, b->best_param);
+  EXPECT_DOUBLE_EQ(a->best_cv_accuracy, b->best_cv_accuracy);
+}
+
+TEST(TuneAndFitTest, RejectsBadInput) {
+  test::BlobData data = test::MakeBlobs(10, 2, 2.0, 8);
+  Rng rng(9);
+  TunedModelFamily empty_grid = LogRegFamily();
+  empty_grid.param_grid.clear();
+  EXPECT_FALSE(TuneAndFit(empty_grid, data.x, data.y, 3, &rng).ok());
+  EXPECT_FALSE(
+      TuneAndFit(LogRegFamily(), data.x, data.y, 100, &rng).ok());  // folds>n
+  std::vector<int> short_y = {0, 1};
+  EXPECT_FALSE(TuneAndFit(LogRegFamily(), data.x, short_y, 3, &rng).ok());
+}
+
+TEST(TuneAndFitTest, PicksRegularizationThatGeneralizes) {
+  // Tiny noisy training set: heavy regularization (small C) should win or
+  // at least be evaluable; mainly assert the search completes and returns a
+  // grid value with a sensible CV accuracy.
+  test::BlobData data = test::MakeBlobs(60, 5, 1.0, 10);
+  Rng rng(11);
+  Result<TuneOutcome> outcome =
+      TuneAndFit(LogRegFamily(), data.x, data.y, 3, &rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GE(outcome->best_cv_accuracy, 0.3);
+  EXPECT_LE(outcome->best_cv_accuracy, 1.0);
+}
+
+}  // namespace
+}  // namespace fairclean

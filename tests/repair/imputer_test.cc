@@ -1,0 +1,148 @@
+#include "repair/imputer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fairclean {
+namespace {
+
+DataFrame MakeFrameWithMissing() {
+  DataFrame frame;
+  EXPECT_TRUE(frame
+                  .AddColumn(Column::Numeric(
+                      "num", {1.0, std::nan(""), 3.0, 20.0, std::nan("")}))
+                  .ok());
+  EXPECT_TRUE(
+      frame
+          .AddColumn(Column::Categorical(
+              "cat", {0, 1, Column::kMissingCode, 0, Column::kMissingCode},
+              {"a", "b"}))
+          .ok());
+  return frame;
+}
+
+TEST(ImputerTest, MeanImputation) {
+  DataFrame frame = MakeFrameWithMissing();
+  MissingValueImputer imputer(NumericImpute::kMean, CategoricalImpute::kMode);
+  ASSERT_TRUE(imputer.Fit(frame, {"num", "cat"}).ok());
+  ASSERT_TRUE(imputer.Apply(&frame).ok());
+  EXPECT_DOUBLE_EQ(frame.column("num").Value(1), 8.0);  // mean of 1,3,20
+  EXPECT_EQ(frame.column("num").MissingCount(), 0u);
+}
+
+TEST(ImputerTest, MedianImputation) {
+  DataFrame frame = MakeFrameWithMissing();
+  MissingValueImputer imputer(NumericImpute::kMedian,
+                              CategoricalImpute::kMode);
+  ASSERT_TRUE(imputer.Fit(frame, {"num"}).ok());
+  ASSERT_TRUE(imputer.Apply(&frame).ok());
+  EXPECT_DOUBLE_EQ(frame.column("num").Value(1), 3.0);
+}
+
+TEST(ImputerTest, ModeImputationNumeric) {
+  DataFrame frame;
+  ASSERT_TRUE(frame
+                  .AddColumn(Column::Numeric(
+                      "num", {2.0, 2.0, 9.0, std::nan("")}))
+                  .ok());
+  MissingValueImputer imputer(NumericImpute::kMode, CategoricalImpute::kMode);
+  ASSERT_TRUE(imputer.Fit(frame, {"num"}).ok());
+  ASSERT_TRUE(imputer.Apply(&frame).ok());
+  EXPECT_DOUBLE_EQ(frame.column("num").Value(3), 2.0);
+}
+
+TEST(ImputerTest, CategoricalModeImputation) {
+  DataFrame frame = MakeFrameWithMissing();
+  MissingValueImputer imputer(NumericImpute::kMean, CategoricalImpute::kMode);
+  ASSERT_TRUE(imputer.Fit(frame, {"cat"}).ok());
+  ASSERT_TRUE(imputer.Apply(&frame).ok());
+  const Column& cat = frame.column("cat");
+  EXPECT_EQ(cat.MissingCount(), 0u);
+  EXPECT_EQ(cat.CategoryName(cat.Code(2)), "a");  // modal category
+  // Dictionary unchanged: no dummy introduced.
+  EXPECT_EQ(cat.dictionary().size(), 2u);
+}
+
+TEST(ImputerTest, DummyImputationAddsIndicatorCategory) {
+  DataFrame frame = MakeFrameWithMissing();
+  MissingValueImputer imputer(NumericImpute::kMean,
+                              CategoricalImpute::kDummy);
+  ASSERT_TRUE(imputer.Fit(frame, {"cat"}).ok());
+  ASSERT_TRUE(imputer.Apply(&frame).ok());
+  const Column& cat = frame.column("cat");
+  EXPECT_EQ(cat.MissingCount(), 0u);
+  EXPECT_EQ(cat.dictionary().size(), 3u);
+  EXPECT_EQ(cat.CategoryName(cat.Code(2)), kDummyCategory);
+  EXPECT_EQ(cat.CategoryName(cat.Code(4)), kDummyCategory);
+  // Non-missing cells untouched.
+  EXPECT_EQ(cat.CategoryName(cat.Code(0)), "a");
+}
+
+TEST(ImputerTest, TestSetUsesTrainStatistics) {
+  DataFrame train;
+  ASSERT_TRUE(
+      train.AddColumn(Column::Numeric("num", {10.0, 20.0, 30.0})).ok());
+  DataFrame test;
+  ASSERT_TRUE(
+      test.AddColumn(Column::Numeric("num", {std::nan(""), 100.0})).ok());
+  MissingValueImputer imputer(NumericImpute::kMean, CategoricalImpute::kMode);
+  ASSERT_TRUE(imputer.Fit(train, {"num"}).ok());
+  ASSERT_TRUE(imputer.Apply(&test).ok());
+  EXPECT_DOUBLE_EQ(test.column("num").Value(0), 20.0);  // train mean
+}
+
+TEST(ImputerTest, PropertyNoMissingCellsRemainAfterApply) {
+  for (NumericImpute numeric :
+       {NumericImpute::kMean, NumericImpute::kMedian, NumericImpute::kMode}) {
+    for (CategoricalImpute categorical :
+         {CategoricalImpute::kMode, CategoricalImpute::kDummy}) {
+      DataFrame frame = MakeFrameWithMissing();
+      MissingValueImputer imputer(numeric, categorical);
+      ASSERT_TRUE(imputer.Fit(frame, {"num", "cat"}).ok());
+      ASSERT_TRUE(imputer.Apply(&frame).ok());
+      EXPECT_EQ(frame.column("num").MissingCount(), 0u)
+          << imputer.MethodName();
+      EXPECT_EQ(frame.column("cat").MissingCount(), 0u)
+          << imputer.MethodName();
+    }
+  }
+}
+
+TEST(ImputerTest, MethodNamesMatchCleanMlConvention) {
+  EXPECT_EQ(MissingValueImputer(NumericImpute::kMean,
+                                CategoricalImpute::kDummy)
+                .MethodName(),
+            "impute_mean_dummy");
+  EXPECT_EQ(MissingValueImputer(NumericImpute::kMedian,
+                                CategoricalImpute::kMode)
+                .MethodName(),
+            "impute_median_mode");
+}
+
+TEST(ImputerTest, ApplyBeforeFitFails) {
+  DataFrame frame = MakeFrameWithMissing();
+  MissingValueImputer imputer(NumericImpute::kMean, CategoricalImpute::kMode);
+  EXPECT_FALSE(imputer.Apply(&frame).ok());
+}
+
+TEST(ImputerTest, UnknownColumnFails) {
+  DataFrame frame = MakeFrameWithMissing();
+  MissingValueImputer imputer(NumericImpute::kMean, CategoricalImpute::kMode);
+  EXPECT_FALSE(imputer.Fit(frame, {"ghost"}).ok());
+}
+
+TEST(ImputerTest, AllMissingColumnFallsBack) {
+  DataFrame frame;
+  ASSERT_TRUE(frame
+                  .AddColumn(Column::Numeric(
+                      "num", {std::nan(""), std::nan("")}))
+                  .ok());
+  MissingValueImputer imputer(NumericImpute::kMean, CategoricalImpute::kMode);
+  ASSERT_TRUE(imputer.Fit(frame, {"num"}).ok());
+  ASSERT_TRUE(imputer.Apply(&frame).ok());
+  EXPECT_DOUBLE_EQ(frame.column("num").Value(0), 0.0);
+}
+
+}  // namespace
+}  // namespace fairclean

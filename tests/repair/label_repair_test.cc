@@ -1,0 +1,100 @@
+#include "repair/label_repair.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fairclean {
+namespace {
+
+TEST(LabelRepairTest, FlipsFlaggedNumericLabels) {
+  DataFrame frame;
+  ASSERT_TRUE(
+      frame.AddColumn(Column::Numeric("y", {0.0, 1.0, 0.0, 1.0})).ok());
+  ErrorMask mask(4);
+  mask.FlagRow(0);
+  mask.FlagRow(1);
+  Result<size_t> flipped = FlipFlaggedLabels(&frame, mask, "y");
+  ASSERT_TRUE(flipped.ok());
+  EXPECT_EQ(*flipped, 2u);
+  EXPECT_DOUBLE_EQ(frame.column("y").Value(0), 1.0);
+  EXPECT_DOUBLE_EQ(frame.column("y").Value(1), 0.0);
+  EXPECT_DOUBLE_EQ(frame.column("y").Value(2), 0.0);  // untouched
+}
+
+TEST(LabelRepairTest, FlipsCategoricalLabels) {
+  DataFrame frame;
+  ASSERT_TRUE(frame
+                  .AddColumn(Column::Categorical("y", {0, 1, 0},
+                                                 {"bad", "good"}))
+                  .ok());
+  ErrorMask mask(3);
+  mask.FlagRow(2);
+  Result<size_t> flipped = FlipFlaggedLabels(&frame, mask, "y");
+  ASSERT_TRUE(flipped.ok());
+  EXPECT_EQ(*flipped, 1u);
+  EXPECT_EQ(frame.column("y").Code(2), 1);
+  EXPECT_EQ(frame.column("y").Code(0), 0);
+}
+
+TEST(LabelRepairTest, NoFlagsNoFlips) {
+  DataFrame frame;
+  ASSERT_TRUE(frame.AddColumn(Column::Numeric("y", {0.0, 1.0})).ok());
+  ErrorMask mask(2);
+  Result<size_t> flipped = FlipFlaggedLabels(&frame, mask, "y");
+  ASSERT_TRUE(flipped.ok());
+  EXPECT_EQ(*flipped, 0u);
+}
+
+TEST(LabelRepairTest, DoubleFlipIsIdentity) {
+  DataFrame frame;
+  ASSERT_TRUE(frame.AddColumn(Column::Numeric("y", {0.0, 1.0, 1.0})).ok());
+  ErrorMask mask(3);
+  mask.FlagRow(0);
+  mask.FlagRow(2);
+  ASSERT_TRUE(FlipFlaggedLabels(&frame, mask, "y").ok());
+  ASSERT_TRUE(FlipFlaggedLabels(&frame, mask, "y").ok());
+  EXPECT_DOUBLE_EQ(frame.column("y").Value(0), 0.0);
+  EXPECT_DOUBLE_EQ(frame.column("y").Value(1), 1.0);
+  EXPECT_DOUBLE_EQ(frame.column("y").Value(2), 1.0);
+}
+
+TEST(LabelRepairTest, RejectsNonBinaryNumericLabel) {
+  DataFrame frame;
+  ASSERT_TRUE(frame.AddColumn(Column::Numeric("y", {0.0, 2.0})).ok());
+  ErrorMask mask(2);
+  mask.FlagRow(1);
+  EXPECT_FALSE(FlipFlaggedLabels(&frame, mask, "y").ok());
+}
+
+TEST(LabelRepairTest, RejectsMissingLabel) {
+  DataFrame frame;
+  ASSERT_TRUE(
+      frame.AddColumn(Column::Numeric("y", {0.0, std::nan("")})).ok());
+  ErrorMask mask(2);
+  mask.FlagRow(1);
+  EXPECT_FALSE(FlipFlaggedLabels(&frame, mask, "y").ok());
+}
+
+TEST(LabelRepairTest, RejectsThreeCategoryLabel) {
+  DataFrame frame;
+  ASSERT_TRUE(frame
+                  .AddColumn(Column::Categorical("y", {0, 1, 2},
+                                                 {"a", "b", "c"}))
+                  .ok());
+  ErrorMask mask(3);
+  mask.FlagRow(0);
+  EXPECT_FALSE(FlipFlaggedLabels(&frame, mask, "y").ok());
+}
+
+TEST(LabelRepairTest, RejectsBadColumnOrMask) {
+  DataFrame frame;
+  ASSERT_TRUE(frame.AddColumn(Column::Numeric("y", {0.0, 1.0})).ok());
+  ErrorMask mask(2);
+  EXPECT_FALSE(FlipFlaggedLabels(&frame, mask, "ghost").ok());
+  ErrorMask wrong_size(3);
+  EXPECT_FALSE(FlipFlaggedLabels(&frame, wrong_size, "y").ok());
+}
+
+}  // namespace
+}  // namespace fairclean

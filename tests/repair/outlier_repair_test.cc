@@ -1,0 +1,129 @@
+#include "repair/outlier_repair.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fairclean {
+namespace {
+
+DataFrame MakeFrame() {
+  DataFrame frame;
+  EXPECT_TRUE(frame
+                  .AddColumn(Column::Numeric(
+                      "x", {1.0, 2.0, 3.0, 1000.0, 2.0}))
+                  .ok());
+  EXPECT_TRUE(frame
+                  .AddColumn(Column::Categorical("c", {0, 0, 0, 0, 0}, {"a"}))
+                  .ok());
+  return frame;
+}
+
+ErrorMask MaskWithCell(const DataFrame& frame, const std::string& column,
+                       size_t row) {
+  ErrorMask mask(frame.num_rows());
+  mask.FlagCell(column, row);
+  return mask;
+}
+
+TEST(OutlierRepairTest, ReplacesFlaggedCellWithCleanMean) {
+  DataFrame frame = MakeFrame();
+  ErrorMask mask = MaskWithCell(frame, "x", 3);
+  OutlierRepairer repairer(NumericImpute::kMean);
+  ASSERT_TRUE(repairer.Fit(frame, mask, {"x", "c"}).ok());
+  ASSERT_TRUE(repairer.Apply(&frame, mask).ok());
+  // Mean over unflagged values {1, 2, 3, 2} = 2.
+  EXPECT_DOUBLE_EQ(frame.column("x").Value(3), 2.0);
+  // Unflagged cells untouched.
+  EXPECT_DOUBLE_EQ(frame.column("x").Value(0), 1.0);
+}
+
+TEST(OutlierRepairTest, MedianAndModeVariants) {
+  {
+    DataFrame frame = MakeFrame();
+    ErrorMask mask = MaskWithCell(frame, "x", 3);
+    OutlierRepairer repairer(NumericImpute::kMedian);
+    ASSERT_TRUE(repairer.Fit(frame, mask, {"x"}).ok());
+    ASSERT_TRUE(repairer.Apply(&frame, mask).ok());
+    EXPECT_DOUBLE_EQ(frame.column("x").Value(3), 2.0);  // median of 1,2,3,2
+  }
+  {
+    DataFrame frame = MakeFrame();
+    ErrorMask mask = MaskWithCell(frame, "x", 3);
+    OutlierRepairer repairer(NumericImpute::kMode);
+    ASSERT_TRUE(repairer.Fit(frame, mask, {"x"}).ok());
+    ASSERT_TRUE(repairer.Apply(&frame, mask).ok());
+    EXPECT_DOUBLE_EQ(frame.column("x").Value(3), 2.0);  // mode of 1,2,3,2
+  }
+}
+
+TEST(OutlierRepairTest, ExcludesFlaggedCellsFromStatistic) {
+  DataFrame frame = MakeFrame();
+  ErrorMask mask = MaskWithCell(frame, "x", 3);
+  OutlierRepairer repairer(NumericImpute::kMean);
+  ASSERT_TRUE(repairer.Fit(frame, mask, {"x"}).ok());
+  ASSERT_TRUE(repairer.Apply(&frame, mask).ok());
+  // If the 1000 had contaminated the mean, the repair value would be 201.6.
+  EXPECT_LT(frame.column("x").Value(3), 10.0);
+}
+
+TEST(OutlierRepairTest, RowFlagsRepairAllNumericCells) {
+  DataFrame frame = MakeFrame();
+  ErrorMask mask(frame.num_rows());
+  mask.FlagRow(3);
+  OutlierRepairer repairer(NumericImpute::kMean);
+  ASSERT_TRUE(repairer.Fit(frame, mask, {"x", "c"}).ok());
+  ASSERT_TRUE(repairer.Apply(&frame, mask).ok());
+  EXPECT_DOUBLE_EQ(frame.column("x").Value(3), 2.0);
+  // Categorical column untouched by outlier repair.
+  EXPECT_EQ(frame.column("c").Code(3), 0);
+}
+
+TEST(OutlierRepairTest, ApplyWithTrainStatisticsOnTestFrame) {
+  DataFrame train = MakeFrame();
+  ErrorMask train_mask = MaskWithCell(train, "x", 3);
+  OutlierRepairer repairer(NumericImpute::kMean);
+  ASSERT_TRUE(repairer.Fit(train, train_mask, {"x"}).ok());
+
+  DataFrame test;
+  ASSERT_TRUE(test.AddColumn(Column::Numeric("x", {500.0, 1.0})).ok());
+  ErrorMask test_mask(2);
+  test_mask.FlagCell("x", 0);
+  ASSERT_TRUE(repairer.Apply(&test, test_mask).ok());
+  EXPECT_DOUBLE_EQ(test.column("x").Value(0), 2.0);  // train statistic
+}
+
+TEST(OutlierRepairTest, MissingCellsAreLeftAlone) {
+  DataFrame frame;
+  ASSERT_TRUE(frame
+                  .AddColumn(Column::Numeric("x", {1.0, std::nan(""), 2.0}))
+                  .ok());
+  ErrorMask mask(3);
+  mask.FlagRow(1);
+  OutlierRepairer repairer(NumericImpute::kMean);
+  ASSERT_TRUE(repairer.Fit(frame, mask, {"x"}).ok());
+  ASSERT_TRUE(repairer.Apply(&frame, mask).ok());
+  EXPECT_TRUE(frame.column("x").IsMissing(1));
+}
+
+TEST(OutlierRepairTest, MismatchedMaskFails) {
+  DataFrame frame = MakeFrame();
+  ErrorMask short_mask(2);
+  OutlierRepairer repairer(NumericImpute::kMean);
+  EXPECT_FALSE(repairer.Fit(frame, short_mask, {"x"}).ok());
+}
+
+TEST(OutlierRepairTest, ApplyBeforeFitFails) {
+  DataFrame frame = MakeFrame();
+  ErrorMask mask(frame.num_rows());
+  OutlierRepairer repairer(NumericImpute::kMean);
+  EXPECT_FALSE(repairer.Apply(&frame, mask).ok());
+}
+
+TEST(OutlierRepairTest, MethodName) {
+  EXPECT_EQ(OutlierRepairer(NumericImpute::kMedian).MethodName(),
+            "impute_median");
+}
+
+}  // namespace
+}  // namespace fairclean

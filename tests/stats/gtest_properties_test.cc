@@ -1,0 +1,95 @@
+// Property sweeps for the significance tests over randomized inputs.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stats/tests.h"
+
+namespace fairclean {
+namespace {
+
+class RandomTableTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomTableTest, GTestPValueInUnitIntervalAndSymmetric) {
+  Rng rng(GetParam());
+  ContingencyTable2x2 table;
+  table.a = rng.UniformInt(1, 500);
+  table.b = rng.UniformInt(1, 500);
+  table.c = rng.UniformInt(1, 500);
+  table.d = rng.UniformInt(1, 500);
+  Result<TestResult> result = GTest2x2(table);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->p_value, 0.0);
+  EXPECT_LE(result->p_value, 1.0);
+  EXPECT_GE(result->statistic, 0.0);
+
+  // Swapping the rows (privileged <-> disadvantaged) must not change the
+  // outcome of the independence test.
+  ContingencyTable2x2 swapped{table.c, table.d, table.a, table.b};
+  Result<TestResult> swapped_result = GTest2x2(swapped);
+  ASSERT_TRUE(swapped_result.ok());
+  EXPECT_NEAR(result->statistic, swapped_result->statistic, 1e-9);
+
+  // Swapping the columns (flagged <-> not flagged) must not either.
+  ContingencyTable2x2 cols{table.b, table.a, table.d, table.c};
+  Result<TestResult> cols_result = GTest2x2(cols);
+  ASSERT_TRUE(cols_result.ok());
+  EXPECT_NEAR(result->statistic, cols_result->statistic, 1e-9);
+}
+
+TEST_P(RandomTableTest, GTestAgreesWithPearsonOnLargeTables) {
+  Rng rng(GetParam() + 1000);
+  // Large counts with mild association: asymptotic agreement regime.
+  ContingencyTable2x2 table;
+  table.a = rng.UniformInt(800, 1200);
+  table.b = rng.UniformInt(800, 1200);
+  table.c = rng.UniformInt(800, 1200);
+  table.d = rng.UniformInt(800, 1200);
+  TestResult g = GTest2x2(table).ValueOrDie();
+  TestResult chi = ChiSquareTest2x2(table).ValueOrDie();
+  EXPECT_NEAR(g.statistic, chi.statistic,
+              0.02 * std::max(1.0, chi.statistic));
+}
+
+TEST_P(RandomTableTest, ProportionalTableIsIndependent) {
+  Rng rng(GetParam() + 2000);
+  // Rows proportional by construction -> G^2 ~ 0.
+  int64_t base_flagged = rng.UniformInt(10, 50);
+  int64_t base_clean = rng.UniformInt(10, 50);
+  int64_t k = rng.UniformInt(2, 9);
+  ContingencyTable2x2 table{base_flagged, base_clean, k * base_flagged,
+                            k * base_clean};
+  TestResult result = GTest2x2(table).ValueOrDie();
+  EXPECT_NEAR(result.statistic, 0.0, 1e-9);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-9);
+}
+
+TEST_P(RandomTableTest, PairedTTestSelfComparisonInsignificant) {
+  Rng rng(GetParam() + 3000);
+  std::vector<double> scores;
+  for (int i = 0; i < 20; ++i) scores.push_back(rng.Normal(0.8, 0.1));
+  TestResult result = PairedTTest(scores, scores).ValueOrDie();
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST_P(RandomTableTest, PairedTTestDetectsConsistentShift) {
+  Rng rng(GetParam() + 4000);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 30; ++i) {
+    double base = rng.Normal(0.7, 0.05);
+    x.push_back(base + 0.05 + rng.Normal(0.0, 0.005));
+    y.push_back(base);
+  }
+  TestResult result = PairedTTest(x, y).ValueOrDie();
+  EXPECT_LT(result.p_value, 0.001);
+  EXPECT_GT(result.statistic, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTableTest,
+                         testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace fairclean

@@ -1,0 +1,117 @@
+#include "stats/tests.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/distributions.h"
+
+namespace fairclean {
+namespace {
+
+TEST(GTest2x2Test, BalancedTableHasZeroStatistic) {
+  ContingencyTable2x2 table{10, 10, 10, 10};
+  Result<TestResult> result = GTest2x2(table);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->statistic, 0.0, 1e-12);
+  EXPECT_NEAR(result->p_value, 1.0, 1e-9);
+}
+
+TEST(GTest2x2Test, KnownValue) {
+  // [[20, 10], [10, 20]]: G^2 = 2 * (40*ln(4/3) + 20*ln(2/3)) = 6.79605...
+  ContingencyTable2x2 table{20, 10, 10, 20};
+  Result<TestResult> result = GTest2x2(table);
+  ASSERT_TRUE(result.ok());
+  double expected =
+      2.0 * (40.0 * std::log(4.0 / 3.0) + 20.0 * std::log(2.0 / 3.0));
+  EXPECT_NEAR(result->statistic, expected, 1e-9);
+  EXPECT_NEAR(result->p_value, ChiSquareSurvival(expected, 1.0), 1e-12);
+  EXPECT_TRUE(result->SignificantAt(0.05));
+}
+
+TEST(GTest2x2Test, ZeroCellContributesNothing) {
+  ContingencyTable2x2 table{0, 30, 10, 20};
+  Result<TestResult> result = GTest2x2(table);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->statistic, 0.0);
+  EXPECT_TRUE(std::isfinite(result->statistic));
+}
+
+TEST(GTest2x2Test, ZeroMarginFails) {
+  EXPECT_FALSE(GTest2x2({0, 0, 5, 5}).ok());   // empty first row
+  EXPECT_FALSE(GTest2x2({0, 10, 0, 10}).ok()); // nothing flagged
+}
+
+TEST(GTest2x2Test, NegativeCountFails) {
+  EXPECT_FALSE(GTest2x2({-1, 10, 5, 5}).ok());
+}
+
+TEST(GTest2x2Test, LargeDisparityIsHighlySignificant) {
+  ContingencyTable2x2 table{500, 500, 100, 900};
+  Result<TestResult> result = GTest2x2(table);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->p_value, 1e-10);
+}
+
+TEST(ChiSquare2x2Test, AgreesWithGTestAsymptotically) {
+  ContingencyTable2x2 table{200, 300, 250, 250};
+  Result<TestResult> g = GTest2x2(table);
+  Result<TestResult> chi = ChiSquareTest2x2(table);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(chi.ok());
+  // Both tests agree to ~1% on large, mildly unbalanced tables.
+  EXPECT_NEAR(g->statistic, chi->statistic, 0.05 * chi->statistic);
+}
+
+TEST(PairedTTestTest, KnownExample) {
+  // ttest_rel([1,2,3,4,5], [2,2,4,4,7]): t = -0.8/sqrt(0.14), df = 4.
+  // Closed form for df=4: p = 1 - (3/2)sqrt(y) + (1/2)y^(3/2) with
+  // y = df/(df + t^2) complement = 8/15, giving p = 0.09930068321372...
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 2, 4, 4, 7};
+  Result<TestResult> result = PairedTTest(x, y);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->statistic, -2.1380899352993950, 1e-9);
+  EXPECT_NEAR(result->p_value, 0.09930068321372681, 1e-9);
+}
+
+TEST(PairedTTestTest, IdenticalVectorsInsignificant) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  Result<TestResult> result = PairedTTest(x, x);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->p_value, 1.0);
+}
+
+TEST(PairedTTestTest, ConstantNonzeroDifference) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {2.0, 3.0, 4.0};
+  Result<TestResult> result = PairedTTest(x, y);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->p_value, 0.0);
+  EXPECT_TRUE(std::isinf(result->statistic));
+  EXPECT_LT(result->statistic, 0.0);
+}
+
+TEST(PairedTTestTest, RejectsBadInput) {
+  EXPECT_FALSE(PairedTTest({1.0}, {2.0}).ok());          // too few pairs
+  EXPECT_FALSE(PairedTTest({1.0, 2.0}, {1.0}).ok());     // size mismatch
+}
+
+TEST(PairedTTestTest, SymmetryOfSign) {
+  std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  std::vector<double> y = {2, 3, 3, 5, 5, 8};
+  Result<TestResult> xy = PairedTTest(x, y);
+  Result<TestResult> yx = PairedTTest(y, x);
+  ASSERT_TRUE(xy.ok());
+  ASSERT_TRUE(yx.ok());
+  EXPECT_NEAR(xy->statistic, -yx->statistic, 1e-12);
+  EXPECT_NEAR(xy->p_value, yx->p_value, 1e-12);
+}
+
+TEST(BonferroniTest, DividesAlpha) {
+  EXPECT_DOUBLE_EQ(BonferroniAlpha(0.05, 1), 0.05);
+  EXPECT_DOUBLE_EQ(BonferroniAlpha(0.05, 10), 0.005);
+}
+
+}  // namespace
+}  // namespace fairclean

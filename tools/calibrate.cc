@@ -1,0 +1,151 @@
+// Developer tool: per-configuration effect-size diagnostics.
+//
+// Runs one (dataset, error type, model) cleaning experiment and prints, for
+// every cleaning method, the mean dirty-vs-repaired delta and paired-t
+// statistic for accuracy and for each (group, metric) unfairness series.
+// Used to calibrate the synthetic generators so that the paper's
+// significant effects stay detectable at the scaled-down bench settings.
+//
+// Usage: calibrate <dataset> <error_type> [model] [repeats] [sample]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/strings.h"
+#include "core/runner.h"
+#include "datasets/generator.h"
+#include "stats/descriptive.h"
+#include "stats/tests.h"
+
+namespace {
+
+using namespace fairclean;  // NOLINT
+
+double PairedT(const std::vector<double>& repaired,
+               const std::vector<double>& dirty) {
+  Result<TestResult> test = PairedTTest(repaired, dirty);
+  return test.ok() ? test->statistic : 0.0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: calibrate <dataset> <error_type> [model] [repeats] "
+                 "[sample]\n");
+    return 2;
+  }
+  std::string dataset_name = argv[1];
+  std::string error_type = argv[2];
+  std::string model = argc > 3 ? argv[3] : "log-reg";
+  StudyOptions options;
+  options.num_repeats = argc > 4 ? static_cast<size_t>(atoi(argv[4])) : 14;
+  options.sample_size = argc > 5 ? static_cast<size_t>(atoi(argv[5])) : 2500;
+  options.test_fraction = 0.3;
+
+  Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + 1);
+  // Match the bench's dataset seeding closely enough for calibration.
+  Rng dataset_rng(options.seed + 1);
+  Result<GeneratedDataset> dataset =
+      MakeDataset(dataset_name, 0, &dataset_rng);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  Result<TunedModelFamily> family = ModelFamilyByName(model);
+  if (!family.ok()) {
+    std::fprintf(stderr, "%s\n", family.status().ToString().c_str());
+    return 1;
+  }
+  Result<CleaningExperimentResult> experiment =
+      RunCleaningExperiment(*dataset, error_type, *family, options);
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "%s\n", experiment.status().ToString().c_str());
+    return 1;
+  }
+
+  // Mean signed gap (priv - dis) from the recorded confusion matrices.
+  auto signed_gap = [&](const std::string& version, const std::string& group,
+                        FairnessMetric metric) {
+    double total = 0.0;
+    for (size_t r = 0; r < options.num_repeats; ++r) {
+      std::string prefix = StrFormat(
+          "%s/%s/%s/%s/r%zu", dataset_name.c_str(), error_type.c_str(),
+          version.c_str(), model.c_str(), r);
+      GroupConfusion confusion;
+      struct {
+        const char* side;
+        ConfusionMatrix* cm;
+      } sides[2] = {{"priv", &confusion.privileged},
+                    {"dis", &confusion.disadvantaged}};
+      for (auto& side : sides) {
+        std::string base = group + "_" + side.side;
+        side.cm->tn = static_cast<int64_t>(
+            *experiment->records.Get(MetricKey({prefix, base, "tn"})));
+        side.cm->fp = static_cast<int64_t>(
+            *experiment->records.Get(MetricKey({prefix, base, "fp"})));
+        side.cm->fn = static_cast<int64_t>(
+            *experiment->records.Get(MetricKey({prefix, base, "fn"})));
+        side.cm->tp = static_cast<int64_t>(
+            *experiment->records.Get(MetricKey({prefix, base, "tp"})));
+      }
+      total += FairnessGap(metric, confusion);
+    }
+    return total / static_cast<double>(options.num_repeats);
+  };
+
+  Result<double> dirty_acc = Mean(experiment->dirty.accuracy);
+  std::printf("%s / %s / %s: dirty accuracy %.4f (threshold |t| >= %.2f at "
+              "Bonferroni %zu methods)\n",
+              dataset_name.c_str(), error_type.c_str(), model.c_str(),
+              dirty_acc.ok() ? *dirty_acc : 0.0, 3.0,
+              experiment->repaired.size());
+  std::printf("signed dirty gaps (priv - dis):");
+  for (const GroupDefinition& group : experiment->groups) {
+    for (FairnessMetric metric : {FairnessMetric::kPredictiveParity,
+                                  FairnessMetric::kEqualOpportunity}) {
+      std::printf(" %s %+0.3f", UnfairnessKey(group.key, metric).c_str(),
+                  signed_gap("dirty", group.key, metric));
+    }
+  }
+  std::printf("\n");
+  for (const auto& [method, series] : experiment->repaired) {
+    (void)series;
+    std::printf("signed gaps %-22s:", method.c_str());
+    for (const GroupDefinition& group : experiment->groups) {
+      for (FairnessMetric metric : {FairnessMetric::kPredictiveParity,
+                                    FairnessMetric::kEqualOpportunity}) {
+        std::printf(" %s %+0.3f", UnfairnessKey(group.key, metric).c_str(),
+                    signed_gap(method, group.key, metric));
+      }
+    }
+    std::printf("\n");
+  }
+  for (const auto& [method, series] : experiment->repaired) {
+    Result<double> acc = Mean(series.accuracy);
+    double t_acc = PairedT(series.accuracy, experiment->dirty.accuracy);
+    std::printf("%-26s acc delta %+0.4f t=%+6.2f |", method.c_str(),
+                (acc.ok() ? *acc : 0.0) - (dirty_acc.ok() ? *dirty_acc : 0.0),
+                t_acc);
+    for (const GroupDefinition& group : experiment->groups) {
+      for (FairnessMetric metric : {FairnessMetric::kPredictiveParity,
+                                    FairnessMetric::kEqualOpportunity}) {
+        std::string key = UnfairnessKey(group.key, metric);
+        const std::vector<double>& dirty_series =
+            experiment->dirty.unfairness.at(key);
+        const std::vector<double>& method_series = series.unfairness.at(key);
+        Result<double> dirty_mean = Mean(dirty_series);
+        Result<double> method_mean = Mean(method_series);
+        double t = PairedT(method_series, dirty_series);
+        std::printf(" %s %+0.3f(t%+5.1f)", key.c_str(),
+                    *method_mean - *dirty_mean, t);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
