@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepdive.dir/deepdive.cc.o"
+  "CMakeFiles/deepdive.dir/deepdive.cc.o.d"
+  "deepdive"
+  "deepdive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepdive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairclean_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/fairclean_bench_util.dir/bench_util.cc.o.d"
+  "libfairclean_bench_util.a"
+  "libfairclean_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairclean_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

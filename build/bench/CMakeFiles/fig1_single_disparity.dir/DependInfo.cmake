@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_single_disparity.cc" "bench/CMakeFiles/fig1_single_disparity.dir/fig1_single_disparity.cc.o" "gcc" "bench/CMakeFiles/fig1_single_disparity.dir/fig1_single_disparity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/fairclean_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fairclean_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/fairclean_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/fairclean_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/fairclean_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/fairness/CMakeFiles/fairclean_fairness.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fairclean_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fairclean_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fairclean_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

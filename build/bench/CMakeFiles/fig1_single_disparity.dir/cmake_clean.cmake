@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_single_disparity.dir/fig1_single_disparity.cc.o"
+  "CMakeFiles/fig1_single_disparity.dir/fig1_single_disparity.cc.o.d"
+  "fig1_single_disparity"
+  "fig1_single_disparity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_single_disparity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

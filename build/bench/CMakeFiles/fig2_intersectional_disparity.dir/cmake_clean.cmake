@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_intersectional_disparity.dir/fig2_intersectional_disparity.cc.o"
+  "CMakeFiles/fig2_intersectional_disparity.dir/fig2_intersectional_disparity.cc.o.d"
+  "fig2_intersectional_disparity"
+  "fig2_intersectional_disparity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_intersectional_disparity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

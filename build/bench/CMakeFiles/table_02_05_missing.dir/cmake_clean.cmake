@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_02_05_missing.dir/table_02_05_missing.cc.o"
+  "CMakeFiles/table_02_05_missing.dir/table_02_05_missing.cc.o.d"
+  "table_02_05_missing"
+  "table_02_05_missing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_02_05_missing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_06_09_outliers.dir/table_06_09_outliers.cc.o"
+  "CMakeFiles/table_06_09_outliers.dir/table_06_09_outliers.cc.o.d"
+  "table_06_09_outliers"
+  "table_06_09_outliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_06_09_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table_06_09_outliers.
+# This may be replaced when dependencies are built.

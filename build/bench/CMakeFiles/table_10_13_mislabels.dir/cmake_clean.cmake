@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_10_13_mislabels.dir/table_10_13_mislabels.cc.o"
+  "CMakeFiles/table_10_13_mislabels.dir/table_10_13_mislabels.cc.o.d"
+  "table_10_13_mislabels"
+  "table_10_13_mislabels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_10_13_mislabels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_14_models.dir/table_14_models.cc.o"
+  "CMakeFiles/table_14_models.dir/table_14_models.cc.o.d"
+  "table_14_models"
+  "table_14_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_14_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaning_selector.dir/cleaning_selector.cc.o"
+  "CMakeFiles/cleaning_selector.dir/cleaning_selector.cc.o.d"
+  "cleaning_selector"
+  "cleaning_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaning_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

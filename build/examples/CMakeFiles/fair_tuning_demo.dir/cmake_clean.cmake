@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_tuning_demo.dir/fair_tuning_demo.cc.o"
+  "CMakeFiles/fair_tuning_demo.dir/fair_tuning_demo.cc.o.d"
+  "fair_tuning_demo"
+  "fair_tuning_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_tuning_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healthcare_triage.dir/healthcare_triage.cc.o"
+  "CMakeFiles/healthcare_triage.dir/healthcare_triage.cc.o.d"
+  "healthcare_triage"
+  "healthcare_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healthcare_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

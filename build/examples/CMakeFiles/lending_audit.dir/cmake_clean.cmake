@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lending_audit.dir/lending_audit.cc.o"
+  "CMakeFiles/lending_audit.dir/lending_audit.cc.o.d"
+  "lending_audit"
+  "lending_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lending_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairclean_common.dir/env.cc.o"
+  "CMakeFiles/fairclean_common.dir/env.cc.o.d"
+  "CMakeFiles/fairclean_common.dir/random.cc.o"
+  "CMakeFiles/fairclean_common.dir/random.cc.o.d"
+  "CMakeFiles/fairclean_common.dir/status.cc.o"
+  "CMakeFiles/fairclean_common.dir/status.cc.o.d"
+  "CMakeFiles/fairclean_common.dir/strings.cc.o"
+  "CMakeFiles/fairclean_common.dir/strings.cc.o.d"
+  "libfairclean_common.a"
+  "libfairclean_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairclean_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairclean_core.dir/cleaning.cc.o"
+  "CMakeFiles/fairclean_core.dir/cleaning.cc.o.d"
+  "CMakeFiles/fairclean_core.dir/disparity.cc.o"
+  "CMakeFiles/fairclean_core.dir/disparity.cc.o.d"
+  "CMakeFiles/fairclean_core.dir/fair_selector.cc.o"
+  "CMakeFiles/fairclean_core.dir/fair_selector.cc.o.d"
+  "CMakeFiles/fairclean_core.dir/fair_tuning.cc.o"
+  "CMakeFiles/fairclean_core.dir/fair_tuning.cc.o.d"
+  "CMakeFiles/fairclean_core.dir/impact.cc.o"
+  "CMakeFiles/fairclean_core.dir/impact.cc.o.d"
+  "CMakeFiles/fairclean_core.dir/quality_report.cc.o"
+  "CMakeFiles/fairclean_core.dir/quality_report.cc.o.d"
+  "CMakeFiles/fairclean_core.dir/results.cc.o"
+  "CMakeFiles/fairclean_core.dir/results.cc.o.d"
+  "CMakeFiles/fairclean_core.dir/runner.cc.o"
+  "CMakeFiles/fairclean_core.dir/runner.cc.o.d"
+  "libfairclean_core.a"
+  "libfairclean_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairclean_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

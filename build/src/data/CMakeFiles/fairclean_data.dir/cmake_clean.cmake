@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairclean_data.dir/column.cc.o"
+  "CMakeFiles/fairclean_data.dir/column.cc.o.d"
+  "CMakeFiles/fairclean_data.dir/csv.cc.o"
+  "CMakeFiles/fairclean_data.dir/csv.cc.o.d"
+  "CMakeFiles/fairclean_data.dir/dataframe.cc.o"
+  "CMakeFiles/fairclean_data.dir/dataframe.cc.o.d"
+  "CMakeFiles/fairclean_data.dir/split.cc.o"
+  "CMakeFiles/fairclean_data.dir/split.cc.o.d"
+  "libfairclean_data.a"
+  "libfairclean_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairclean_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/adult.cc" "src/datasets/CMakeFiles/fairclean_datasets.dir/adult.cc.o" "gcc" "src/datasets/CMakeFiles/fairclean_datasets.dir/adult.cc.o.d"
+  "/root/repo/src/datasets/credit.cc" "src/datasets/CMakeFiles/fairclean_datasets.dir/credit.cc.o" "gcc" "src/datasets/CMakeFiles/fairclean_datasets.dir/credit.cc.o.d"
+  "/root/repo/src/datasets/folk.cc" "src/datasets/CMakeFiles/fairclean_datasets.dir/folk.cc.o" "gcc" "src/datasets/CMakeFiles/fairclean_datasets.dir/folk.cc.o.d"
+  "/root/repo/src/datasets/generator.cc" "src/datasets/CMakeFiles/fairclean_datasets.dir/generator.cc.o" "gcc" "src/datasets/CMakeFiles/fairclean_datasets.dir/generator.cc.o.d"
+  "/root/repo/src/datasets/german.cc" "src/datasets/CMakeFiles/fairclean_datasets.dir/german.cc.o" "gcc" "src/datasets/CMakeFiles/fairclean_datasets.dir/german.cc.o.d"
+  "/root/repo/src/datasets/heart.cc" "src/datasets/CMakeFiles/fairclean_datasets.dir/heart.cc.o" "gcc" "src/datasets/CMakeFiles/fairclean_datasets.dir/heart.cc.o.d"
+  "/root/repo/src/datasets/spec.cc" "src/datasets/CMakeFiles/fairclean_datasets.dir/spec.cc.o" "gcc" "src/datasets/CMakeFiles/fairclean_datasets.dir/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/fairclean_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fairness/CMakeFiles/fairclean_fairness.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fairclean_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fairclean_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

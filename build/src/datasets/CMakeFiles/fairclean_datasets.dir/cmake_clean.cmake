@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairclean_datasets.dir/adult.cc.o"
+  "CMakeFiles/fairclean_datasets.dir/adult.cc.o.d"
+  "CMakeFiles/fairclean_datasets.dir/credit.cc.o"
+  "CMakeFiles/fairclean_datasets.dir/credit.cc.o.d"
+  "CMakeFiles/fairclean_datasets.dir/folk.cc.o"
+  "CMakeFiles/fairclean_datasets.dir/folk.cc.o.d"
+  "CMakeFiles/fairclean_datasets.dir/generator.cc.o"
+  "CMakeFiles/fairclean_datasets.dir/generator.cc.o.d"
+  "CMakeFiles/fairclean_datasets.dir/german.cc.o"
+  "CMakeFiles/fairclean_datasets.dir/german.cc.o.d"
+  "CMakeFiles/fairclean_datasets.dir/heart.cc.o"
+  "CMakeFiles/fairclean_datasets.dir/heart.cc.o.d"
+  "CMakeFiles/fairclean_datasets.dir/spec.cc.o"
+  "CMakeFiles/fairclean_datasets.dir/spec.cc.o.d"
+  "libfairclean_datasets.a"
+  "libfairclean_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairclean_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

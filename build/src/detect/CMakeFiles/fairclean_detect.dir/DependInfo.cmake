@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/detector.cc" "src/detect/CMakeFiles/fairclean_detect.dir/detector.cc.o" "gcc" "src/detect/CMakeFiles/fairclean_detect.dir/detector.cc.o.d"
+  "/root/repo/src/detect/error_mask.cc" "src/detect/CMakeFiles/fairclean_detect.dir/error_mask.cc.o" "gcc" "src/detect/CMakeFiles/fairclean_detect.dir/error_mask.cc.o.d"
+  "/root/repo/src/detect/mislabel_detector.cc" "src/detect/CMakeFiles/fairclean_detect.dir/mislabel_detector.cc.o" "gcc" "src/detect/CMakeFiles/fairclean_detect.dir/mislabel_detector.cc.o.d"
+  "/root/repo/src/detect/missing_detector.cc" "src/detect/CMakeFiles/fairclean_detect.dir/missing_detector.cc.o" "gcc" "src/detect/CMakeFiles/fairclean_detect.dir/missing_detector.cc.o.d"
+  "/root/repo/src/detect/outlier_detectors.cc" "src/detect/CMakeFiles/fairclean_detect.dir/outlier_detectors.cc.o" "gcc" "src/detect/CMakeFiles/fairclean_detect.dir/outlier_detectors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/fairclean_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fairclean_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fairclean_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairclean_detect.dir/detector.cc.o"
+  "CMakeFiles/fairclean_detect.dir/detector.cc.o.d"
+  "CMakeFiles/fairclean_detect.dir/error_mask.cc.o"
+  "CMakeFiles/fairclean_detect.dir/error_mask.cc.o.d"
+  "CMakeFiles/fairclean_detect.dir/mislabel_detector.cc.o"
+  "CMakeFiles/fairclean_detect.dir/mislabel_detector.cc.o.d"
+  "CMakeFiles/fairclean_detect.dir/missing_detector.cc.o"
+  "CMakeFiles/fairclean_detect.dir/missing_detector.cc.o.d"
+  "CMakeFiles/fairclean_detect.dir/outlier_detectors.cc.o"
+  "CMakeFiles/fairclean_detect.dir/outlier_detectors.cc.o.d"
+  "libfairclean_detect.a"
+  "libfairclean_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairclean_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fairness/fairness_metrics.cc" "src/fairness/CMakeFiles/fairclean_fairness.dir/fairness_metrics.cc.o" "gcc" "src/fairness/CMakeFiles/fairclean_fairness.dir/fairness_metrics.cc.o.d"
+  "/root/repo/src/fairness/group.cc" "src/fairness/CMakeFiles/fairclean_fairness.dir/group.cc.o" "gcc" "src/fairness/CMakeFiles/fairclean_fairness.dir/group.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/fairclean_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fairclean_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fairclean_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

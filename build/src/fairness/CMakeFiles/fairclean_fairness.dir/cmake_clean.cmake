@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairclean_fairness.dir/fairness_metrics.cc.o"
+  "CMakeFiles/fairclean_fairness.dir/fairness_metrics.cc.o.d"
+  "CMakeFiles/fairclean_fairness.dir/group.cc.o"
+  "CMakeFiles/fairclean_fairness.dir/group.cc.o.d"
+  "libfairclean_fairness.a"
+  "libfairclean_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairclean_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

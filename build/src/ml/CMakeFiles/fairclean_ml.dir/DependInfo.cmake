@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/encoder.cc" "src/ml/CMakeFiles/fairclean_ml.dir/encoder.cc.o" "gcc" "src/ml/CMakeFiles/fairclean_ml.dir/encoder.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "src/ml/CMakeFiles/fairclean_ml.dir/gbdt.cc.o" "gcc" "src/ml/CMakeFiles/fairclean_ml.dir/gbdt.cc.o.d"
+  "/root/repo/src/ml/isolation_forest.cc" "src/ml/CMakeFiles/fairclean_ml.dir/isolation_forest.cc.o" "gcc" "src/ml/CMakeFiles/fairclean_ml.dir/isolation_forest.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/fairclean_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/fairclean_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/linalg.cc" "src/ml/CMakeFiles/fairclean_ml.dir/linalg.cc.o" "gcc" "src/ml/CMakeFiles/fairclean_ml.dir/linalg.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/ml/CMakeFiles/fairclean_ml.dir/logistic_regression.cc.o" "gcc" "src/ml/CMakeFiles/fairclean_ml.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/fairclean_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/fairclean_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/regression_tree.cc" "src/ml/CMakeFiles/fairclean_ml.dir/regression_tree.cc.o" "gcc" "src/ml/CMakeFiles/fairclean_ml.dir/regression_tree.cc.o.d"
+  "/root/repo/src/ml/tuning.cc" "src/ml/CMakeFiles/fairclean_ml.dir/tuning.cc.o" "gcc" "src/ml/CMakeFiles/fairclean_ml.dir/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/fairclean_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fairclean_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairclean_ml.dir/encoder.cc.o"
+  "CMakeFiles/fairclean_ml.dir/encoder.cc.o.d"
+  "CMakeFiles/fairclean_ml.dir/gbdt.cc.o"
+  "CMakeFiles/fairclean_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/fairclean_ml.dir/isolation_forest.cc.o"
+  "CMakeFiles/fairclean_ml.dir/isolation_forest.cc.o.d"
+  "CMakeFiles/fairclean_ml.dir/knn.cc.o"
+  "CMakeFiles/fairclean_ml.dir/knn.cc.o.d"
+  "CMakeFiles/fairclean_ml.dir/linalg.cc.o"
+  "CMakeFiles/fairclean_ml.dir/linalg.cc.o.d"
+  "CMakeFiles/fairclean_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/fairclean_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/fairclean_ml.dir/metrics.cc.o"
+  "CMakeFiles/fairclean_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/fairclean_ml.dir/regression_tree.cc.o"
+  "CMakeFiles/fairclean_ml.dir/regression_tree.cc.o.d"
+  "CMakeFiles/fairclean_ml.dir/tuning.cc.o"
+  "CMakeFiles/fairclean_ml.dir/tuning.cc.o.d"
+  "libfairclean_ml.a"
+  "libfairclean_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairclean_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

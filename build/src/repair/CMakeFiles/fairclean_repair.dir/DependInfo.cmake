@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repair/imputer.cc" "src/repair/CMakeFiles/fairclean_repair.dir/imputer.cc.o" "gcc" "src/repair/CMakeFiles/fairclean_repair.dir/imputer.cc.o.d"
+  "/root/repo/src/repair/label_repair.cc" "src/repair/CMakeFiles/fairclean_repair.dir/label_repair.cc.o" "gcc" "src/repair/CMakeFiles/fairclean_repair.dir/label_repair.cc.o.d"
+  "/root/repo/src/repair/outlier_repair.cc" "src/repair/CMakeFiles/fairclean_repair.dir/outlier_repair.cc.o" "gcc" "src/repair/CMakeFiles/fairclean_repair.dir/outlier_repair.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/fairclean_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fairclean_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fairclean_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fairclean_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairclean_repair.dir/imputer.cc.o"
+  "CMakeFiles/fairclean_repair.dir/imputer.cc.o.d"
+  "CMakeFiles/fairclean_repair.dir/label_repair.cc.o"
+  "CMakeFiles/fairclean_repair.dir/label_repair.cc.o.d"
+  "CMakeFiles/fairclean_repair.dir/outlier_repair.cc.o"
+  "CMakeFiles/fairclean_repair.dir/outlier_repair.cc.o.d"
+  "libfairclean_repair.a"
+  "libfairclean_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairclean_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

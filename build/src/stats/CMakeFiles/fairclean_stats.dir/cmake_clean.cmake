@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairclean_stats.dir/descriptive.cc.o"
+  "CMakeFiles/fairclean_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/fairclean_stats.dir/distributions.cc.o"
+  "CMakeFiles/fairclean_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/fairclean_stats.dir/tests.cc.o"
+  "CMakeFiles/fairclean_stats.dir/tests.cc.o.d"
+  "libfairclean_stats.a"
+  "libfairclean_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairclean_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cleaning_test.cc" "tests/CMakeFiles/core_test.dir/core/cleaning_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cleaning_test.cc.o.d"
+  "/root/repo/tests/core/disparity_test.cc" "tests/CMakeFiles/core_test.dir/core/disparity_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/disparity_test.cc.o.d"
+  "/root/repo/tests/core/fair_selector_test.cc" "tests/CMakeFiles/core_test.dir/core/fair_selector_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/fair_selector_test.cc.o.d"
+  "/root/repo/tests/core/fair_tuning_test.cc" "tests/CMakeFiles/core_test.dir/core/fair_tuning_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/fair_tuning_test.cc.o.d"
+  "/root/repo/tests/core/impact_test.cc" "tests/CMakeFiles/core_test.dir/core/impact_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/impact_test.cc.o.d"
+  "/root/repo/tests/core/quality_report_test.cc" "tests/CMakeFiles/core_test.dir/core/quality_report_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/quality_report_test.cc.o.d"
+  "/root/repo/tests/core/results_test.cc" "tests/CMakeFiles/core_test.dir/core/results_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/results_test.cc.o.d"
+  "/root/repo/tests/core/runner_test.cc" "tests/CMakeFiles/core_test.dir/core/runner_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/runner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fairclean_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/fairclean_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/fairclean_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/fairclean_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/fairness/CMakeFiles/fairclean_fairness.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fairclean_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fairclean_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fairclean_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

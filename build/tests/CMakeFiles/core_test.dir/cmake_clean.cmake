@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/cleaning_test.cc.o"
+  "CMakeFiles/core_test.dir/core/cleaning_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/disparity_test.cc.o"
+  "CMakeFiles/core_test.dir/core/disparity_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/fair_selector_test.cc.o"
+  "CMakeFiles/core_test.dir/core/fair_selector_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/fair_tuning_test.cc.o"
+  "CMakeFiles/core_test.dir/core/fair_tuning_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/impact_test.cc.o"
+  "CMakeFiles/core_test.dir/core/impact_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/quality_report_test.cc.o"
+  "CMakeFiles/core_test.dir/core/quality_report_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/results_test.cc.o"
+  "CMakeFiles/core_test.dir/core/results_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/runner_test.cc.o"
+  "CMakeFiles/core_test.dir/core/runner_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

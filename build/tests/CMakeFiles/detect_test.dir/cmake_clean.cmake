@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_test.dir/detect/detector_properties_test.cc.o"
+  "CMakeFiles/detect_test.dir/detect/detector_properties_test.cc.o.d"
+  "CMakeFiles/detect_test.dir/detect/error_mask_test.cc.o"
+  "CMakeFiles/detect_test.dir/detect/error_mask_test.cc.o.d"
+  "CMakeFiles/detect_test.dir/detect/mislabel_detector_test.cc.o"
+  "CMakeFiles/detect_test.dir/detect/mislabel_detector_test.cc.o.d"
+  "CMakeFiles/detect_test.dir/detect/missing_detector_test.cc.o"
+  "CMakeFiles/detect_test.dir/detect/missing_detector_test.cc.o.d"
+  "CMakeFiles/detect_test.dir/detect/outlier_detectors_test.cc.o"
+  "CMakeFiles/detect_test.dir/detect/outlier_detectors_test.cc.o.d"
+  "detect_test"
+  "detect_test.pdb"
+  "detect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

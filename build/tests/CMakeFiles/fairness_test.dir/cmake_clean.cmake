@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_test.dir/fairness/fairness_metrics_test.cc.o"
+  "CMakeFiles/fairness_test.dir/fairness/fairness_metrics_test.cc.o.d"
+  "CMakeFiles/fairness_test.dir/fairness/group_test.cc.o"
+  "CMakeFiles/fairness_test.dir/fairness/group_test.cc.o.d"
+  "fairness_test"
+  "fairness_test.pdb"
+  "fairness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/classifier_properties_test.cc" "tests/CMakeFiles/ml_test.dir/ml/classifier_properties_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/classifier_properties_test.cc.o.d"
+  "/root/repo/tests/ml/encoder_test.cc" "tests/CMakeFiles/ml_test.dir/ml/encoder_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/encoder_test.cc.o.d"
+  "/root/repo/tests/ml/gbdt_test.cc" "tests/CMakeFiles/ml_test.dir/ml/gbdt_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/gbdt_test.cc.o.d"
+  "/root/repo/tests/ml/isolation_forest_test.cc" "tests/CMakeFiles/ml_test.dir/ml/isolation_forest_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/isolation_forest_test.cc.o.d"
+  "/root/repo/tests/ml/knn_test.cc" "tests/CMakeFiles/ml_test.dir/ml/knn_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/knn_test.cc.o.d"
+  "/root/repo/tests/ml/linalg_test.cc" "tests/CMakeFiles/ml_test.dir/ml/linalg_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/linalg_test.cc.o.d"
+  "/root/repo/tests/ml/logistic_regression_test.cc" "tests/CMakeFiles/ml_test.dir/ml/logistic_regression_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/logistic_regression_test.cc.o.d"
+  "/root/repo/tests/ml/matrix_test.cc" "tests/CMakeFiles/ml_test.dir/ml/matrix_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/matrix_test.cc.o.d"
+  "/root/repo/tests/ml/metrics_test.cc" "tests/CMakeFiles/ml_test.dir/ml/metrics_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/metrics_test.cc.o.d"
+  "/root/repo/tests/ml/regression_tree_test.cc" "tests/CMakeFiles/ml_test.dir/ml/regression_tree_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/regression_tree_test.cc.o.d"
+  "/root/repo/tests/ml/tuning_test.cc" "tests/CMakeFiles/ml_test.dir/ml/tuning_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/tuning_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fairclean_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/fairclean_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/fairclean_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/fairclean_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/fairness/CMakeFiles/fairclean_fairness.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fairclean_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fairclean_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fairclean_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_test.dir/ml/classifier_properties_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/classifier_properties_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/encoder_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/encoder_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/gbdt_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/gbdt_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/isolation_forest_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/isolation_forest_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/knn_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/knn_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/linalg_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/linalg_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/logistic_regression_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/logistic_regression_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/matrix_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/matrix_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/metrics_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/metrics_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/regression_tree_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/regression_tree_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/tuning_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/tuning_test.cc.o.d"
+  "ml_test"
+  "ml_test.pdb"
+  "ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_test.dir/repair/imputer_test.cc.o"
+  "CMakeFiles/repair_test.dir/repair/imputer_test.cc.o.d"
+  "CMakeFiles/repair_test.dir/repair/label_repair_test.cc.o"
+  "CMakeFiles/repair_test.dir/repair/label_repair_test.cc.o.d"
+  "CMakeFiles/repair_test.dir/repair/outlier_repair_test.cc.o"
+  "CMakeFiles/repair_test.dir/repair/outlier_repair_test.cc.o.d"
+  "repair_test"
+  "repair_test.pdb"
+  "repair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
