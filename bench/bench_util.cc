@@ -1,10 +1,10 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
-#include <filesystem>
 #include <set>
 
 #include "common/env.h"
+#include "common/fault_injection.h"
 #include "common/strings.h"
 #include "core/cleaning.h"
 #include "stats/tests.h"
@@ -14,13 +14,8 @@ namespace bench {
 
 namespace {
 
-constexpr FairnessMetric kAllMetrics[] = {
-    FairnessMetric::kPredictiveParity,
-    FairnessMetric::kEqualOpportunity,
-    FairnessMetric::kDemographicParity,
-    FairnessMetric::kFalsePositiveRateParity,
-    FairnessMetric::kAccuracyParity,
-};
+// EX_TEMPFAIL: the run stopped at its time budget with resumable state.
+constexpr int kExitResumable = 75;
 
 uint64_t Fnv1a(const std::string& text) {
   uint64_t hash = 0xcbf29ce484222325ULL;
@@ -29,83 +24,6 @@ uint64_t Fnv1a(const std::string& text) {
     hash *= 0x100000001b3ULL;
   }
   return hash;
-}
-
-std::string CachePath(const std::string& dataset,
-                      const std::string& error_type, const std::string& model,
-                      const BenchOptions& options) {
-  return StrFormat("%s/%s_%s_%s_s%llu_n%zu_r%zu_f%zu.json",
-                   options.cache_dir.c_str(), dataset.c_str(),
-                   error_type.c_str(), model.c_str(),
-                   static_cast<unsigned long long>(options.study.seed),
-                   options.study.sample_size, options.study.num_repeats,
-                   options.study.cv_folds);
-}
-
-// Reassembles ScoreSeries from the flat records of a cached run. Returns an
-// error if any expected key is absent (stale/partial cache -> rerun).
-Result<CleaningExperimentResult> ReconstructFromRecords(
-    const ResultStore& records, const GeneratedDataset& dataset,
-    const std::string& error_type, const std::string& model,
-    const StudyOptions& study) {
-  FC_ASSIGN_OR_RETURN(std::vector<CleaningMethod> methods,
-                      CleaningMethodsFor(error_type));
-  CleaningExperimentResult result;
-  result.dataset = dataset.spec.name;
-  result.error_type = error_type;
-  result.model = model;
-  result.groups = GroupDefinitionsFor(dataset.spec);
-  result.records = records;
-
-  std::vector<std::string> versions = {"dirty"};
-  for (const CleaningMethod& method : methods) {
-    versions.push_back(method.Name());
-  }
-  for (const std::string& version : versions) {
-    ScoreSeries* series = version == "dirty"
-                              ? &result.dirty
-                              : &result.repaired[version];
-    for (size_t repeat = 0; repeat < study.num_repeats; ++repeat) {
-      std::string prefix =
-          StrFormat("%s/%s/%s/%s/r%zu", dataset.spec.name.c_str(),
-                    error_type.c_str(), version.c_str(), model.c_str(),
-                    repeat);
-      FC_ASSIGN_OR_RETURN(double accuracy,
-                          records.Get(MetricKey({prefix, "test_acc"})));
-      FC_ASSIGN_OR_RETURN(double f1,
-                          records.Get(MetricKey({prefix, "test_f1"})));
-      series->accuracy.push_back(accuracy);
-      series->f1.push_back(f1);
-      for (const GroupDefinition& group : result.groups) {
-        GroupConfusion confusion;
-        const struct {
-          const char* suffix;
-          ConfusionMatrix* cm;
-        } sides[2] = {{"priv", &confusion.privileged},
-                      {"dis", &confusion.disadvantaged}};
-        for (const auto& side : sides) {
-          std::string base = group.key + "_" + side.suffix;
-          FC_ASSIGN_OR_RETURN(double tn,
-                              records.Get(MetricKey({prefix, base, "tn"})));
-          FC_ASSIGN_OR_RETURN(double fp,
-                              records.Get(MetricKey({prefix, base, "fp"})));
-          FC_ASSIGN_OR_RETURN(double fn,
-                              records.Get(MetricKey({prefix, base, "fn"})));
-          FC_ASSIGN_OR_RETURN(double tp,
-                              records.Get(MetricKey({prefix, base, "tp"})));
-          side.cm->tn = static_cast<int64_t>(tn);
-          side.cm->fp = static_cast<int64_t>(fp);
-          side.cm->fn = static_cast<int64_t>(fn);
-          side.cm->tp = static_cast<int64_t>(tp);
-        }
-        for (FairnessMetric metric : kAllMetrics) {
-          series->unfairness[UnfairnessKey(group.key, metric)].push_back(
-              FairnessGap(metric, confusion));
-        }
-      }
-    }
-  }
-  return result;
 }
 
 }  // namespace
@@ -158,7 +76,22 @@ BenchOptions BenchOptionsFromEnv() {
   options.study.seed =
       static_cast<uint64_t>(GetEnvInt64("FAIRCLEAN_SEED", 42));
   options.cache_dir = GetEnvString("FAIRCLEAN_CACHE_DIR", "fairclean_cache");
+  options.max_retries = static_cast<size_t>(
+      GetEnvInt64("FAIRCLEAN_MAX_RETRIES",
+                  static_cast<int64_t>(options.max_retries)));
+  options.time_budget_s =
+      GetEnvDouble("FAIRCLEAN_TIME_BUDGET_S", options.time_budget_s);
   return options;
+}
+
+exec::StudyDriverOptions DriverOptions(const BenchOptions& options) {
+  exec::StudyDriverOptions driver_options;
+  driver_options.study = options.study;
+  driver_options.cache_dir = options.cache_dir;
+  driver_options.max_retries = options.max_retries;
+  driver_options.time_budget_s = options.time_budget_s;
+  driver_options.verbose = options.verbose;
+  return driver_options;
 }
 
 Result<GeneratedDataset> BenchDataset(const std::string& name,
@@ -172,45 +105,12 @@ Result<GeneratedDataset> BenchDataset(const std::string& name,
 Result<CleaningExperimentResult> RunOrLoadExperiment(
     const GeneratedDataset& dataset, const std::string& error_type,
     const std::string& model, const BenchOptions& options) {
-  std::string path;
-  if (!options.cache_dir.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(options.cache_dir, ec);
-    path = CachePath(dataset.spec.name, error_type, model, options);
-    Result<ResultStore> cached = ResultStore::LoadFromFile(path);
-    if (cached.ok()) {
-      Result<CleaningExperimentResult> reconstructed = ReconstructFromRecords(
-          *cached, dataset, error_type, model, options.study);
-      if (reconstructed.ok()) {
-        if (options.verbose) {
-          std::fprintf(stderr, "[cache] %s/%s/%s\n",
-                       dataset.spec.name.c_str(), error_type.c_str(),
-                       model.c_str());
-        }
-        return reconstructed;
-      }
-    }
-  }
-
-  if (options.verbose) {
-    std::fprintf(stderr, "[run  ] %s/%s/%s ...\n", dataset.spec.name.c_str(),
-                 error_type.c_str(), model.c_str());
-  }
-  FC_ASSIGN_OR_RETURN(TunedModelFamily family, ModelFamilyByName(model));
-  FC_ASSIGN_OR_RETURN(
-      CleaningExperimentResult result,
-      RunCleaningExperiment(dataset, error_type, family, options.study));
-  if (!path.empty()) {
-    Status saved = result.records.SaveToFile(path);
-    if (!saved.ok() && options.verbose) {
-      std::fprintf(stderr, "[warn ] cache write failed: %s\n",
-                   saved.ToString().c_str());
-    }
-  }
-  return result;
+  exec::StudyDriver driver(DriverOptions(options));
+  return driver.RunOrLoad(dataset, error_type, model);
 }
 
 Result<ScopeResults> RunScope(const StudyScope& scope,
+                              exec::StudyDriver* driver,
                               const BenchOptions& options) {
   ScopeResults results;
   for (const std::string& name : scope.Datasets()) {
@@ -219,11 +119,17 @@ Result<ScopeResults> RunScope(const StudyScope& scope,
     for (const std::string& model : AllModelNames()) {
       FC_ASSIGN_OR_RETURN(
           CleaningExperimentResult result,
-          RunOrLoadExperiment(dataset, scope.error_type, model, options));
+          driver->RunOrLoad(dataset, scope.error_type, model));
       results.emplace(name + "/" + model, std::move(result));
     }
   }
   return results;
+}
+
+Result<ScopeResults> RunScope(const StudyScope& scope,
+                              const BenchOptions& options) {
+  exec::StudyDriver driver(DriverOptions(options));
+  return RunScope(scope, &driver, options);
 }
 
 Result<ImpactTable> AggregateImpactTable(const ScopeResults& results,
@@ -319,6 +225,12 @@ void PrintTableWithReference(const ImpactTable& measured,
 int RunTableBench(const StudyScope& scope, const PaperTable references[4],
                   const char* heading) {
   BenchOptions options = BenchOptionsFromEnv();
+  Status faults = FaultInjector::Global().ConfigureFromEnv();
+  if (!faults.ok()) {
+    std::fprintf(stderr, "bad FAIRCLEAN_FAULTS: %s\n",
+                 faults.ToString().c_str());
+    return 1;
+  }
   std::printf("== %s ==\n", heading);
   std::printf(
       "scale: sample=%zu repeats=%zu folds=%zu seed=%llu (override via "
@@ -328,10 +240,19 @@ int RunTableBench(const StudyScope& scope, const PaperTable references[4],
       options.study.cv_folds,
       static_cast<unsigned long long>(options.study.seed));
 
-  Result<ScopeResults> results = RunScope(scope, options);
+  exec::StudyDriver driver(DriverOptions(options));
+  Result<ScopeResults> results = RunScope(scope, &driver, options);
   if (!results.ok()) {
     std::fprintf(stderr, "scope run failed: %s\n",
                  results.status().ToString().c_str());
+    std::fprintf(stderr, "%s", driver.diagnostics().Format().c_str());
+    if (results.status().code() == StatusCode::kDeadlineExceeded) {
+      std::fprintf(stderr,
+                   "completed repeats are checkpointed in %s — re-run to "
+                   "resume where this run stopped\n",
+                   options.cache_dir.c_str());
+      return kExitResumable;
+    }
     return 1;
   }
 
@@ -360,6 +281,7 @@ int RunTableBench(const StudyScope& scope, const PaperTable references[4],
         FairnessMetricName(kTables[i].metric));
     PrintTableWithReference(*table, references[i], title);
   }
+  std::printf("%s", driver.diagnostics().Format().c_str());
   return 0;
 }
 

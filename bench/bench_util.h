@@ -7,6 +7,7 @@
 
 #include "core/runner.h"
 #include "datasets/generator.h"
+#include "exec/study_driver.h"
 
 namespace fairclean {
 namespace bench {
@@ -36,18 +37,28 @@ StudyScope OutlierScope();
 /// mislabels: same 7 single pairs, 4 intersectional.
 StudyScope MislabelScope();
 
-/// Benchmark-wide options: study knobs plus cache location.
+/// Benchmark-wide options: study knobs plus fault-tolerance knobs of the
+/// study driver (cache location, retry policy, time budget).
 struct BenchOptions {
   StudyOptions study;
   /// Directory for cached experiment records ("" disables caching).
   std::string cache_dir = "fairclean_cache";
+  /// Extra attempts per degenerate repeat before it is skipped.
+  size_t max_retries = 2;
+  /// Soft wall-clock budget in seconds (<= 0: unlimited); on exhaustion a
+  /// bench checkpoints and exits with a resumable state.
+  double time_budget_s = 0.0;
   bool verbose = true;
 };
 
 /// Default bench options: scaled-down study (sample 3500, 16 repeats)
 /// overridable via FAIRCLEAN_SAMPLE / FAIRCLEAN_REPEATS / FAIRCLEAN_FOLDS /
-/// FAIRCLEAN_SEED / FAIRCLEAN_CACHE_DIR.
+/// FAIRCLEAN_SEED / FAIRCLEAN_CACHE_DIR / FAIRCLEAN_MAX_RETRIES /
+/// FAIRCLEAN_TIME_BUDGET_S.
 BenchOptions BenchOptionsFromEnv();
+
+/// Study-driver options corresponding to the bench options.
+exec::StudyDriverOptions DriverOptions(const BenchOptions& options);
 
 /// Generates the named dataset with the bench seed (deterministic across
 /// bench binaries so cached results stay valid).
@@ -55,9 +66,11 @@ Result<GeneratedDataset> BenchDataset(const std::string& name,
                                       const BenchOptions& options);
 
 /// Runs (or loads from cache) the cleaning experiment for one
-/// (dataset, error type, model family). Cached entries are reconstructed
-/// from the flat result records — the same stop-and-resume facility the
-/// paper's framework provides.
+/// (dataset, error type, model family) through a transient fault-tolerant
+/// study driver: cached entries are reconstructed from the flat result
+/// records (the paper's stop-and-resume facility), corrupt files are
+/// quarantined and recomputed, and interrupted runs resume from the
+/// per-repeat journal.
 Result<CleaningExperimentResult> RunOrLoadExperiment(
     const GeneratedDataset& dataset, const std::string& error_type,
     const std::string& model, const BenchOptions& options);
@@ -65,7 +78,14 @@ Result<CleaningExperimentResult> RunOrLoadExperiment(
 /// Keyed collection of experiment results: "<dataset>/<model>".
 using ScopeResults = std::map<std::string, CleaningExperimentResult>;
 
-/// Runs the full scope (all datasets x all three model families).
+/// Runs the full scope (all datasets x all three model families) through
+/// `driver`, which carries the time budget and diagnostics across
+/// experiments.
+Result<ScopeResults> RunScope(const StudyScope& scope,
+                              exec::StudyDriver* driver,
+                              const BenchOptions& options);
+
+/// Convenience overload with a scope-local driver.
 Result<ScopeResults> RunScope(const StudyScope& scope,
                               const BenchOptions& options);
 
@@ -92,10 +112,14 @@ void PrintTableWithReference(const ImpactTable& measured,
                              const PaperTable& reference,
                              const std::string& title);
 
-/// Shared driver for the table benches (Tables II-XIII): runs the scope and
-/// prints the four measured-vs-paper tables. `references` holds the paper
-/// values in the order single-PP, single-EO, intersectional-PP,
-/// intersectional-EO. Returns a process exit code.
+/// Shared driver for the table benches (Tables II-XIII): arms the fault
+/// injector from FAIRCLEAN_FAULTS, runs the scope through a fault-tolerant
+/// study driver, prints the four measured-vs-paper tables plus the run
+/// diagnostics. `references` holds the paper values in the order
+/// single-PP, single-EO, intersectional-PP, intersectional-EO. Returns a
+/// process exit code: 0 on success, 1 on failure, 75 (EX_TEMPFAIL) when
+/// the FAIRCLEAN_TIME_BUDGET_S budget was exhausted — completed work is
+/// checkpointed and re-running resumes it.
 int RunTableBench(const StudyScope& scope, const PaperTable references[4],
                   const char* heading);
 

@@ -14,6 +14,7 @@
 #include <map>
 
 #include "bench/bench_util.h"
+#include "common/fault_injection.h"
 #include "common/strings.h"
 #include "core/cleaning.h"
 #include "stats/descriptive.h"
@@ -32,6 +33,12 @@ struct CaseOutcome {
 
 int Run() {
   BenchOptions options = BenchOptionsFromEnv();
+  Status faults = FaultInjector::Global().ConfigureFromEnv();
+  if (!faults.ok()) {
+    std::fprintf(stderr, "bad FAIRCLEAN_FAULTS: %s\n",
+                 faults.ToString().c_str());
+    return 1;
+  }
   std::printf("== Section VI deep dive ==\n\n");
 
   // case key: "<metric>/<dataset>/<attribute>/<error>".
@@ -43,14 +50,19 @@ int Run() {
   // dataset/model -> mean dirty accuracy (averaged over error types).
   std::map<std::string, std::vector<double>> dirty_accuracy;
 
+  // One driver across all three scopes so the time budget and diagnostics
+  // span the whole bench.
+  exec::StudyDriver driver(DriverOptions(options));
   const StudyScope scopes[3] = {MissingScope(), OutlierScope(),
                                 MislabelScope()};
   for (const StudyScope& scope : scopes) {
-    Result<ScopeResults> results = RunScope(scope, options);
+    Result<ScopeResults> results = RunScope(scope, &driver, options);
     if (!results.ok()) {
       std::fprintf(stderr, "scope %s failed: %s\n", scope.error_type.c_str(),
                    results.status().ToString().c_str());
-      return 1;
+      std::fprintf(stderr, "%s", driver.diagnostics().Format().c_str());
+      return results.status().code() == StatusCode::kDeadlineExceeded ? 75
+                                                                      : 1;
     }
     Result<std::vector<CleaningMethod>> methods =
         CleaningMethodsFor(scope.error_type);
@@ -153,6 +165,7 @@ int Run() {
   std::printf("  (paper: log-reg provides the highest accuracy over all "
               "tasks, outperformed by xgboost only for outliers on "
               "folk/heart and missing values on adult/folk)\n");
+  std::printf("%s", driver.diagnostics().Format().c_str());
   return 0;
 }
 

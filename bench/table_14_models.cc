@@ -7,6 +7,7 @@
 #include <map>
 
 #include "bench/bench_util.h"
+#include "common/fault_injection.h"
 #include "core/cleaning.h"
 #include "stats/tests.h"
 
@@ -24,18 +25,29 @@ struct ModelTally {
 
 int Run() {
   BenchOptions options = BenchOptionsFromEnv();
+  Status faults = FaultInjector::Global().ConfigureFromEnv();
+  if (!faults.ok()) {
+    std::fprintf(stderr, "bad FAIRCLEAN_FAULTS: %s\n",
+                 faults.ToString().c_str());
+    return 1;
+  }
   std::printf("== Table XIV: impact of auto-cleaning per ML model "
               "(single-attribute analysis) ==\n\n");
 
   std::map<std::string, ModelTally> tallies;
+  // One driver across all three scopes so the time budget and diagnostics
+  // span the whole bench.
+  exec::StudyDriver driver(DriverOptions(options));
   const StudyScope scopes[3] = {MissingScope(), OutlierScope(),
                                 MislabelScope()};
   for (const StudyScope& scope : scopes) {
-    Result<ScopeResults> results = RunScope(scope, options);
+    Result<ScopeResults> results = RunScope(scope, &driver, options);
     if (!results.ok()) {
       std::fprintf(stderr, "scope %s failed: %s\n", scope.error_type.c_str(),
                    results.status().ToString().c_str());
-      return 1;
+      std::fprintf(stderr, "%s", driver.diagnostics().Format().c_str());
+      return results.status().code() == StatusCode::kDeadlineExceeded ? 75
+                                                                      : 1;
     }
     Result<std::vector<CleaningMethod>> methods =
         CleaningMethodsFor(scope.error_type);
@@ -116,6 +128,7 @@ int Run() {
       "shape check: for every model, cleaning worsens fairness more often "
       "than it improves it -> %s\n",
       all_worse_dominates ? "MATCH" : "MISMATCH");
+  std::printf("%s", driver.diagnostics().Format().c_str());
   return 0;
 }
 

@@ -11,6 +11,11 @@ namespace fairclean {
 /// for scale knobs (FAIRCLEAN_REPEATS, FAIRCLEAN_SAMPLE, FAIRCLEAN_SEED).
 int64_t GetEnvInt64(const char* name, int64_t default_value);
 
+/// Reads a floating-point knob from the environment (e.g.
+/// FAIRCLEAN_TIME_BUDGET_S), falling back to `default_value` when unset,
+/// unparsable, or non-finite.
+double GetEnvDouble(const char* name, double default_value);
+
 /// Reads a string knob from the environment.
 std::string GetEnvString(const char* name, const std::string& default_value);
 

@@ -1,0 +1,161 @@
+#include "common/safe_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/fault_injection.h"
+#include "common/strings.h"
+
+namespace fairclean {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xedb88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> table = BuildCrc32Table();
+  uint32_t crc = 0xffffffffu;
+  for (unsigned char c : data) {
+    crc = (crc >> 8) ^ table[(crc ^ c) & 0xffu];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    return Status::IoError("cannot open: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  if (stream.bad()) {
+    return Status::IoError("read failed: " + path);
+  }
+  return buffer.str();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  FC_RETURN_IF_ERROR(FaultInjector::Global().Inject("cache_write"));
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open for writing", tmp));
+  }
+  size_t written = 0;
+  while (written < content.size()) {
+    ssize_t n = ::write(fd, content.data() + written,
+                        content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IoError(ErrnoMessage("write failed", tmp));
+    }
+    written += static_cast<size_t>(n);
+  }
+  // fsync before rename: the rename must not become durable before the
+  // data it points at.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IoError(ErrnoMessage("fsync failed", tmp));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError(ErrnoMessage("close failed", tmp));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError(ErrnoMessage("rename failed", path));
+  }
+  return Status::OK();
+}
+
+std::string AppendChecksumFooter(const std::string& body) {
+  return body + StrFormat("%s%08x len=%zu\n", kChecksumFooterPrefix,
+                          Crc32(body), body.size());
+}
+
+bool HasChecksumFooter(const std::string& content) {
+  size_t footer = content.rfind(kChecksumFooterPrefix);
+  if (footer == std::string::npos) return false;
+  // The footer must start a line and be the last line.
+  if (footer != 0 && content[footer - 1] != '\n') return false;
+  return content.find('\n', footer) == content.size() - 1;
+}
+
+Result<std::string> VerifyChecksumFooter(const std::string& content) {
+  size_t footer = content.rfind(kChecksumFooterPrefix);
+  if (footer == std::string::npos ||
+      (footer != 0 && content[footer - 1] != '\n')) {
+    return Status::InvalidArgument("missing checksum footer");
+  }
+  std::string body = content.substr(0, footer);
+  const char* fields = content.c_str() + footer + sizeof(kChecksumFooterPrefix) - 1;
+  unsigned int stored_crc = 0;
+  size_t stored_len = 0;
+  if (std::sscanf(fields, "%8x len=%zu", &stored_crc, &stored_len) != 2) {
+    return Status::InvalidArgument("malformed checksum footer");
+  }
+  if (stored_len != body.size()) {
+    return Status::InvalidArgument(
+        StrFormat("checksum footer length mismatch: footer says %zu, "
+                  "body has %zu bytes",
+                  stored_len, body.size()));
+  }
+  uint32_t actual = Crc32(body);
+  if (actual != stored_crc) {
+    return Status::InvalidArgument(
+        StrFormat("checksum mismatch: footer %08x, body %08x", stored_crc,
+                  actual));
+  }
+  return body;
+}
+
+Status WriteChecksummedFile(const std::string& path,
+                            const std::string& body) {
+  return WriteFileAtomic(path, AppendChecksumFooter(body));
+}
+
+Result<std::string> ReadChecksummedFile(const std::string& path) {
+  FC_RETURN_IF_ERROR(FaultInjector::Global().Inject("cache_read"));
+  FC_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  Result<std::string> body = VerifyChecksumFooter(content);
+  if (!body.ok()) {
+    return Status::InvalidArgument(path + ": " + body.status().message());
+  }
+  return body;
+}
+
+Result<std::string> QuarantineFile(const std::string& path) {
+  std::string quarantined = path + ".corrupt";
+  if (std::rename(path.c_str(), quarantined.c_str()) != 0) {
+    return Status::IoError(ErrnoMessage("quarantine rename failed", path));
+  }
+  return quarantined;
+}
+
+}  // namespace fairclean

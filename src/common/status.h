@@ -19,6 +19,7 @@ enum class StatusCode {
   kIoError = 5,
   kNotImplemented = 6,
   kInternal = 7,
+  kDeadlineExceeded = 8,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -55,6 +56,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// A soft deadline (e.g. FAIRCLEAN_TIME_BUDGET_S) was hit; work stopped
+  /// cleanly at a resumable boundary rather than being killed mid-write.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,9 +2,8 @@
 
 #include <cmath>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
 
+#include "common/safe_io.h"
 #include "common/strings.h"
 
 namespace fairclean {
@@ -152,25 +151,23 @@ Result<ResultStore> ResultStore::FromJson(const std::string& json) {
 }
 
 Status ResultStore::SaveToFile(const std::string& path) const {
-  std::ofstream stream(path);
-  if (!stream) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
-  stream << ToJson();
-  if (!stream) {
-    return Status::IoError("write failed: " + path);
-  }
-  return Status::OK();
+  // Atomic write + checksum footer: a crash mid-save leaves the previous
+  // file intact, and a torn/bit-rotted file is detectable on load instead
+  // of being silently reused.
+  return WriteChecksummedFile(path, ToJson());
 }
 
 Result<ResultStore> ResultStore::LoadFromFile(const std::string& path) {
-  std::ifstream stream(path);
-  if (!stream) {
-    return Status::IoError("cannot open: " + path);
+  FC_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  if (HasChecksumFooter(content)) {
+    Result<std::string> body = VerifyChecksumFooter(content);
+    if (!body.ok()) {
+      return Status::InvalidArgument(path + ": " + body.status().message());
+    }
+    return FromJson(*body);
   }
-  std::ostringstream buffer;
-  buffer << stream.rdbuf();
-  return FromJson(buffer.str());
+  // Legacy file without a footer (pre-checksum cache): parse as-is.
+  return FromJson(content);
 }
 
 void ResultStore::MergeFrom(const ResultStore& other) {

@@ -43,6 +43,10 @@ class ResultStore {
 
   /// Persists to / restores from a file — the stop-and-resume facility the
   /// paper's framework provides so completed experiments are not repeated.
+  /// Saves are crash-safe (temp file + fsync + rename) and carry a CRC-32
+  /// footer; LoadFromFile verifies the footer when present (truncated or
+  /// bit-flipped files fail with InvalidArgument rather than being reused)
+  /// and still accepts legacy footer-less files.
   Status SaveToFile(const std::string& path) const;
   static Result<ResultStore> LoadFromFile(const std::string& path);
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/env.h"
+#include "common/fault_injection.h"
 #include "common/strings.h"
 #include "data/split.h"
 #include "ml/encoder.h"
@@ -169,9 +170,10 @@ std::string UnfairnessKey(const std::string& group_key,
   return group_key + "/" + FairnessMetricShortName(metric);
 }
 
-Result<CleaningExperimentResult> RunCleaningExperiment(
+Result<CleaningExperimentResult> RunCleaningRepeatSlice(
     const GeneratedDataset& dataset, const std::string& error_type,
-    const TunedModelFamily& family, const StudyOptions& options) {
+    const TunedModelFamily& family, const StudyOptions& options,
+    size_t repeat, uint64_t seed_salt) {
   if (!dataset.spec.HasErrorType(error_type)) {
     return Status::InvalidArgument(
         StrFormat("dataset %s has no error type %s",
@@ -189,59 +191,126 @@ Result<CleaningExperimentResult> RunCleaningExperiment(
   size_t total_rows = dataset.frame.num_rows();
   size_t sample_size = std::min(options.sample_size, total_rows);
 
-  for (size_t repeat = 0; repeat < options.num_repeats; ++repeat) {
-    // Stable per-repeat seed: reruns of the same configuration reproduce
-    // identical numbers, and different configurations are decorrelated.
-    uint64_t repeat_seed =
-        options.seed ^ Fnv1a(StrFormat("%s/%s/%s/%zu",
-                                       dataset.spec.name.c_str(),
-                                       error_type.c_str(),
-                                       family.name.c_str(), repeat));
-    Rng rng(repeat_seed);
+  // Stable per-repeat seed: reruns of the same configuration reproduce
+  // identical numbers, and different configurations are decorrelated.
+  // Salt 0 must keep the historical formula so existing caches stay valid.
+  uint64_t repeat_seed =
+      options.seed ^ Fnv1a(StrFormat("%s/%s/%s/%zu",
+                                     dataset.spec.name.c_str(),
+                                     error_type.c_str(),
+                                     family.name.c_str(), repeat));
+  if (seed_salt != 0) {
+    repeat_seed ^= Fnv1a(StrFormat("retry/%llu",
+                                   static_cast<unsigned long long>(seed_salt)));
+  }
+  Rng rng(repeat_seed);
 
-    std::vector<size_t> sample =
-        rng.SampleWithoutReplacement(total_rows, sample_size);
-    DataFrame sampled = dataset.frame.Take(sample);
-    TrainTestIndices split =
-        SplitTrainTest(sampled.num_rows(), options.test_fraction, &rng);
-    DataFrame train_raw = sampled.Take(split.train);
-    DataFrame test_raw = sampled.Take(split.test);
+  std::vector<size_t> sample =
+      rng.SampleWithoutReplacement(total_rows, sample_size);
+  DataFrame sampled = dataset.frame.Take(sample);
+  TrainTestIndices split =
+      SplitTrainTest(sampled.num_rows(), options.test_fraction, &rng);
+  DataFrame train_raw = sampled.Take(split.train);
+  DataFrame test_raw = sampled.Take(split.test);
 
+  FC_ASSIGN_OR_RETURN(
+      PreparedData base,
+      PrepareBase(train_raw, test_raw, dataset.spec, error_type));
+  FC_ASSIGN_OR_RETURN(PreparedData dirty,
+                      MakeDirtyVersion(base, dataset.spec, error_type));
+
+  Rng dirty_rng = rng.Fork(0xd127);
+  FC_ASSIGN_OR_RETURN(
+      EvalOutcome dirty_outcome,
+      TrainAndEvaluate(dirty, dataset.spec, result.groups, family,
+                       options.cv_folds, &dirty_rng));
+  // Fault-injection site at the numeric boundary: a fired "numeric" fault
+  // turns the score into NaN, which the study driver must catch as a
+  // degenerate repeat (retry/skip) before it poisons the t-tests.
+  dirty_outcome.accuracy =
+      FaultInjector::Global().CorruptScore("numeric", dirty_outcome.accuracy);
+  AppendScores(dirty_outcome, result.groups, &result.dirty);
+  RecordOutcome(
+      StrFormat("%s/%s/dirty/%s/r%zu", dataset.spec.name.c_str(),
+                error_type.c_str(), family.name.c_str(), repeat),
+      dirty_outcome, result.groups, &result.records);
+
+  for (const CleaningMethod& method : methods) {
+    Rng method_rng = rng.Fork(Fnv1a(method.Name()));
     FC_ASSIGN_OR_RETURN(
-        PreparedData base,
-        PrepareBase(train_raw, test_raw, dataset.spec, error_type));
-    FC_ASSIGN_OR_RETURN(PreparedData dirty,
-                        MakeDirtyVersion(base, dataset.spec, error_type));
-
-    Rng dirty_rng = rng.Fork(0xd127);
+        PreparedData repaired,
+        MakeRepairedVersion(base, dataset.spec, method, &method_rng));
+    Rng eval_rng = rng.Fork(Fnv1a(method.Name() + "/eval"));
     FC_ASSIGN_OR_RETURN(
-        EvalOutcome dirty_outcome,
-        TrainAndEvaluate(dirty, dataset.spec, result.groups, family,
-                         options.cv_folds, &dirty_rng));
-    AppendScores(dirty_outcome, result.groups, &result.dirty);
+        EvalOutcome repaired_outcome,
+        TrainAndEvaluate(repaired, dataset.spec, result.groups, family,
+                         options.cv_folds, &eval_rng));
+    AppendScores(repaired_outcome, result.groups,
+                 &result.repaired[method.Name()]);
     RecordOutcome(
-        StrFormat("%s/%s/dirty/%s/r%zu", dataset.spec.name.c_str(),
-                  error_type.c_str(), family.name.c_str(), repeat),
-        dirty_outcome, result.groups, &result.records);
+        StrFormat("%s/%s/%s/%s/r%zu", dataset.spec.name.c_str(),
+                  error_type.c_str(), method.Name().c_str(),
+                  family.name.c_str(), repeat),
+        repaired_outcome, result.groups, &result.records);
+  }
+  return result;
+}
 
-    for (const CleaningMethod& method : methods) {
-      Rng method_rng = rng.Fork(Fnv1a(method.Name()));
-      FC_ASSIGN_OR_RETURN(
-          PreparedData repaired,
-          MakeRepairedVersion(base, dataset.spec, method, &method_rng));
-      Rng eval_rng = rng.Fork(Fnv1a(method.Name() + "/eval"));
-      FC_ASSIGN_OR_RETURN(
-          EvalOutcome repaired_outcome,
-          TrainAndEvaluate(repaired, dataset.spec, result.groups, family,
-                           options.cv_folds, &eval_rng));
-      AppendScores(repaired_outcome, result.groups,
-                   &result.repaired[method.Name()]);
-      RecordOutcome(
-          StrFormat("%s/%s/%s/%s/r%zu", dataset.spec.name.c_str(),
-                    error_type.c_str(), method.Name().c_str(),
-                    family.name.c_str(), repeat),
-          repaired_outcome, result.groups, &result.records);
-    }
+namespace {
+
+void AppendSeries(const ScoreSeries& slice, ScoreSeries* target) {
+  target->accuracy.insert(target->accuracy.end(), slice.accuracy.begin(),
+                          slice.accuracy.end());
+  target->f1.insert(target->f1.end(), slice.f1.begin(), slice.f1.end());
+  for (const auto& [key, values] : slice.unfairness) {
+    std::vector<double>& series = target->unfairness[key];
+    series.insert(series.end(), values.begin(), values.end());
+  }
+}
+
+}  // namespace
+
+Status AppendRepeatSlice(const CleaningExperimentResult& slice,
+                         CleaningExperimentResult* target) {
+  if (target->dataset.empty() && target->repaired.empty() &&
+      target->dirty.accuracy.empty()) {
+    target->dataset = slice.dataset;
+    target->error_type = slice.error_type;
+    target->model = slice.model;
+    target->groups = slice.groups;
+  } else if (target->dataset != slice.dataset ||
+             target->error_type != slice.error_type ||
+             target->model != slice.model) {
+    return Status::InvalidArgument(StrFormat(
+        "slice %s/%s/%s does not match experiment %s/%s/%s",
+        slice.dataset.c_str(), slice.error_type.c_str(), slice.model.c_str(),
+        target->dataset.c_str(), target->error_type.c_str(),
+        target->model.c_str()));
+  }
+  AppendSeries(slice.dirty, &target->dirty);
+  for (const auto& [method, series] : slice.repaired) {
+    AppendSeries(series, &target->repaired[method]);
+  }
+  target->records.MergeFrom(slice.records);
+  return Status::OK();
+}
+
+Result<CleaningExperimentResult> RunCleaningExperiment(
+    const GeneratedDataset& dataset, const std::string& error_type,
+    const TunedModelFamily& family, const StudyOptions& options) {
+  CleaningExperimentResult result;
+  for (size_t repeat = 0; repeat < options.num_repeats; ++repeat) {
+    FC_ASSIGN_OR_RETURN(
+        CleaningExperimentResult slice,
+        RunCleaningRepeatSlice(dataset, error_type, family, options, repeat));
+    FC_RETURN_IF_ERROR(AppendRepeatSlice(slice, &result));
+  }
+  if (options.num_repeats == 0) {
+    // Preserve metadata for the degenerate zero-repeat request.
+    result.dataset = dataset.spec.name;
+    result.error_type = error_type;
+    result.model = family.name;
+    result.groups = GroupDefinitionsFor(dataset.spec);
   }
   return result;
 }

@@ -96,6 +96,27 @@ Result<CleaningExperimentResult> RunCleaningExperiment(
     const GeneratedDataset& dataset, const std::string& error_type,
     const TunedModelFamily& family, const StudyOptions& options);
 
+/// Runs exactly one repeat (slot `repeat`) of the protocol and returns it
+/// as a result whose score series all have length 1 (records keyed
+/// "r<repeat>" as usual). This is the checkpointable unit of work the
+/// fault-tolerant study driver journals between: an interrupted experiment
+/// resumes at the repeat boundary instead of restarting.
+///
+/// `seed_salt` 0 is the canonical attempt and reproduces the exact numbers
+/// RunCleaningExperiment computes for that slot; a non-zero salt derives a
+/// fresh but deterministic seed, used to retry repeats whose data draw was
+/// degenerate (e.g. a single-class training fold).
+Result<CleaningExperimentResult> RunCleaningRepeatSlice(
+    const GeneratedDataset& dataset, const std::string& error_type,
+    const TunedModelFamily& family, const StudyOptions& options,
+    size_t repeat, uint64_t seed_salt = 0);
+
+/// Appends a one-repeat slice onto `target` (series push_back + record
+/// merge). The first slice initializes the target's metadata; later slices
+/// must agree on dataset/error type/model and method set.
+Status AppendRepeatSlice(const CleaningExperimentResult& slice,
+                         CleaningExperimentResult* target);
+
 /// Impact of one cleaning method on accuracy and on one fairness metric for
 /// one group definition, classified against the dirty baseline.
 struct ImpactOutcome {

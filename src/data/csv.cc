@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_injection.h"
 #include "common/strings.h"
 
 namespace fairclean {
@@ -82,6 +83,9 @@ std::string EscapeField(const std::string& value, char delimiter) {
 
 Result<DataFrame> ReadCsvFromString(const std::string& text,
                                     const CsvOptions& options) {
+  // Fault-injection site: lets tests prove callers survive a parse failure
+  // (all real parse errors below already propagate as Status).
+  FC_RETURN_IF_ERROR(FaultInjector::Global().Inject("csv_parse"));
   std::vector<std::string> lines;
   {
     std::istringstream stream(text);

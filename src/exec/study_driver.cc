@@ -1,0 +1,419 @@
+#include "exec/study_driver.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/fault_injection.h"
+#include "common/safe_io.h"
+#include "common/strings.h"
+#include "core/cleaning.h"
+
+namespace fairclean {
+namespace exec {
+
+namespace {
+
+constexpr FairnessMetric kAllMetrics[] = {
+    FairnessMetric::kPredictiveParity,
+    FairnessMetric::kEqualOpportunity,
+    FairnessMetric::kDemographicParity,
+    FairnessMetric::kFalsePositiveRateParity,
+    FairnessMetric::kAccuracyParity,
+};
+
+// Paired t-tests need at least two completed repeats per configuration.
+constexpr size_t kMinCompletedRepeats = 2;
+
+// Bookkeeping keys stored alongside the metric records. "__meta__" sorts
+// before the dataset-name keys and is ignored by every metric consumer
+// (they look keys up by configuration prefix).
+constexpr char kMetaNextRepeat[] = "__meta__/next_repeat";
+
+std::string SkippedKey(size_t slot) {
+  return StrFormat("__meta__/r%zu_skipped", slot);
+}
+
+// Accumulates wall-clock time into a per-stage counter.
+class StageTimer {
+ public:
+  explicit StageTimer(double* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    *sink_ += std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  }
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+bool SeriesHasNonFinite(const ScoreSeries& series) {
+  for (double v : series.accuracy) {
+    if (!std::isfinite(v)) return true;
+  }
+  for (double v : series.f1) {
+    if (!std::isfinite(v)) return true;
+  }
+  for (const auto& [key, values] : series.unfairness) {
+    for (double v : values) {
+      if (!std::isfinite(v)) return true;
+    }
+  }
+  return false;
+}
+
+// A repeat is degenerate when any of its scores is non-finite: an empty
+// group slice or single-class fold yields NaN gaps, and an injected
+// "numeric" fault yields a NaN accuracy. Such a slice must not reach the
+// t-tests.
+bool IsDegenerateSlice(const CleaningExperimentResult& slice) {
+  if (SeriesHasNonFinite(slice.dirty)) return true;
+  for (const auto& [method, series] : slice.repaired) {
+    if (SeriesHasNonFinite(series)) return true;
+  }
+  return false;
+}
+
+// A store reassembled into per-repeat score series.
+struct Reconstructed {
+  CleaningExperimentResult result;
+  size_t next_repeat = 0;  ///< slots decided (completed or skipped)
+  size_t completed = 0;    ///< slots with scores
+  bool complete = false;   ///< all of study.num_repeats slots decided
+};
+
+// Rebuilds ScoreSeries from the flat records of a cached or journaled run,
+// honoring the skip markers. Returns an error if any expected key is
+// absent (stale/partial store -> recompute).
+Result<Reconstructed> ReconstructFromStore(const ResultStore& records,
+                                           const GeneratedDataset& dataset,
+                                           const std::string& error_type,
+                                           const std::string& model,
+                                           const StudyOptions& study) {
+  FC_ASSIGN_OR_RETURN(std::vector<CleaningMethod> methods,
+                      CleaningMethodsFor(error_type));
+  Reconstructed out;
+  CleaningExperimentResult& result = out.result;
+  result.dataset = dataset.spec.name;
+  result.error_type = error_type;
+  result.model = model;
+  result.groups = GroupDefinitionsFor(dataset.spec);
+  result.records = records;
+
+  out.next_repeat = study.num_repeats;
+  if (records.Contains(kMetaNextRepeat)) {
+    FC_ASSIGN_OR_RETURN(double raw, records.Get(kMetaNextRepeat));
+    if (!(raw >= 0.0) || raw > static_cast<double>(study.num_repeats)) {
+      return Status::InvalidArgument(
+          StrFormat("journal cursor %g out of range [0, %zu]", raw,
+                    study.num_repeats));
+    }
+    out.next_repeat = static_cast<size_t>(raw);
+  }
+
+  std::vector<std::string> versions = {"dirty"};
+  for (const CleaningMethod& method : methods) {
+    versions.push_back(method.Name());
+  }
+  for (size_t repeat = 0; repeat < out.next_repeat; ++repeat) {
+    if (records.Contains(SkippedKey(repeat))) continue;
+    for (const std::string& version : versions) {
+      ScoreSeries* series = version == "dirty"
+                                ? &result.dirty
+                                : &result.repaired[version];
+      std::string prefix =
+          StrFormat("%s/%s/%s/%s/r%zu", dataset.spec.name.c_str(),
+                    error_type.c_str(), version.c_str(), model.c_str(),
+                    repeat);
+      FC_ASSIGN_OR_RETURN(double accuracy,
+                          records.Get(MetricKey({prefix, "test_acc"})));
+      FC_ASSIGN_OR_RETURN(double f1,
+                          records.Get(MetricKey({prefix, "test_f1"})));
+      series->accuracy.push_back(accuracy);
+      series->f1.push_back(f1);
+      for (const GroupDefinition& group : result.groups) {
+        GroupConfusion confusion;
+        const struct {
+          const char* suffix;
+          ConfusionMatrix* cm;
+        } sides[2] = {{"priv", &confusion.privileged},
+                      {"dis", &confusion.disadvantaged}};
+        for (const auto& side : sides) {
+          std::string base = group.key + "_" + side.suffix;
+          FC_ASSIGN_OR_RETURN(double tn,
+                              records.Get(MetricKey({prefix, base, "tn"})));
+          FC_ASSIGN_OR_RETURN(double fp,
+                              records.Get(MetricKey({prefix, base, "fp"})));
+          FC_ASSIGN_OR_RETURN(double fn,
+                              records.Get(MetricKey({prefix, base, "fn"})));
+          FC_ASSIGN_OR_RETURN(double tp,
+                              records.Get(MetricKey({prefix, base, "tp"})));
+          side.cm->tn = static_cast<int64_t>(tn);
+          side.cm->fp = static_cast<int64_t>(fp);
+          side.cm->fn = static_cast<int64_t>(fn);
+          side.cm->tp = static_cast<int64_t>(tp);
+        }
+        for (FairnessMetric metric : kAllMetrics) {
+          series->unfairness[UnfairnessKey(group.key, metric)].push_back(
+              FairnessGap(metric, confusion));
+        }
+      }
+    }
+    ++out.completed;
+  }
+  out.complete = out.next_repeat == study.num_repeats;
+  return out;
+}
+
+}  // namespace
+
+std::string RunDiagnostics::Format() const {
+  std::string out = "study driver diagnostics:\n";
+  out += StrFormat(
+      "  experiments=%zu cache_hits=%zu journal_resumes=%zu "
+      "repeats_resumed=%zu\n",
+      experiments, cache_hits, journal_resumes, repeats_resumed);
+  out += StrFormat(
+      "  repeats_run=%zu retries=%zu skips=%zu checkpoints=%zu "
+      "corrupt_quarantined=%zu budget_exhausted=%s\n",
+      repeats_run, retries, skips, checkpoints, corrupt_quarantined,
+      budget_exhausted ? "yes" : "no");
+  out += "  wall:";
+  for (const auto& [stage, seconds] : stage_seconds) {
+    out += StrFormat(" %s=%.2fs", stage.c_str(), seconds);
+  }
+  out += "\n";
+  return out;
+}
+
+StudyDriver::StudyDriver(StudyDriverOptions options)
+    : options_(std::move(options)),
+      start_(std::chrono::steady_clock::now()) {}
+
+std::string StudyDriver::CachePath(const StudyDriverOptions& options,
+                                   const std::string& dataset,
+                                   const std::string& error_type,
+                                   const std::string& model) {
+  return StrFormat("%s/%s_%s_%s_s%llu_n%zu_r%zu_f%zu.json",
+                   options.cache_dir.c_str(), dataset.c_str(),
+                   error_type.c_str(), model.c_str(),
+                   static_cast<unsigned long long>(options.study.seed),
+                   options.study.sample_size, options.study.num_repeats,
+                   options.study.cv_folds);
+}
+
+std::string StudyDriver::JournalPath(const StudyDriverOptions& options,
+                                     const std::string& dataset,
+                                     const std::string& error_type,
+                                     const std::string& model) {
+  return CachePath(options, dataset, error_type, model) + ".journal";
+}
+
+double StudyDriver::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+bool StudyDriver::BudgetExhausted() const {
+  return options_.time_budget_s > 0.0 &&
+         ElapsedSeconds() > options_.time_budget_s;
+}
+
+Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
+    const GeneratedDataset& dataset, const std::string& error_type,
+    const std::string& model) {
+  ++diagnostics_.experiments;
+  FC_ASSIGN_OR_RETURN(TunedModelFamily family, ModelFamilyByName(model));
+
+  const bool persist = !options_.cache_dir.empty();
+  std::string cache_path;
+  std::string journal_path;
+  CleaningExperimentResult result;
+  size_t resume_from = 0;
+
+  if (persist) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.cache_dir, ec);
+    cache_path = CachePath(options_, dataset.spec.name, error_type, model);
+    journal_path = cache_path + ".journal";
+
+    StageTimer timer(&diagnostics_.stage_seconds["cache_load"]);
+    // 1) A completed experiment in the result cache.
+    if (std::filesystem::exists(cache_path, ec)) {
+      Result<ResultStore> store = ResultStore::LoadFromFile(cache_path);
+      if (!store.ok()) {
+        // Truncated, bit-flipped, or unparsable: quarantine the evidence
+        // and recompute. Transient read errors just recompute in place.
+        if (store.status().code() != StatusCode::kIoError) {
+          ++diagnostics_.corrupt_quarantined;
+          Result<std::string> moved = QuarantineFile(cache_path);
+          if (options_.verbose) {
+            std::fprintf(stderr, "[warn ] corrupt cache %s (%s) -> %s\n",
+                         cache_path.c_str(),
+                         store.status().ToString().c_str(),
+                         moved.ok() ? moved->c_str() : "quarantine failed");
+          }
+        } else if (options_.verbose) {
+          std::fprintf(stderr, "[warn ] cache read failed: %s\n",
+                       store.status().ToString().c_str());
+        }
+      } else {
+        Result<Reconstructed> cached = ReconstructFromStore(
+            *store, dataset, error_type, model, options_.study);
+        if (cached.ok() && cached->complete &&
+            cached->completed >= kMinCompletedRepeats) {
+          ++diagnostics_.cache_hits;
+          if (options_.verbose) {
+            std::fprintf(stderr, "[cache] %s/%s/%s\n",
+                         dataset.spec.name.c_str(), error_type.c_str(),
+                         model.c_str());
+          }
+          return cached->result;
+        }
+        // Stale (missing keys) or incomplete store at the cache path: the
+        // file is intact JSON, just not usable — recompute and overwrite.
+      }
+    }
+
+    // 2) A journal from an interrupted run.
+    if (std::filesystem::exists(journal_path, ec)) {
+      Result<std::string> body = ReadChecksummedFile(journal_path);
+      Result<Reconstructed> resumed =
+          body.ok() ? [&]() -> Result<Reconstructed> {
+            FC_ASSIGN_OR_RETURN(ResultStore store,
+                                ResultStore::FromJson(*body));
+            return ReconstructFromStore(store, dataset, error_type, model,
+                                        options_.study);
+          }()
+                    : Result<Reconstructed>(body.status());
+      if (resumed.ok()) {
+        result = std::move(resumed->result);
+        resume_from = resumed->next_repeat;
+        ++diagnostics_.journal_resumes;
+        diagnostics_.repeats_resumed += resumed->completed;
+        if (options_.verbose) {
+          std::fprintf(stderr, "[resum] %s/%s/%s at repeat %zu/%zu\n",
+                       dataset.spec.name.c_str(), error_type.c_str(),
+                       model.c_str(), resume_from,
+                       options_.study.num_repeats);
+        }
+      } else {
+        ++diagnostics_.corrupt_quarantined;
+        Result<std::string> moved = QuarantineFile(journal_path);
+        if (options_.verbose) {
+          std::fprintf(stderr, "[warn ] corrupt journal %s (%s) -> %s\n",
+                       journal_path.c_str(),
+                       resumed.status().ToString().c_str(),
+                       moved.ok() ? moved->c_str() : "quarantine failed");
+        }
+      }
+    }
+  }
+
+  if (resume_from < options_.study.num_repeats && options_.verbose) {
+    std::fprintf(stderr, "[run  ] %s/%s/%s ...\n", dataset.spec.name.c_str(),
+                 error_type.c_str(), model.c_str());
+  }
+
+  Status last_failure;
+  for (size_t slot = resume_from; slot < options_.study.num_repeats;
+       ++slot) {
+    if (BudgetExhausted()) {
+      diagnostics_.budget_exhausted = true;
+      return Status::DeadlineExceeded(StrFormat(
+          "time budget of %.1fs exhausted after %.1fs; %zu/%zu repeats of "
+          "%s/%s/%s are checkpointed — re-run to resume",
+          options_.time_budget_s, ElapsedSeconds(), slot,
+          options_.study.num_repeats, dataset.spec.name.c_str(),
+          error_type.c_str(), model.c_str()));
+    }
+    // Simulated hard interruption between repeats (tests kill-and-resume):
+    // everything up to the previous repeat is already journaled.
+    FC_RETURN_IF_ERROR(FaultInjector::Global().Inject("interrupt"));
+
+    bool slot_done = false;
+    {
+      StageTimer timer(&diagnostics_.stage_seconds["compute"]);
+      for (size_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+        if (attempt > 0) ++diagnostics_.retries;
+        // First retry replays the same seed (a transient fault resolves
+        // without changing any score); later retries reseed.
+        uint64_t salt = attempt <= 1 ? 0 : attempt - 1;
+        Result<CleaningExperimentResult> slice = RunCleaningRepeatSlice(
+            dataset, error_type, family, options_.study, slot, salt);
+        if (!slice.ok()) {
+          last_failure = slice.status();
+        } else if (IsDegenerateSlice(*slice)) {
+          last_failure = Status::InvalidArgument(
+              StrFormat("degenerate repeat %zu (non-finite score)", slot));
+        } else {
+          FC_RETURN_IF_ERROR(AppendRepeatSlice(*slice, &result));
+          ++diagnostics_.repeats_run;
+          slot_done = true;
+          break;
+        }
+        if (options_.verbose) {
+          std::fprintf(stderr, "[retry] %s/%s/%s r%zu attempt %zu: %s\n",
+                       dataset.spec.name.c_str(), error_type.c_str(),
+                       model.c_str(), slot, attempt,
+                       last_failure.ToString().c_str());
+        }
+      }
+    }
+    if (!slot_done) {
+      ++diagnostics_.skips;
+      result.records.Put(SkippedKey(slot), 1.0);
+      if (options_.verbose) {
+        std::fprintf(stderr, "[skip ] %s/%s/%s r%zu: %s\n",
+                     dataset.spec.name.c_str(), error_type.c_str(),
+                     model.c_str(), slot, last_failure.ToString().c_str());
+      }
+    }
+    result.records.Put(kMetaNextRepeat, static_cast<double>(slot + 1));
+
+    if (persist) {
+      StageTimer timer(&diagnostics_.stage_seconds["checkpoint"]);
+      Status journaled = result.records.SaveToFile(journal_path);
+      if (journaled.ok()) {
+        ++diagnostics_.checkpoints;
+      } else if (options_.verbose) {
+        // Non-fatal: worst case a later resume redoes this repeat.
+        std::fprintf(stderr, "[warn ] journal write failed: %s\n",
+                     journaled.ToString().c_str());
+      }
+    }
+  }
+
+  size_t completed = result.dirty.accuracy.size();
+  if (completed < kMinCompletedRepeats) {
+    Status failure = Status::InvalidArgument(StrFormat(
+        "only %zu of %zu repeats of %s/%s/%s succeeded (need >= %zu); "
+        "last failure: %s",
+        completed, options_.study.num_repeats, dataset.spec.name.c_str(),
+        error_type.c_str(), model.c_str(), kMinCompletedRepeats,
+        last_failure.ToString().c_str()));
+    return failure;
+  }
+
+  if (persist) {
+    StageTimer timer(&diagnostics_.stage_seconds["finalize"]);
+    Status saved = result.records.SaveToFile(cache_path);
+    if (!saved.ok()) {
+      if (options_.verbose) {
+        std::fprintf(stderr, "[warn ] cache write failed: %s\n",
+                     saved.ToString().c_str());
+      }
+    } else {
+      std::error_code ec;
+      std::filesystem::remove(journal_path, ec);
+    }
+  }
+  return result;
+}
+
+}  // namespace exec
+}  // namespace fairclean

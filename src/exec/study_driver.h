@@ -1,0 +1,111 @@
+#ifndef FAIRCLEAN_EXEC_STUDY_DRIVER_H_
+#define FAIRCLEAN_EXEC_STUDY_DRIVER_H_
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "core/runner.h"
+#include "datasets/generator.h"
+
+namespace fairclean {
+namespace exec {
+
+/// Knobs of the fault-tolerant study execution layer.
+struct StudyDriverOptions {
+  StudyOptions study;
+  /// Directory for cached experiment records and repeat journals ("" runs
+  /// fully in memory: no cache, no checkpoints).
+  std::string cache_dir;
+  /// Extra attempts per degenerate repeat. The first retry replays the
+  /// identical seed (recovering transient faults without changing any
+  /// score); later retries derive a fresh deterministic seed. A repeat that
+  /// stays degenerate after all retries is skipped.
+  size_t max_retries = 2;
+  /// Soft wall-clock budget in seconds measured from driver construction
+  /// (<= 0: unlimited). When exceeded, the driver checkpoints and returns
+  /// DeadlineExceeded at the next repeat boundary instead of being killed
+  /// mid-write; re-running resumes from the journal.
+  double time_budget_s = 0.0;
+  bool verbose = false;
+};
+
+/// Structured counters describing how a driver run degraded (or didn't):
+/// cache reuse, journal resumes, retries, skips, quarantined files, and
+/// wall time per stage. Printed by the table benches.
+struct RunDiagnostics {
+  size_t experiments = 0;        ///< RunOrLoad calls served.
+  size_t cache_hits = 0;         ///< served entirely from the result cache
+  size_t journal_resumes = 0;    ///< experiments resumed from a journal
+  size_t repeats_resumed = 0;    ///< repeats recovered from journals
+  size_t repeats_run = 0;        ///< repeats computed in this process
+  size_t retries = 0;            ///< extra attempts on degenerate repeats
+  size_t skips = 0;              ///< repeats abandoned after all retries
+  size_t corrupt_quarantined = 0;///< cache/journal files moved to .corrupt
+  size_t checkpoints = 0;        ///< journal snapshots written
+  bool budget_exhausted = false; ///< stopped by FAIRCLEAN_TIME_BUDGET_S
+  /// Wall-clock seconds per stage: "cache_load", "compute", "checkpoint",
+  /// "finalize".
+  std::map<std::string, double> stage_seconds;
+
+  /// Multi-line human-readable summary.
+  std::string Format() const;
+};
+
+/// Fault-tolerant wrapper around RunCleaningExperiment.
+///
+/// Where the plain runner computes all repeats in one shot and dies (or
+/// throws away hours of work) on any failure, the driver:
+///  - serves completed experiments from a checksummed result cache,
+///    quarantining corrupt/truncated files to <name>.corrupt and
+///    recomputing instead of crashing or silently reusing garbage;
+///  - journals every completed repeat with atomic temp-file+rename writes,
+///    so an interrupted experiment resumes at the repeat (not experiment)
+///    boundary and reproduces byte-identical results;
+///  - retries degenerate repeats (non-finite score, single-class fold,
+///    empty group slice) with deterministic reseeding, then skips them;
+///  - honors a soft time budget, exiting cleanly with resumable state.
+///
+/// One driver instance is meant to span a whole bench invocation so the
+/// time budget and diagnostics cover the full scope. Not thread-safe.
+class StudyDriver {
+ public:
+  explicit StudyDriver(StudyDriverOptions options);
+
+  /// Runs (or loads, or resumes) the cleaning experiment for one
+  /// (dataset, error type, model family). On DeadlineExceeded the
+  /// completed repeats are journaled and a re-run resumes them.
+  Result<CleaningExperimentResult> RunOrLoad(const GeneratedDataset& dataset,
+                                             const std::string& error_type,
+                                             const std::string& model);
+
+  const RunDiagnostics& diagnostics() const { return diagnostics_; }
+
+  /// Cache file for one configuration (same layout the benches always
+  /// used, so pre-existing caches keep working).
+  static std::string CachePath(const StudyDriverOptions& options,
+                               const std::string& dataset,
+                               const std::string& error_type,
+                               const std::string& model);
+
+  /// Journal file used while a configuration is in flight.
+  static std::string JournalPath(const StudyDriverOptions& options,
+                                 const std::string& dataset,
+                                 const std::string& error_type,
+                                 const std::string& model);
+
+  /// Seconds since driver construction.
+  double ElapsedSeconds() const;
+
+ private:
+  bool BudgetExhausted() const;
+
+  StudyDriverOptions options_;
+  RunDiagnostics diagnostics_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace exec
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_EXEC_STUDY_DRIVER_H_

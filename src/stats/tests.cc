@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/strings.h"
 #include "stats/distributions.h"
 
 namespace fairclean {
@@ -76,6 +77,12 @@ Result<TestResult> PairedTTest(const std::vector<double>& x,
   size_t n = x.size();
   if (n < 2) {
     return Status::InvalidArgument("paired t-test requires at least 2 pairs");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(x[i]) || !std::isfinite(y[i])) {
+      return Status::InvalidArgument(StrFormat(
+          "paired t-test requires finite scores (pair %zu is not)", i));
+    }
   }
   double mean_diff = 0.0;
   for (size_t i = 0; i < n; ++i) mean_diff += x[i] - y[i];

@@ -44,9 +44,12 @@ Result<TestResult> ChiSquareTest2x2(const ContingencyTable2x2& table);
 
 /// Two-sided paired-sample t-test on equally long score vectors, as used by
 /// CleanML/the paper to compare dirty-vs-repaired metric scores across
-/// repeated runs. Fails if fewer than 2 pairs or the sizes differ. A zero
-/// variance of differences yields p = 1 when the mean difference is zero and
-/// p = 0 otherwise.
+/// repeated runs. Fails with InvalidArgument (never aborts) if fewer than 2
+/// pairs, the sizes differ, or any score is non-finite — NaN scores reach
+/// this code from degenerate repeats (empty group slice, single-class fold)
+/// and must surface as a recoverable error, not garbage p-values. A zero
+/// variance of differences is well-defined: p = 1 when the mean difference
+/// is zero and p = 0 otherwise.
 Result<TestResult> PairedTTest(const std::vector<double>& x,
                                const std::vector<double>& y);
 

@@ -33,6 +33,25 @@ TEST(EnvTest, GarbageFallsBackToDefault) {
   unsetenv("FAIRCLEAN_TEST_KNOB");
 }
 
+TEST(EnvTest, ParsesDouble) {
+  setenv("FAIRCLEAN_TEST_KNOB", "1.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("FAIRCLEAN_TEST_KNOB", 9.0), 1.5);
+  setenv("FAIRCLEAN_TEST_KNOB", "-2e-3", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("FAIRCLEAN_TEST_KNOB", 9.0), -2e-3);
+  unsetenv("FAIRCLEAN_TEST_KNOB");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("FAIRCLEAN_TEST_KNOB", 9.0), 9.0);
+}
+
+TEST(EnvTest, DoubleGarbageAndNonFiniteFallBackToDefault) {
+  setenv("FAIRCLEAN_TEST_KNOB", "1.5x", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("FAIRCLEAN_TEST_KNOB", 9.0), 9.0);
+  setenv("FAIRCLEAN_TEST_KNOB", "inf", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("FAIRCLEAN_TEST_KNOB", 9.0), 9.0);
+  setenv("FAIRCLEAN_TEST_KNOB", "nan", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("FAIRCLEAN_TEST_KNOB", 9.0), 9.0);
+  unsetenv("FAIRCLEAN_TEST_KNOB");
+}
+
 TEST(EnvTest, ReadsString) {
   setenv("FAIRCLEAN_TEST_KNOB", "value", 1);
   EXPECT_EQ(GetEnvString("FAIRCLEAN_TEST_KNOB", "dflt"), "value");

@@ -1,0 +1,131 @@
+#include "common/safe_io.h"
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+
+namespace fairclean {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/safe_io_" + name;
+}
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // Standard zlib/IEEE CRC-32 check values.
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414fa339u);
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlip) {
+  std::string data = "{\"a\": 1}";
+  uint32_t before = Crc32(data);
+  data[1] ^= 0x01;
+  EXPECT_NE(Crc32(data), before);
+}
+
+TEST(AtomicWriteTest, RoundTripsAndLeavesNoTempFile) {
+  std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "hello\nworld\n").ok());
+  Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "hello\nworld\n");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicWriteTest, ReplacesExistingFile) {
+  std::string path = TempPath("replace.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "old").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "new").ok());
+  EXPECT_EQ(*ReadFileToString(path), "new");
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicWriteTest, MissingFileIsIoError) {
+  Result<std::string> read = ReadFileToString(TempPath("does_not_exist"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST(ChecksumFooterTest, AppendThenVerifyReturnsBody) {
+  std::string body = "{\"x\": 1, \"y\": 2}\n";
+  std::string framed = AppendChecksumFooter(body);
+  EXPECT_TRUE(HasChecksumFooter(framed));
+  Result<std::string> verified = VerifyChecksumFooter(framed);
+  ASSERT_TRUE(verified.ok());
+  EXPECT_EQ(*verified, body);
+}
+
+TEST(ChecksumFooterTest, MissingFooterIsInvalidArgument) {
+  Result<std::string> verified = VerifyChecksumFooter("{\"x\": 1}\n");
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ChecksumFooterTest, DetectsBitFlipInBody) {
+  std::string framed = AppendChecksumFooter("{\"x\": 1234}\n");
+  framed[6] = '5';  // 1234 -> 1534
+  Result<std::string> verified = VerifyChecksumFooter(framed);
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ChecksumFooterTest, DetectsTruncatedBody) {
+  std::string body = "{\"x\": 1, \"y\": 2}\n";
+  std::string framed = AppendChecksumFooter(body);
+  // Drop one byte of the body but keep the footer intact.
+  std::string truncated = framed.substr(1);
+  EXPECT_FALSE(VerifyChecksumFooter(truncated).ok());
+}
+
+TEST(ChecksummedFileTest, RoundTrip) {
+  std::string path = TempPath("checked.json");
+  ASSERT_TRUE(WriteChecksummedFile(path, "{\"k\": 7}\n").ok());
+  Result<std::string> body = ReadChecksummedFile(path);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(*body, "{\"k\": 7}\n");
+  std::filesystem::remove(path);
+}
+
+TEST(QuarantineTest, MovesFileAside) {
+  std::string path = TempPath("damaged.json");
+  ASSERT_TRUE(WriteFileAtomic(path, "garbage").ok());
+  Result<std::string> moved = QuarantineFile(path);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, path + ".corrupt");
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_EQ(*ReadFileToString(*moved), "garbage");
+  std::filesystem::remove(*moved);
+}
+
+TEST(SafeIoFaultTest, CacheWriteSiteFails) {
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("cache_write:1", 1).ok());
+  std::string path = TempPath("faulted.txt");
+  Status status = WriteFileAtomic(path, "never lands");
+  FaultInjector::Global().Reset();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(SafeIoFaultTest, CacheReadSiteFails) {
+  std::string path = TempPath("read_faulted.txt");
+  ASSERT_TRUE(WriteChecksummedFile(path, "body").ok());
+  ASSERT_TRUE(FaultInjector::Global().Configure("cache_read:1", 1).ok());
+  Result<std::string> body = ReadChecksummedFile(path);
+  FaultInjector::Global().Reset();
+  ASSERT_FALSE(body.ok());
+  EXPECT_EQ(body.status().code(), StatusCode::kIoError);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace fairclean

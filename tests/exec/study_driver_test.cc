@@ -1,0 +1,291 @@
+#include "exec/study_driver.h"
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/random.h"
+#include "common/safe_io.h"
+#include "datasets/generator.h"
+
+namespace fairclean {
+namespace exec {
+namespace {
+
+StudyOptions SmallStudy() {
+  StudyOptions options;
+  options.sample_size = 300;
+  options.num_repeats = 3;
+  options.cv_folds = 3;
+  options.seed = 99;
+  return options;
+}
+
+const GeneratedDataset& German() {
+  static const GeneratedDataset* dataset = [] {
+    Rng rng(7);
+    return new GeneratedDataset(
+        MakeDataset("german", 500, &rng).ValueOrDie());
+  }();
+  return *dataset;
+}
+
+// Fault-free, cache-free reference result every robustness scenario must
+// reproduce exactly.
+const CleaningExperimentResult& Baseline() {
+  static const CleaningExperimentResult* result = [] {
+    StudyDriverOptions options;
+    options.study = SmallStudy();
+    options.cache_dir = "";
+    StudyDriver driver(options);
+    return new CleaningExperimentResult(
+        driver.RunOrLoad(German(), "missing_values", "log-reg")
+            .ValueOrDie());
+  }();
+  return *result;
+}
+
+void ExpectSameScores(const CleaningExperimentResult& actual,
+                      const CleaningExperimentResult& expected) {
+  ASSERT_EQ(actual.dirty.accuracy.size(), expected.dirty.accuracy.size());
+  for (size_t i = 0; i < expected.dirty.accuracy.size(); ++i) {
+    EXPECT_DOUBLE_EQ(actual.dirty.accuracy[i], expected.dirty.accuracy[i]);
+  }
+  ASSERT_EQ(actual.repaired.size(), expected.repaired.size());
+  for (const auto& [method, series] : expected.repaired) {
+    ASSERT_TRUE(actual.repaired.count(method)) << method;
+    const ScoreSeries& other = actual.repaired.at(method);
+    ASSERT_EQ(other.accuracy.size(), series.accuracy.size()) << method;
+    for (size_t i = 0; i < series.accuracy.size(); ++i) {
+      EXPECT_DOUBLE_EQ(other.accuracy[i], series.accuracy[i]) << method;
+    }
+  }
+  for (const auto& [key, series] : expected.dirty.unfairness) {
+    ASSERT_TRUE(actual.dirty.unfairness.count(key)) << key;
+    const std::vector<double>& other = actual.dirty.unfairness.at(key);
+    ASSERT_EQ(other.size(), series.size()) << key;
+    for (size_t i = 0; i < series.size(); ++i) {
+      EXPECT_DOUBLE_EQ(other[i], series[i]) << key;
+    }
+  }
+}
+
+class StudyDriverTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    cache_dir_ = testing::TempDir() + "/study_driver_" +
+                 testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(cache_dir_);
+  }
+
+  void TearDown() override {
+    FaultInjector::Global().Reset();
+    std::filesystem::remove_all(cache_dir_);
+  }
+
+  StudyDriverOptions Options() const {
+    StudyDriverOptions options;
+    options.study = SmallStudy();
+    options.cache_dir = cache_dir_;
+    return options;
+  }
+
+  std::string CacheFile() const {
+    return StudyDriver::CachePath(Options(), "german", "missing_values",
+                                  "log-reg");
+  }
+
+  std::string cache_dir_;
+};
+
+TEST_F(StudyDriverTest, ComputesBaselineWithoutCache) {
+  StudyDriverOptions options = Options();
+  options.cache_dir = "";
+  StudyDriver driver(options);
+  Result<CleaningExperimentResult> result =
+      driver.RunOrLoad(German(), "missing_values", "log-reg");
+  ASSERT_TRUE(result.ok());
+  ExpectSameScores(*result, Baseline());
+  EXPECT_EQ(driver.diagnostics().repeats_run, 3u);
+  EXPECT_EQ(driver.diagnostics().cache_hits, 0u);
+  EXPECT_EQ(driver.diagnostics().checkpoints, 0u);
+}
+
+TEST_F(StudyDriverTest, SecondRunIsServedFromCacheWithIdenticalScores) {
+  {
+    StudyDriver driver(Options());
+    ASSERT_TRUE(
+        driver.RunOrLoad(German(), "missing_values", "log-reg").ok());
+    EXPECT_EQ(driver.diagnostics().cache_hits, 0u);
+    // The journal is replaced by the final cache file.
+    EXPECT_TRUE(std::filesystem::exists(CacheFile()));
+    EXPECT_FALSE(std::filesystem::exists(CacheFile() + ".journal"));
+  }
+  StudyDriver driver(Options());
+  Result<CleaningExperimentResult> cached =
+      driver.RunOrLoad(German(), "missing_values", "log-reg");
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(driver.diagnostics().cache_hits, 1u);
+  EXPECT_EQ(driver.diagnostics().repeats_run, 0u);
+  ExpectSameScores(*cached, Baseline());
+}
+
+TEST_F(StudyDriverTest, ResumesFromPartialJournalByteIdentically) {
+  {
+    StudyDriver driver(Options());
+    ASSERT_TRUE(
+        driver.RunOrLoad(German(), "missing_values", "log-reg").ok());
+  }
+  std::string full_cache = *ReadFileToString(CacheFile());
+
+  // Rebuild the journal a run killed after repeat 0 would have left:
+  // repeat-0 records plus the cursor.
+  ResultStore full = ResultStore::LoadFromFile(CacheFile()).ValueOrDie();
+  ResultStore partial;
+  for (const std::string& key : full.KeysWithPrefix("german")) {
+    if (key.find("r0__") != std::string::npos) {
+      partial.Put(key, full.Get(key).ValueOrDie());
+    }
+  }
+  partial.Put("__meta__/next_repeat", 1.0);
+  ASSERT_TRUE(partial.SaveToFile(CacheFile() + ".journal").ok());
+  std::filesystem::remove(CacheFile());
+
+  StudyDriver driver(Options());
+  Result<CleaningExperimentResult> resumed =
+      driver.RunOrLoad(German(), "missing_values", "log-reg");
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(driver.diagnostics().journal_resumes, 1u);
+  EXPECT_EQ(driver.diagnostics().repeats_resumed, 1u);
+  EXPECT_EQ(driver.diagnostics().repeats_run, 2u);
+  ExpectSameScores(*resumed, Baseline());
+
+  // The rewritten cache is byte-identical to the uninterrupted run's, and
+  // the journal is gone.
+  EXPECT_EQ(*ReadFileToString(CacheFile()), full_cache);
+  EXPECT_FALSE(std::filesystem::exists(CacheFile() + ".journal"));
+}
+
+TEST_F(StudyDriverTest, QuarantinesBitFlippedCacheAndRecomputes) {
+  {
+    StudyDriver driver(Options());
+    ASSERT_TRUE(
+        driver.RunOrLoad(German(), "missing_values", "log-reg").ok());
+  }
+  std::string content = *ReadFileToString(CacheFile());
+  content[content.size() / 2] ^= 0x01;
+  ASSERT_TRUE(WriteFileAtomic(CacheFile(), content).ok());
+
+  StudyDriver driver(Options());
+  Result<CleaningExperimentResult> result =
+      driver.RunOrLoad(German(), "missing_values", "log-reg");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(driver.diagnostics().corrupt_quarantined, 1u);
+  EXPECT_EQ(driver.diagnostics().cache_hits, 0u);
+  EXPECT_EQ(driver.diagnostics().repeats_run, 3u);
+  ExpectSameScores(*result, Baseline());
+  // Evidence preserved, fresh cache valid again.
+  EXPECT_TRUE(std::filesystem::exists(CacheFile() + ".corrupt"));
+  EXPECT_TRUE(ResultStore::LoadFromFile(CacheFile()).ok());
+}
+
+TEST_F(StudyDriverTest, TruncatedCacheIsRejectedNotReused) {
+  {
+    StudyDriver driver(Options());
+    ASSERT_TRUE(
+        driver.RunOrLoad(German(), "missing_values", "log-reg").ok());
+  }
+  std::string content = *ReadFileToString(CacheFile());
+  ASSERT_TRUE(
+      WriteFileAtomic(CacheFile(), content.substr(0, content.size() / 2))
+          .ok());
+
+  StudyDriver driver(Options());
+  Result<CleaningExperimentResult> result =
+      driver.RunOrLoad(German(), "missing_values", "log-reg");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(driver.diagnostics().corrupt_quarantined, 1u);
+  ExpectSameScores(*result, Baseline());
+}
+
+TEST_F(StudyDriverTest, InjectedInterruptIsResumable) {
+  ASSERT_TRUE(FaultInjector::Global().Configure("interrupt:1:1", 1).ok());
+  StudyDriver driver(Options());
+  Result<CleaningExperimentResult> first =
+      driver.RunOrLoad(German(), "missing_values", "log-reg");
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kIoError);
+
+  // The fault was a one-shot "kill": the re-run completes and matches the
+  // fault-free scores exactly.
+  Result<CleaningExperimentResult> second =
+      driver.RunOrLoad(German(), "missing_values", "log-reg");
+  ASSERT_TRUE(second.ok());
+  ExpectSameScores(*second, Baseline());
+}
+
+TEST_F(StudyDriverTest, RetryRecoversTransientNumericFault) {
+  ASSERT_TRUE(FaultInjector::Global().Configure("numeric:1:1", 1).ok());
+  StudyDriver driver(Options());
+  Result<CleaningExperimentResult> result =
+      driver.RunOrLoad(German(), "missing_values", "log-reg");
+  ASSERT_TRUE(result.ok());
+  // Exactly one repeat was corrupted, retried with the identical seed, and
+  // recovered — the final scores match the fault-free run bit for bit.
+  EXPECT_EQ(driver.diagnostics().retries, 1u);
+  EXPECT_EQ(driver.diagnostics().skips, 0u);
+  ExpectSameScores(*result, Baseline());
+}
+
+TEST_F(StudyDriverTest, PersistentDegeneracySkipsAndFails) {
+  ASSERT_TRUE(FaultInjector::Global().Configure("numeric:1", 1).ok());
+  StudyDriverOptions options = Options();
+  options.cache_dir = "";
+  options.max_retries = 0;
+  StudyDriver driver(options);
+  Result<CleaningExperimentResult> result =
+      driver.RunOrLoad(German(), "missing_values", "log-reg");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(driver.diagnostics().skips, 3u);
+}
+
+TEST_F(StudyDriverTest, TimeBudgetStopsCleanlyWithDeadlineExceeded) {
+  StudyDriverOptions options = Options();
+  options.time_budget_s = 1e-9;
+  StudyDriver driver(options);
+  Result<CleaningExperimentResult> result =
+      driver.RunOrLoad(German(), "missing_values", "log-reg");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(driver.diagnostics().budget_exhausted);
+}
+
+TEST_F(StudyDriverTest, CachePathEncodesStudyShape) {
+  StudyDriverOptions options = Options();
+  options.cache_dir = "cache";
+  EXPECT_EQ(
+      StudyDriver::CachePath(options, "german", "missing_values", "log-reg"),
+      "cache/german_missing_values_log-reg_s99_n300_r3_f3.json");
+  EXPECT_EQ(StudyDriver::JournalPath(options, "german", "missing_values",
+                                     "log-reg"),
+            "cache/german_missing_values_log-reg_s99_n300_r3_f3.json"
+            ".journal");
+}
+
+TEST_F(StudyDriverTest, DiagnosticsFormatMentionsCounters) {
+  StudyDriver driver(Options());
+  ASSERT_TRUE(
+      driver.RunOrLoad(German(), "missing_values", "log-reg").ok());
+  std::string formatted = driver.diagnostics().Format();
+  EXPECT_NE(formatted.find("experiments=1"), std::string::npos);
+  EXPECT_NE(formatted.find("repeats_run=3"), std::string::npos);
+  EXPECT_NE(formatted.find("checkpoints=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace fairclean

@@ -1,6 +1,7 @@
 #include "stats/tests.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -95,6 +96,16 @@ TEST(PairedTTestTest, ConstantNonzeroDifference) {
 TEST(PairedTTestTest, RejectsBadInput) {
   EXPECT_FALSE(PairedTTest({1.0}, {2.0}).ok());          // too few pairs
   EXPECT_FALSE(PairedTTest({1.0, 2.0}, {1.0}).ok());     // size mismatch
+}
+
+TEST(PairedTTestTest, RejectsNonFiniteScores) {
+  double nan = std::nan("");
+  double inf = std::numeric_limits<double>::infinity();
+  Result<TestResult> with_nan = PairedTTest({1.0, nan, 3.0}, {1.0, 2.0, 3.0});
+  ASSERT_FALSE(with_nan.ok());
+  EXPECT_EQ(with_nan.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(PairedTTest({1.0, 2.0}, {inf, 2.0}).ok());
+  EXPECT_FALSE(PairedTTest({-inf, 2.0}, {1.0, 2.0}).ok());
 }
 
 TEST(PairedTTestTest, SymmetryOfSign) {
