@@ -81,6 +81,7 @@ BenchOptions BenchOptionsFromEnv() {
                   static_cast<int64_t>(options.max_retries)));
   options.time_budget_s =
       GetEnvDouble("FAIRCLEAN_TIME_BUDGET_S", options.time_budget_s);
+  options.threads = static_cast<size_t>(GetEnvInt64("FAIRCLEAN_THREADS", 0));
   return options;
 }
 
@@ -90,6 +91,7 @@ exec::StudyDriverOptions DriverOptions(const BenchOptions& options) {
   driver_options.cache_dir = options.cache_dir;
   driver_options.max_retries = options.max_retries;
   driver_options.time_budget_s = options.time_budget_s;
+  driver_options.threads = options.threads;
   driver_options.verbose = options.verbose;
   return driver_options;
 }
@@ -231,16 +233,16 @@ int RunTableBench(const StudyScope& scope, const PaperTable references[4],
                  faults.ToString().c_str());
     return 1;
   }
+  exec::StudyDriver driver(DriverOptions(options));
   std::printf("== %s ==\n", heading);
   std::printf(
-      "scale: sample=%zu repeats=%zu folds=%zu seed=%llu (override via "
-      "FAIRCLEAN_SAMPLE / FAIRCLEAN_REPEATS / FAIRCLEAN_FOLDS / "
-      "FAIRCLEAN_SEED)\n\n",
+      "scale: sample=%zu repeats=%zu folds=%zu seed=%llu threads=%zu "
+      "(override via FAIRCLEAN_SAMPLE / FAIRCLEAN_REPEATS / FAIRCLEAN_FOLDS "
+      "/ FAIRCLEAN_SEED / FAIRCLEAN_THREADS)\n\n",
       options.study.sample_size, options.study.num_repeats,
       options.study.cv_folds,
-      static_cast<unsigned long long>(options.study.seed));
-
-  exec::StudyDriver driver(DriverOptions(options));
+      static_cast<unsigned long long>(options.study.seed),
+      driver.diagnostics().threads);
   Result<ScopeResults> results = RunScope(scope, &driver, options);
   if (!results.ok()) {
     std::fprintf(stderr, "scope run failed: %s\n",

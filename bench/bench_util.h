@@ -48,13 +48,17 @@ struct BenchOptions {
   /// Soft wall-clock budget in seconds (<= 0: unlimited); on exhaustion a
   /// bench checkpoints and exits with a resumable state.
   double time_budget_s = 0.0;
+  /// Worker threads for the driver's repeat fan-out (0: FAIRCLEAN_THREADS,
+  /// whose own default is hardware_concurrency; 1: sequential). Results are
+  /// byte-identical across widths, so cached runs stay valid.
+  size_t threads = 0;
   bool verbose = true;
 };
 
 /// Default bench options: scaled-down study (sample 3500, 16 repeats)
 /// overridable via FAIRCLEAN_SAMPLE / FAIRCLEAN_REPEATS / FAIRCLEAN_FOLDS /
 /// FAIRCLEAN_SEED / FAIRCLEAN_CACHE_DIR / FAIRCLEAN_MAX_RETRIES /
-/// FAIRCLEAN_TIME_BUDGET_S.
+/// FAIRCLEAN_TIME_BUDGET_S / FAIRCLEAN_THREADS.
 BenchOptions BenchOptionsFromEnv();
 
 /// Study-driver options corresponding to the bench options.

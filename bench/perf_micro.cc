@@ -1,10 +1,17 @@
 // Google-benchmark microbenchmarks for the substrate components: dataset
 // synthesis, error detection, repair, feature encoding and model training.
-// These measure engineering throughput, not paper results.
+// These measure engineering throughput, not paper results. After the
+// benchmark table, a summary line reports the 1-thread vs N-thread speedup
+// of the study driver's repeat fan-out.
+
+#include <chrono>
+#include <cstdio>
 
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.h"
 #include "core/cleaning.h"
+#include "exec/study_driver.h"
 #include "datasets/generator.h"
 #include "detect/detector.h"
 #include "detect/mislabel_detector.h"
@@ -212,7 +219,44 @@ void BM_PairedTTest(benchmark::State& state) {
 }
 BENCHMARK(BM_PairedTTest);
 
+// Times one small in-memory cleaning experiment end to end at the given
+// repeat fan-out width.
+double TimeStudySeconds(size_t threads, const GeneratedDataset& dataset) {
+  exec::StudyDriverOptions options;
+  options.study.sample_size = 300;
+  options.study.num_repeats = 8;
+  options.study.cv_folds = 3;
+  options.study.seed = 99;
+  options.threads = threads;
+  exec::StudyDriver driver(options);
+  auto start = std::chrono::steady_clock::now();
+  driver.RunOrLoad(dataset, "missing_values", "log-reg").ValueOrDie();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void PrintRepeatFanOutSpeedup() {
+  Rng rng(7);
+  GeneratedDataset dataset = MakeDataset("german", 500, &rng).ValueOrDie();
+  size_t threads = ThreadPool::DefaultThreadCount();
+  double sequential_s = TimeStudySeconds(1, dataset);
+  double parallel_s =
+      threads > 1 ? TimeStudySeconds(threads, dataset) : sequential_s;
+  std::printf(
+      "\nrepeat fan-out: 1 thread %.2fs, %zu threads %.2fs -> %.2fx speedup "
+      "(set FAIRCLEAN_THREADS to change the width)\n",
+      sequential_s, threads, parallel_s, sequential_s / parallel_s);
+}
+
 }  // namespace
 }  // namespace fairclean
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fairclean::PrintRepeatFanOutSpeedup();
+  return 0;
+}

@@ -65,6 +65,7 @@ Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
       sites[fields[0]] = std::move(site);
     }
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   sites_ = std::move(sites);
   return Status::OK();
 }
@@ -76,9 +77,18 @@ Status FaultInjector::ConfigureFromEnv() {
   return Configure(spec, seed);
 }
 
-void FaultInjector::Reset() { sites_.clear(); }
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+}
+
+bool FaultInjector::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !sites_.empty();
+}
 
 bool FaultInjector::ShouldFire(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return false;
   Site& armed = it->second;
@@ -110,6 +120,7 @@ double FaultInjector::CorruptScore(const std::string& site, double value) {
 }
 
 uint64_t FaultInjector::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.fires;
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/random.h"
@@ -27,8 +28,14 @@ namespace fairclean {
 /// bounds how often a site triggers (default: unlimited), which lets tests
 /// model transient faults that succeed on retry.
 ///
-/// The injector is process-global and not thread-safe (the study driver is
-/// single-threaded); tests must Reset() it when done.
+/// The injector is process-global and thread-safe: the study driver fans
+/// repeat slices out across a thread pool and every slice may probe its
+/// sites concurrently. Firing decisions stay reproducible per site because
+/// each site draws from its own RNG; under concurrency the *order* in which
+/// different call sites consume a shared site's draws is scheduling-
+/// dependent, so deterministic tests arm probabilities 0 or 1 (exact
+/// never/always semantics) when running multi-threaded. Tests must Reset()
+/// the injector when done.
 class FaultInjector {
  public:
   static FaultInjector& Global();
@@ -48,7 +55,7 @@ class FaultInjector {
   void Reset();
 
   /// True when any site is armed.
-  bool enabled() const { return !sites_.empty(); }
+  bool enabled() const;
 
   /// Draws the site's Bernoulli; true when the fault fires. Unarmed sites
   /// never fire and consume no randomness.
@@ -72,6 +79,7 @@ class FaultInjector {
     Rng rng{0};
   };
 
+  mutable std::mutex mutex_;
   std::map<std::string, Site> sites_;
 };
 

@@ -1,0 +1,83 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/env.h"
+
+namespace fairclean {
+
+namespace {
+
+thread_local bool t_on_worker_thread = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t count = std::max<size_t>(1, num_threads);
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping: every submitted future must be
+      // satisfied, and tasks may reference state the submitter keeps alive
+      // until the pool is destroyed.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+size_t ThreadPool::DefaultThreadCount() {
+  int64_t configured = GetEnvInt64("FAIRCLEAN_THREADS", 0);
+  if (configured > 0) return static_cast<size_t>(configured);
+  unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<size_t>(hardware);
+}
+
+ThreadPool* ThreadPool::SharedForFolds() {
+  if (OnWorkerThread()) return nullptr;
+  // Sized once at first use; a 1-thread configuration disables fold
+  // parallelism entirely rather than paying queue overhead for nothing.
+  static ThreadPool* shared = []() -> ThreadPool* {
+    size_t count = DefaultThreadCount();
+    return count <= 1 ? nullptr : new ThreadPool(count);
+  }();
+  return shared;
+}
+
+Status InvokeWithStatusCapture(const std::function<Status()>& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("task threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("task threw a non-standard exception");
+  }
+}
+
+}  // namespace fairclean

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/thread_pool.h"
 #include "data/split.h"
 #include "ml/metrics.h"
 
@@ -36,7 +37,15 @@ Result<double> FoldUnfairness(const std::vector<int>& y_true,
   }
   FC_ASSIGN_OR_RETURN(GroupConfusion confusion,
                       ComputeGroupConfusion(y_true, y_pred, assignment));
-  return AbsoluteFairnessGap(metric, confusion);
+  double gap = AbsoluteFairnessGap(metric, confusion);
+  // A NaN gap (e.g. the FPR gap when a group has no negative labels) means
+  // the metric is undefined on this fold; skip the fold rather than fold a
+  // non-finite value into the candidate's mean unfairness.
+  if (!std::isfinite(gap)) {
+    return Status::InvalidArgument(
+        "fairness gap undefined on this fold (degenerate group)");
+  }
+  return gap;
 }
 
 }  // namespace
@@ -70,39 +79,60 @@ Result<FairTuneOutcome> FairTuneAndFit(const TunedModelFamily& family,
     double unfairness = 0.0;
     bool evaluated = false;
   };
+  struct FoldEval {
+    bool ok = false;
+    double accuracy = 0.0;
+    double unfairness = 0.0;
+  };
+
+  ThreadPool* pool = ThreadPool::SharedForFolds();
   std::vector<Candidate> candidates;
   for (double param : family.param_grid) {
     Candidate candidate;
     candidate.param = param;
+    // Pre-fork in fold order — Fork advances the parent engine, so the fork
+    // order must match the sequential loop for byte-identical results.
+    std::vector<Rng> fit_rngs;
+    fit_rngs.reserve(folds.size());
+    for (size_t f = 0; f < folds.size(); ++f) {
+      fit_rngs.push_back(rng->Fork(0xfa17 + f));
+    }
+    std::vector<FoldEval> evals =
+        RunIndexed(pool, folds.size(), [&](size_t f) -> FoldEval {
+          FoldEval eval;
+          Matrix train_x = x.TakeRows(folds[f].train);
+          std::vector<int> train_y;
+          train_y.reserve(folds[f].train.size());
+          for (size_t index : folds[f].train) train_y.push_back(y[index]);
+          Matrix valid_x = x.TakeRows(folds[f].test);
+          std::vector<int> valid_y;
+          std::vector<int> valid_membership;
+          valid_y.reserve(folds[f].test.size());
+          valid_membership.reserve(folds[f].test.size());
+          for (size_t index : folds[f].test) {
+            valid_y.push_back(y[index]);
+            valid_membership.push_back(group_membership[index]);
+          }
+
+          std::unique_ptr<Classifier> model = family.make(param);
+          Status st = model->Fit(train_x, train_y, &fit_rngs[f]);
+          if (!st.ok()) return eval;
+          std::vector<int> predictions = model->Predict(valid_x);
+          Result<double> unfairness = FoldUnfairness(
+              valid_y, predictions, valid_membership, options.metric);
+          if (!unfairness.ok()) return eval;  // degenerate group; skip fold
+          eval.accuracy = AccuracyScore(valid_y, predictions);
+          eval.unfairness = *unfairness;
+          eval.ok = true;
+          return eval;
+        });
     double accuracy_sum = 0.0;
     double unfairness_sum = 0.0;
     size_t evaluated = 0;
-    for (size_t f = 0; f < folds.size(); ++f) {
-      Matrix train_x = x.TakeRows(folds[f].train);
-      std::vector<int> train_y;
-      train_y.reserve(folds[f].train.size());
-      for (size_t index : folds[f].train) train_y.push_back(y[index]);
-      Matrix valid_x = x.TakeRows(folds[f].test);
-      std::vector<int> valid_y;
-      std::vector<int> valid_membership;
-      valid_y.reserve(folds[f].test.size());
-      valid_membership.reserve(folds[f].test.size());
-      for (size_t index : folds[f].test) {
-        valid_y.push_back(y[index]);
-        valid_membership.push_back(group_membership[index]);
-      }
-
-      std::unique_ptr<Classifier> model = family.make(param);
-      Rng fit_rng = rng->Fork(0xfa17 + f);
-      Status st = model->Fit(train_x, train_y, &fit_rng);
-      if (!st.ok()) continue;
-      std::vector<int> predictions = model->Predict(valid_x);
-      accuracy_sum += AccuracyScore(valid_y, predictions);
-      Result<double> unfairness =
-          FoldUnfairness(valid_y, predictions, valid_membership,
-                         options.metric);
-      if (!unfairness.ok()) continue;
-      unfairness_sum += *unfairness;
+    for (const FoldEval& eval : evals) {  // fold order: float sums unchanged
+      if (!eval.ok) continue;
+      accuracy_sum += eval.accuracy;
+      unfairness_sum += eval.unfairness;
       ++evaluated;
     }
     if (evaluated == 0) continue;

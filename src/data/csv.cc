@@ -47,6 +47,60 @@ Result<std::vector<std::string>> SplitRecord(const std::string& line,
   return fields;
 }
 
+// Splits raw CSV text into records. A '\n' ends a record only outside
+// quotes — an embedded newline in a quoted field is part of the field,
+// which the previous getline-based splitting broke (WriteCsvToString could
+// emit such fields but ReadCsvFromString could not read them back). The
+// quote state mirrors SplitRecord exactly: '"' opens a quote only at field
+// start, and "" inside quotes is an escaped quote. A '\r' immediately
+// before a record-ending '\n' (CRLF input) is stripped; any other '\r' is
+// field data.
+std::vector<std::string> SplitRecords(const std::string& text,
+                                      char delimiter) {
+  std::vector<std::string> records;
+  std::string record;
+  bool in_quotes = false;
+  bool field_empty = true;  // is the current field's content empty so far?
+  auto end_record = [&]() {
+    if (!record.empty() && record.back() == '\r') record.pop_back();
+    records.push_back(std::move(record));
+    record.clear();
+    field_empty = true;
+  };
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      record.push_back(c);
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          record.push_back('"');
+          ++i;
+          field_empty = false;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field_empty = false;
+      }
+    } else if (c == '\n') {
+      end_record();
+    } else {
+      record.push_back(c);
+      if (c == '"' && field_empty) {
+        in_quotes = true;
+      } else if (c == delimiter) {
+        field_empty = true;
+      } else {
+        field_empty = false;
+      }
+    }
+  }
+  // Final record without a trailing newline. An unterminated quote flows
+  // into SplitRecord, which reports it as a parse error.
+  if (!record.empty()) end_record();
+  return records;
+}
+
 bool IsMissingToken(const std::string& value, const CsvOptions& options) {
   for (const std::string& token : options.missing_tokens) {
     if (value == token) return true;
@@ -66,9 +120,12 @@ bool ParseDouble(const std::string& text, double* out) {
 }
 
 std::string EscapeField(const std::string& value, char delimiter) {
+  // '\r' forces quoting so a field ending in '\r' survives the reader's
+  // CRLF stripping.
   bool needs_quotes = value.find(delimiter) != std::string::npos ||
                       value.find('"') != std::string::npos ||
-                      value.find('\n') != std::string::npos;
+                      value.find('\n') != std::string::npos ||
+                      value.find('\r') != std::string::npos;
   if (!needs_quotes) return value;
   std::string out = "\"";
   for (char c : value) {
@@ -86,26 +143,18 @@ Result<DataFrame> ReadCsvFromString(const std::string& text,
   // Fault-injection site: lets tests prove callers survive a parse failure
   // (all real parse errors below already propagate as Status).
   FC_RETURN_IF_ERROR(FaultInjector::Global().Inject("csv_parse"));
-  std::vector<std::string> lines;
-  {
-    std::istringstream stream(text);
-    std::string line;
-    while (std::getline(stream, line)) {
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      lines.push_back(line);
-    }
-  }
-  if (lines.empty()) {
+  std::vector<std::string> records = SplitRecords(text, options.delimiter);
+  if (records.empty()) {
     return Status::InvalidArgument("empty CSV input");
   }
   FC_ASSIGN_OR_RETURN(std::vector<std::string> header,
-                      SplitRecord(lines[0], options.delimiter));
+                      SplitRecord(records[0], options.delimiter));
   size_t num_columns = header.size();
   std::vector<std::vector<std::string>> cells(num_columns);
-  for (size_t i = 1; i < lines.size(); ++i) {
-    if (lines[i].empty()) continue;
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i].empty()) continue;
     FC_ASSIGN_OR_RETURN(std::vector<std::string> fields,
-                        SplitRecord(lines[i], options.delimiter));
+                        SplitRecord(records[i], options.delimiter));
     if (fields.size() != num_columns) {
       return Status::InvalidArgument(
           StrFormat("row %zu has %zu fields, header has %zu", i,

@@ -2,7 +2,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <ctime>
 #include <filesystem>
+#include <future>
+#include <utility>
+#include <vector>
 
 #include "common/fault_injection.h"
 #include "common/safe_io.h"
@@ -32,6 +36,20 @@ constexpr char kMetaNextRepeat[] = "__meta__/next_repeat";
 
 std::string SkippedKey(size_t slot) {
   return StrFormat("__meta__/r%zu_skipped", slot);
+}
+
+// CPU seconds consumed by the calling thread (falls back to process CPU
+// time on platforms without per-thread clocks).
+double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+#endif
+  return static_cast<double>(std::clock()) /
+         static_cast<double>(CLOCKS_PER_SEC);
 }
 
 // Accumulates wall-clock time into a per-stage counter.
@@ -178,11 +196,15 @@ std::string RunDiagnostics::Format() const {
       experiments, cache_hits, journal_resumes, repeats_resumed);
   out += StrFormat(
       "  repeats_run=%zu retries=%zu skips=%zu checkpoints=%zu "
-      "corrupt_quarantined=%zu budget_exhausted=%s\n",
+      "corrupt_quarantined=%zu budget_exhausted=%s threads=%zu\n",
       repeats_run, retries, skips, checkpoints, corrupt_quarantined,
-      budget_exhausted ? "yes" : "no");
+      budget_exhausted ? "yes" : "no", threads);
   out += "  wall:";
   for (const auto& [stage, seconds] : stage_seconds) {
+    out += StrFormat(" %s=%.2fs", stage.c_str(), seconds);
+  }
+  out += "\n  cpu:";
+  for (const auto& [stage, seconds] : stage_cpu_seconds) {
     out += StrFormat(" %s=%.2fs", stage.c_str(), seconds);
   }
   out += "\n";
@@ -191,7 +213,14 @@ std::string RunDiagnostics::Format() const {
 
 StudyDriver::StudyDriver(StudyDriverOptions options)
     : options_(std::move(options)),
-      start_(std::chrono::steady_clock::now()) {}
+      start_(std::chrono::steady_clock::now()) {
+  diagnostics_.threads = EffectiveThreads();
+}
+
+size_t StudyDriver::EffectiveThreads() const {
+  return options_.threads > 0 ? options_.threads
+                              : ThreadPool::DefaultThreadCount();
+}
 
 std::string StudyDriver::CachePath(const StudyDriverOptions& options,
                                    const std::string& dataset,
@@ -221,6 +250,84 @@ double StudyDriver::ElapsedSeconds() const {
 bool StudyDriver::BudgetExhausted() const {
   return options_.time_budget_s > 0.0 &&
          ElapsedSeconds() > options_.time_budget_s;
+}
+
+StudyDriver::SlotOutcome StudyDriver::ComputeSlot(
+    const GeneratedDataset& dataset, const std::string& error_type,
+    const TunedModelFamily& family, size_t slot) const {
+  SlotOutcome out;
+  const double cpu_start = ThreadCpuSeconds();
+  for (size_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) ++out.retries;
+    // First retry replays the same seed (a transient fault resolves
+    // without changing any score); later retries reseed.
+    uint64_t salt = attempt <= 1 ? 0 : attempt - 1;
+    Result<CleaningExperimentResult> slice =
+        [&]() -> Result<CleaningExperimentResult> {
+      try {
+        return RunCleaningRepeatSlice(dataset, error_type, family,
+                                      options_.study, slot, salt);
+      } catch (const std::exception& e) {
+        return Status::Internal(StrFormat("repeat %zu threw: %s", slot,
+                                          e.what()));
+      }
+    }();
+    if (!slice.ok()) {
+      out.last_failure = slice.status();
+    } else if (IsDegenerateSlice(*slice)) {
+      out.last_failure = Status::InvalidArgument(
+          StrFormat("degenerate repeat %zu (non-finite score)", slot));
+    } else {
+      out.slice = std::move(*slice);
+      break;
+    }
+    if (options_.verbose) {
+      std::fprintf(stderr, "[retry] %s/%s/%s r%zu attempt %zu: %s\n",
+                   dataset.spec.name.c_str(), error_type.c_str(),
+                   family.name.c_str(), slot, attempt,
+                   out.last_failure.ToString().c_str());
+    }
+  }
+  out.compute_seconds = ThreadCpuSeconds() - cpu_start;
+  return out;
+}
+
+Status StudyDriver::MergeSlot(size_t slot, SlotOutcome outcome,
+                              const GeneratedDataset& dataset,
+                              const std::string& error_type,
+                              const std::string& model,
+                              const std::string& journal_path, bool persist,
+                              CleaningExperimentResult* result,
+                              Status* last_failure) {
+  diagnostics_.retries += outcome.retries;
+  diagnostics_.stage_cpu_seconds["compute"] += outcome.compute_seconds;
+  if (!outcome.last_failure.ok()) *last_failure = outcome.last_failure;
+  if (outcome.slice.has_value()) {
+    FC_RETURN_IF_ERROR(AppendRepeatSlice(*outcome.slice, result));
+    ++diagnostics_.repeats_run;
+  } else {
+    ++diagnostics_.skips;
+    result->records.Put(SkippedKey(slot), 1.0);
+    if (options_.verbose) {
+      std::fprintf(stderr, "[skip ] %s/%s/%s r%zu: %s\n",
+                   dataset.spec.name.c_str(), error_type.c_str(),
+                   model.c_str(), slot, last_failure->ToString().c_str());
+    }
+  }
+  result->records.Put(kMetaNextRepeat, static_cast<double>(slot + 1));
+
+  if (persist) {
+    StageTimer timer(&diagnostics_.stage_seconds["checkpoint"]);
+    Status journaled = result->records.SaveToFile(journal_path);
+    if (journaled.ok()) {
+      ++diagnostics_.checkpoints;
+    } else if (options_.verbose) {
+      // Non-fatal: worst case a later resume redoes this repeat.
+      std::fprintf(stderr, "[warn ] journal write failed: %s\n",
+                   journaled.ToString().c_str());
+    }
+  }
+  return Status::OK();
 }
 
 Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
@@ -265,7 +372,12 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
         Result<Reconstructed> cached = ReconstructFromStore(
             *store, dataset, error_type, model, options_.study);
         if (cached.ok() && cached->complete &&
-            cached->completed >= kMinCompletedRepeats) {
+            cached->completed >= kMinCompletedRepeats &&
+            !IsDegenerateSlice(cached->result)) {
+          // The degeneracy re-check matters for caches written before gap
+          // metrics learned to report empty groups as NaN: their stored
+          // confusion matrices now reconstruct to non-finite gaps, and such
+          // scores must be recomputed, not served.
           ++diagnostics_.cache_hits;
           if (options_.verbose) {
             std::fprintf(stderr, "[cache] %s/%s/%s\n",
@@ -290,6 +402,13 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
                                         options_.study);
           }()
                     : Result<Reconstructed>(body.status());
+      if (resumed.ok() && IsDegenerateSlice(resumed->result)) {
+        // Same as the cache: a journal whose completed repeats reconstruct
+        // to non-finite gaps predates the NaN semantics and cannot be
+        // trusted as a resume point.
+        resumed = Status::InvalidArgument(
+            "journaled repeats reconstruct to non-finite scores");
+      }
       if (resumed.ok()) {
         result = std::move(resumed->result);
         resume_from = resumed->next_repeat;
@@ -320,72 +439,80 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
   }
 
   Status last_failure;
-  for (size_t slot = resume_from; slot < options_.study.num_repeats;
-       ++slot) {
-    if (BudgetExhausted()) {
-      diagnostics_.budget_exhausted = true;
-      return Status::DeadlineExceeded(StrFormat(
-          "time budget of %.1fs exhausted after %.1fs; %zu/%zu repeats of "
-          "%s/%s/%s are checkpointed — re-run to resume",
-          options_.time_budget_s, ElapsedSeconds(), slot,
-          options_.study.num_repeats, dataset.spec.name.c_str(),
-          error_type.c_str(), model.c_str()));
-    }
-    // Simulated hard interruption between repeats (tests kill-and-resume):
-    // everything up to the previous repeat is already journaled.
-    FC_RETURN_IF_ERROR(FaultInjector::Global().Inject("interrupt"));
+  const size_t num_repeats = options_.study.num_repeats;
+  const size_t threads = EffectiveThreads();
 
-    bool slot_done = false;
-    {
-      StageTimer timer(&diagnostics_.stage_seconds["compute"]);
-      for (size_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
-        if (attempt > 0) ++diagnostics_.retries;
-        // First retry replays the same seed (a transient fault resolves
-        // without changing any score); later retries reseed.
-        uint64_t salt = attempt <= 1 ? 0 : attempt - 1;
-        Result<CleaningExperimentResult> slice = RunCleaningRepeatSlice(
-            dataset, error_type, family, options_.study, slot, salt);
-        if (!slice.ok()) {
-          last_failure = slice.status();
-        } else if (IsDegenerateSlice(*slice)) {
-          last_failure = Status::InvalidArgument(
-              StrFormat("degenerate repeat %zu (non-finite score)", slot));
-        } else {
-          FC_RETURN_IF_ERROR(AppendRepeatSlice(*slice, &result));
-          ++diagnostics_.repeats_run;
-          slot_done = true;
-          break;
-        }
-        if (options_.verbose) {
-          std::fprintf(stderr, "[retry] %s/%s/%s r%zu attempt %zu: %s\n",
-                       dataset.spec.name.c_str(), error_type.c_str(),
-                       model.c_str(), slot, attempt,
-                       last_failure.ToString().c_str());
-        }
-      }
-    }
-    if (!slot_done) {
-      ++diagnostics_.skips;
-      result.records.Put(SkippedKey(slot), 1.0);
-      if (options_.verbose) {
-        std::fprintf(stderr, "[skip ] %s/%s/%s r%zu: %s\n",
-                     dataset.spec.name.c_str(), error_type.c_str(),
-                     model.c_str(), slot, last_failure.ToString().c_str());
-      }
-    }
-    result.records.Put(kMetaNextRepeat, static_cast<double>(slot + 1));
+  auto deadline_error = [&](size_t done) {
+    diagnostics_.budget_exhausted = true;
+    return Status::DeadlineExceeded(StrFormat(
+        "time budget of %.1fs exhausted after %.1fs; %zu/%zu repeats of "
+        "%s/%s/%s are checkpointed — re-run to resume",
+        options_.time_budget_s, ElapsedSeconds(), done, num_repeats,
+        dataset.spec.name.c_str(), error_type.c_str(), model.c_str()));
+  };
 
-    if (persist) {
-      StageTimer timer(&diagnostics_.stage_seconds["checkpoint"]);
-      Status journaled = result.records.SaveToFile(journal_path);
-      if (journaled.ok()) {
-        ++diagnostics_.checkpoints;
-      } else if (options_.verbose) {
-        // Non-fatal: worst case a later resume redoes this repeat.
-        std::fprintf(stderr, "[warn ] journal write failed: %s\n",
-                     journaled.ToString().c_str());
+  if (threads <= 1 || resume_from + 1 >= num_repeats) {
+    // Sequential path: compute and merge each slot in turn. This is the
+    // reference behavior the parallel path must reproduce byte for byte.
+    for (size_t slot = resume_from; slot < num_repeats; ++slot) {
+      if (BudgetExhausted()) return deadline_error(slot);
+      // Simulated hard interruption between repeats (tests
+      // kill-and-resume): everything up to the previous repeat is already
+      // journaled.
+      FC_RETURN_IF_ERROR(FaultInjector::Global().Inject("interrupt"));
+      SlotOutcome outcome;
+      {
+        StageTimer timer(&diagnostics_.stage_seconds["compute"]);
+        outcome = ComputeSlot(dataset, error_type, family, slot);
       }
+      FC_RETURN_IF_ERROR(MergeSlot(slot, std::move(outcome), dataset,
+                                   error_type, model, journal_path, persist,
+                                   &result, &last_failure));
     }
+  } else {
+    // Parallel path: fan the remaining slots out across a pool, but merge
+    // strictly in repeat order on this thread — the per-repeat seed formula
+    // makes every slice independent of its siblings, so computing them out
+    // of order cannot change any score, and in-order merging keeps the
+    // journal (and the resulting cache) byte-identical to the sequential
+    // path. The "interrupt" fault site and the deadline stay driver-side
+    // decisions made at merge time, preserving resume semantics.
+    //
+    // The pool is scoped to this call: its destructor runs every submitted
+    // task, so an early return (deadline, injected interrupt) cannot leave
+    // a worker touching dead locals. Slots scheduled after the budget
+    // expires bail out via budget_skipped without computing.
+    ThreadPool pool(std::min(threads, num_repeats - resume_from));
+    std::vector<std::future<SlotOutcome>> futures;
+    futures.reserve(num_repeats - resume_from);
+    size_t scheduled_end = resume_from;
+    for (size_t slot = resume_from; slot < num_repeats; ++slot) {
+      if (BudgetExhausted()) break;
+      futures.push_back(pool.Submit(
+          [this, &dataset, &error_type, &family, slot]() -> SlotOutcome {
+            if (BudgetExhausted()) {
+              SlotOutcome out;
+              out.budget_skipped = true;
+              return out;
+            }
+            return ComputeSlot(dataset, error_type, family, slot);
+          }));
+      scheduled_end = slot + 1;
+    }
+    for (size_t slot = resume_from; slot < scheduled_end; ++slot) {
+      if (BudgetExhausted()) return deadline_error(slot);
+      FC_RETURN_IF_ERROR(FaultInjector::Global().Inject("interrupt"));
+      SlotOutcome outcome;
+      {
+        StageTimer timer(&diagnostics_.stage_seconds["compute"]);
+        outcome = futures[slot - resume_from].get();
+      }
+      if (outcome.budget_skipped) return deadline_error(slot);
+      FC_RETURN_IF_ERROR(MergeSlot(slot, std::move(outcome), dataset,
+                                   error_type, model, journal_path, persist,
+                                   &result, &last_failure));
+    }
+    if (scheduled_end < num_repeats) return deadline_error(scheduled_end);
   }
 
   size_t completed = result.dirty.accuracy.size();

@@ -3,8 +3,11 @@
 
 #include <chrono>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "core/runner.h"
 #include "datasets/generator.h"
 
@@ -27,6 +30,11 @@ struct StudyDriverOptions {
   /// DeadlineExceeded at the next repeat boundary instead of being killed
   /// mid-write; re-running resumes from the journal.
   double time_budget_s = 0.0;
+  /// Worker threads the driver fans repeat slices out across. 0 resolves
+  /// FAIRCLEAN_THREADS (whose own default is hardware_concurrency); 1 runs
+  /// the historical strictly-sequential path. Results are byte-identical
+  /// across thread counts (see DESIGN.md, threading model).
+  size_t threads = 0;
   bool verbose = false;
 };
 
@@ -44,9 +52,15 @@ struct RunDiagnostics {
   size_t corrupt_quarantined = 0;///< cache/journal files moved to .corrupt
   size_t checkpoints = 0;        ///< journal snapshots written
   bool budget_exhausted = false; ///< stopped by FAIRCLEAN_TIME_BUDGET_S
-  /// Wall-clock seconds per stage: "cache_load", "compute", "checkpoint",
+  size_t threads = 1;            ///< worker threads of the repeat fan-out
+  /// Wall-clock seconds per stage as seen by the driver thread:
+  /// "cache_load", "compute" (time spent waiting on slices), "checkpoint",
   /// "finalize".
   std::map<std::string, double> stage_seconds;
+  /// CPU seconds per stage summed across workers; under parallel execution
+  /// "compute" exceeds its wall-clock counterpart by roughly the achieved
+  /// speedup factor.
+  std::map<std::string, double> stage_cpu_seconds;
 
   /// Multi-line human-readable summary.
   std::string Format() const;
@@ -64,10 +78,16 @@ struct RunDiagnostics {
 ///    boundary and reproduces byte-identical results;
 ///  - retries degenerate repeats (non-finite score, single-class fold,
 ///    empty group slice) with deterministic reseeding, then skips them;
-///  - honors a soft time budget, exiting cleanly with resumable state.
+///  - honors a soft time budget, exiting cleanly with resumable state;
+///  - fans repeat slices out across a fixed thread pool (options.threads /
+///    FAIRCLEAN_THREADS) while merging them on the calling thread in repeat
+///    order, so results, caches, and journals are byte-identical to the
+///    sequential path.
 ///
 /// One driver instance is meant to span a whole bench invocation so the
-/// time budget and diagnostics cover the full scope. Not thread-safe.
+/// time budget and diagnostics cover the full scope. RunOrLoad must be
+/// called from one thread at a time (the internal fan-out is the driver's
+/// own concern); diagnostics are only mutated on that calling thread.
 class StudyDriver {
  public:
   explicit StudyDriver(StudyDriverOptions options);
@@ -98,7 +118,37 @@ class StudyDriver {
   double ElapsedSeconds() const;
 
  private:
+  /// Result of computing one repeat slot on a worker (or inline): the
+  /// retry loop's outcome plus its accounting, merged into diagnostics on
+  /// the driver thread.
+  struct SlotOutcome {
+    std::optional<CleaningExperimentResult> slice;  ///< empty: skipped
+    size_t retries = 0;           ///< attempts beyond the first
+    double compute_seconds = 0.0; ///< cpu time spent in the retry loop
+    bool budget_skipped = false;  ///< never attempted: budget was gone
+    Status last_failure;
+  };
+
   bool BudgetExhausted() const;
+
+  /// Runs the retry loop for one repeat slot. Pure given (dataset,
+  /// error_type, family, slot) apart from fault injection, so slots can
+  /// compute on any thread in any order.
+  SlotOutcome ComputeSlot(const GeneratedDataset& dataset,
+                          const std::string& error_type,
+                          const TunedModelFamily& family, size_t slot) const;
+
+  /// Merges one computed slot into `result` (scores or skip marker plus
+  /// journal cursor) and checkpoints the journal. Driver thread only.
+  Status MergeSlot(size_t slot, SlotOutcome outcome,
+                   const GeneratedDataset& dataset,
+                   const std::string& error_type, const std::string& model,
+                   const std::string& journal_path, bool persist,
+                   CleaningExperimentResult* result, Status* last_failure);
+
+  /// Effective worker count (resolves options_.threads == 0 via
+  /// FAIRCLEAN_THREADS / hardware_concurrency).
+  size_t EffectiveThreads() const;
 
   StudyDriverOptions options_;
   RunDiagnostics diagnostics_;

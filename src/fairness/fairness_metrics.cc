@@ -1,6 +1,7 @@
 #include "fairness/fairness_metrics.h"
 
 #include <cmath>
+#include <limits>
 
 namespace fairclean {
 
@@ -85,7 +86,11 @@ namespace {
 
 double FalsePositiveRate(const ConfusionMatrix& cm) {
   int64_t denom = cm.fp + cm.tn;
-  if (denom == 0) return 0.0;
+  // A group with no negative labels has no false-positive rate. Returning
+  // 0.0 here used to make such a group look perfectly calibrated and
+  // silently shrink the FPR gap; NaN instead marks the repeat as degenerate
+  // so the study driver retries or skips it.
+  if (denom == 0) return std::numeric_limits<double>::quiet_NaN();
   return static_cast<double>(cm.fp) / static_cast<double>(denom);
 }
 

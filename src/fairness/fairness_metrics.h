@@ -50,7 +50,10 @@ Result<FairnessMetric> FairnessMetricByName(const std::string& name);
 
 /// Signed disparity (privileged-group value minus disadvantaged-group
 /// value) of `metric` on the group confusion matrices. Zero disparity means
-/// the metric is satisfied.
+/// the metric is satisfied. The false-positive-rate gap is NaN when either
+/// group has no negative labels — the rate is undefined there, and callers
+/// (fold scoring, the study driver) treat the repeat as degenerate rather
+/// than read a fake gap of zero.
 double FairnessGap(FairnessMetric metric, const GroupConfusion& confusion);
 
 /// |FairnessGap| — the unfairness score compared between dirty and repaired

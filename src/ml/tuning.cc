@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "data/split.h"
 #include "ml/gbdt.h"
 #include "ml/knn.h"
@@ -75,26 +76,47 @@ Result<TuneOutcome> TuneAndFit(const TunedModelFamily& family, const Matrix& x,
   std::vector<TrainTestIndices> folds =
       KFoldIndices(x.rows(), num_folds, &fold_rng);
 
+  struct FoldEval {
+    bool ok = false;
+    double accuracy = 0.0;
+  };
+
+  ThreadPool* pool = ThreadPool::SharedForFolds();
   double best_accuracy = -1.0;
   double best_param = family.param_grid.front();
   for (double param : family.param_grid) {
+    // Fork the per-fold fit RNGs up front, in fold order: Fork advances the
+    // parent engine, so the fork order (not just the salt) must match the
+    // sequential loop for scores to stay byte-identical under parallelism.
+    std::vector<Rng> fit_rngs;
+    fit_rngs.reserve(folds.size());
+    for (size_t f = 0; f < folds.size(); ++f) {
+      fit_rngs.push_back(rng->Fork(0xf17 + f));
+    }
+    std::vector<FoldEval> evals =
+        RunIndexed(pool, folds.size(), [&](size_t f) -> FoldEval {
+          FoldEval eval;
+          Matrix train_x = x.TakeRows(folds[f].train);
+          std::vector<int> train_y;
+          train_y.reserve(folds[f].train.size());
+          for (size_t index : folds[f].train) train_y.push_back(y[index]);
+          Matrix valid_x = x.TakeRows(folds[f].test);
+          std::vector<int> valid_y;
+          valid_y.reserve(folds[f].test.size());
+          for (size_t index : folds[f].test) valid_y.push_back(y[index]);
+
+          std::unique_ptr<Classifier> model = family.make(param);
+          Status st = model->Fit(train_x, train_y, &fit_rngs[f]);
+          if (!st.ok()) return eval;  // e.g. single-class fold; skip
+          eval.accuracy = AccuracyScore(valid_y, model->Predict(valid_x));
+          eval.ok = true;
+          return eval;
+        });
     double accuracy_sum = 0.0;
     size_t evaluated = 0;
-    for (size_t f = 0; f < folds.size(); ++f) {
-      Matrix train_x = x.TakeRows(folds[f].train);
-      std::vector<int> train_y;
-      train_y.reserve(folds[f].train.size());
-      for (size_t index : folds[f].train) train_y.push_back(y[index]);
-      Matrix valid_x = x.TakeRows(folds[f].test);
-      std::vector<int> valid_y;
-      valid_y.reserve(folds[f].test.size());
-      for (size_t index : folds[f].test) valid_y.push_back(y[index]);
-
-      std::unique_ptr<Classifier> model = family.make(param);
-      Rng fit_rng = rng->Fork(0xf17 + f);
-      Status st = model->Fit(train_x, train_y, &fit_rng);
-      if (!st.ok()) continue;  // e.g. single-class fold; skip
-      accuracy_sum += AccuracyScore(valid_y, model->Predict(valid_x));
+    for (const FoldEval& eval : evals) {  // fold order: float sums unchanged
+      if (!eval.ok) continue;
+      accuracy_sum += eval.accuracy;
       ++evaluated;
     }
     if (evaluated == 0) continue;

@@ -1,7 +1,10 @@
 #include "core/fair_tuning.h"
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "tests/ml/test_data.h"
 
 namespace fairclean {
@@ -90,6 +93,41 @@ TEST(FairTuneTest, ZeroBudgetNeverWithinBudgetOnUnfairProblem) {
           .ValueOrDie();
   EXPECT_FALSE(outcome.within_budget);
   EXPECT_GT(outcome.best_cv_unfairness, 0.0);
+}
+
+TEST(FairTuneTest, FoldParallelismDoesNotChangeTheOutcome) {
+  // See TuneAndFitTest.FoldParallelismDoesNotChangeTheOutcome: env must be
+  // set before the shared pool's first use; calling from inside a pool task
+  // forces the inline fold path as the reference.
+  ASSERT_EQ(setenv("FAIRCLEAN_THREADS", "4", 1), 0);
+  GroupedProblem problem = MakeGroupedProblem(400, 11);
+  FairTuneOptions options;
+  options.max_unfairness = 0.05;
+
+  Rng rng_pooled(12);
+  Result<FairTuneOutcome> pooled =
+      FairTuneAndFit(LogRegFamily(), problem.x, problem.y,
+                     problem.membership, options, &rng_pooled);
+
+  Rng rng_inline(12);
+  ThreadPool probe(1);
+  Result<FairTuneOutcome> inlined =
+      probe
+          .Submit([&]() {
+            return FairTuneAndFit(LogRegFamily(), problem.x, problem.y,
+                                  problem.membership, options, &rng_inline);
+          })
+          .get();
+
+  ASSERT_TRUE(pooled.ok());
+  ASSERT_TRUE(inlined.ok());
+  EXPECT_EQ(pooled->best_param, inlined->best_param);
+  EXPECT_EQ(pooled->best_cv_accuracy, inlined->best_cv_accuracy);
+  EXPECT_EQ(pooled->best_cv_unfairness, inlined->best_cv_unfairness);
+  EXPECT_EQ(pooled->within_budget, inlined->within_budget);
+  EXPECT_EQ(pooled->model->Predict(problem.x),
+            inlined->model->Predict(problem.x));
+  ASSERT_EQ(unsetenv("FAIRCLEAN_THREADS"), 0);
 }
 
 TEST(FairTuneTest, RejectsBadInput) {

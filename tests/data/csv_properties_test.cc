@@ -31,14 +31,16 @@ DataFrame RandomFrame(uint64_t seed) {
                   .ok());
 
   const std::vector<std::string> kPool = {
-      "plain", "with,comma", "with\"quote", "  spaced  ", "x"};
+      "plain",        "with,comma", "with\"quote", "  spaced  ",
+      "x",            "two\nlines", "crlf\r\nmix", "trailing\r",
+      "\"quoted,\nall\""};
   std::vector<std::string> strings;
   for (size_t i = 0; i < rows; ++i) {
     if (rng.Bernoulli(0.2)) {
       strings.push_back("");
     } else {
-      strings.push_back(
-          kPool[static_cast<size_t>(rng.UniformInt(0, 4))]);
+      strings.push_back(kPool[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int>(kPool.size()) - 1))]);
     }
   }
   EXPECT_TRUE(frame.AddColumn(Column::FromStrings("cat", strings)).ok());

@@ -52,6 +52,27 @@ TEST(CsvTest, QuotedFieldsWithDelimitersAndEscapes) {
   EXPECT_EQ(name.CategoryName(name.Code(1)), "he said \"hi\"");
 }
 
+TEST(CsvTest, QuotedFieldsMayContainNewlines) {
+  Result<DataFrame> frame =
+      ReadCsvFromString("name,v\n\"line1\nline2\",1\nplain,2\n");
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->num_rows(), 2u);
+  const Column& name = frame->column("name");
+  EXPECT_EQ(name.CategoryName(name.Code(0)), "line1\nline2");
+  EXPECT_EQ(name.CategoryName(name.Code(1)), "plain");
+}
+
+TEST(CsvTest, CrLfInsideQuotesIsFieldData) {
+  // Outside quotes "\r\n" terminates the record; inside quotes both
+  // characters belong to the field.
+  Result<DataFrame> frame =
+      ReadCsvFromString("name,v\r\n\"a\r\nb\",1\r\n");
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->num_rows(), 1u);
+  const Column& name = frame->column("name");
+  EXPECT_EQ(name.CategoryName(name.Code(0)), "a\r\nb");
+}
+
 TEST(CsvTest, RejectsRaggedRows) {
   Result<DataFrame> frame = ReadCsvFromString("a,b\n1\n");
   EXPECT_FALSE(frame.ok());
@@ -94,6 +115,32 @@ TEST(CsvTest, RoundTripPreservesData) {
                 reparsed->column(col).CellToString(row));
     }
   }
+}
+
+TEST(CsvTest, RoundTripPreservesEmbeddedNewlinesQuotesAndDelimiters) {
+  // Write-then-read used to lose fields with embedded newlines: the writer
+  // quoted them, but the reader split records on every '\n'.
+  Result<DataFrame> original = ReadCsvFromString(
+      "text,v\n"
+      "\"first\nsecond\",1\n"
+      "\"say \"\"hi\"\", now\",2\n"
+      "\"tail\r\",3\n");
+  ASSERT_TRUE(original.ok());
+  ASSERT_EQ(original->num_rows(), 3u);
+  std::string serialized = WriteCsvToString(*original);
+  Result<DataFrame> reparsed = ReadCsvFromString(serialized);
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->num_rows(), original->num_rows());
+  for (size_t row = 0; row < original->num_rows(); ++row) {
+    for (size_t col = 0; col < original->num_columns(); ++col) {
+      EXPECT_EQ(original->column(col).CellToString(row),
+                reparsed->column(col).CellToString(row));
+    }
+  }
+  const Column& text = reparsed->column("text");
+  EXPECT_EQ(text.CategoryName(text.Code(0)), "first\nsecond");
+  EXPECT_EQ(text.CategoryName(text.Code(1)), "say \"hi\", now");
+  EXPECT_EQ(text.CategoryName(text.Code(2)), "tail\r");
 }
 
 TEST(CsvTest, FileRoundTrip) {

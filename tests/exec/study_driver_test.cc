@@ -264,6 +264,152 @@ TEST_F(StudyDriverTest, TimeBudgetStopsCleanlyWithDeadlineExceeded) {
   EXPECT_TRUE(driver.diagnostics().budget_exhausted);
 }
 
+TEST_F(StudyDriverTest, ParallelRepeatsMatchSequentialByteIdentically) {
+  StudyDriverOptions sequential = Options();
+  sequential.threads = 1;
+  sequential.cache_dir = cache_dir_ + "/seq";
+  StudyDriver seq_driver(sequential);
+  Result<CleaningExperimentResult> seq =
+      seq_driver.RunOrLoad(German(), "missing_values", "log-reg");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq_driver.diagnostics().threads, 1u);
+
+  StudyDriverOptions parallel = Options();
+  parallel.threads = 8;
+  parallel.cache_dir = cache_dir_ + "/par";
+  StudyDriver par_driver(parallel);
+  Result<CleaningExperimentResult> par =
+      par_driver.RunOrLoad(German(), "missing_values", "log-reg");
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(par_driver.diagnostics().threads, 8u);
+  EXPECT_EQ(par_driver.diagnostics().repeats_run, 3u);
+
+  // Same scores and byte-identical cache files: thread count must never
+  // leak into results.
+  ExpectSameScores(*par, *seq);
+  ExpectSameScores(*par, Baseline());
+  std::string seq_cache = *ReadFileToString(
+      StudyDriver::CachePath(sequential, "german", "missing_values",
+                             "log-reg"));
+  std::string par_cache = *ReadFileToString(
+      StudyDriver::CachePath(parallel, "german", "missing_values",
+                             "log-reg"));
+  EXPECT_EQ(seq_cache, par_cache);
+}
+
+TEST_F(StudyDriverTest, ParallelInterruptLeavesByteIdenticalJournal) {
+  // Find a seed whose "interrupt" site draws false, false, true: the run
+  // dies exactly before repeat 2, leaving a two-repeat journal.
+  uint64_t seed = 0;
+  for (uint64_t candidate = 1; candidate <= 200 && seed == 0; ++candidate) {
+    ASSERT_TRUE(
+        FaultInjector::Global().Configure("interrupt:0.5", candidate).ok());
+    bool r0 = FaultInjector::Global().ShouldFire("interrupt");
+    bool r1 = FaultInjector::Global().ShouldFire("interrupt");
+    bool r2 = FaultInjector::Global().ShouldFire("interrupt");
+    if (!r0 && !r1 && r2) seed = candidate;
+  }
+  ASSERT_NE(seed, 0u);
+
+  StudyDriverOptions sequential = Options();
+  sequential.threads = 1;
+  sequential.cache_dir = cache_dir_ + "/seq";
+  StudyDriverOptions parallel = Options();
+  parallel.threads = 8;
+  parallel.cache_dir = cache_dir_ + "/par";
+
+  ASSERT_TRUE(FaultInjector::Global().Configure("interrupt:0.5", seed).ok());
+  {
+    StudyDriver driver(sequential);
+    Result<CleaningExperimentResult> killed =
+        driver.RunOrLoad(German(), "missing_values", "log-reg");
+    ASSERT_FALSE(killed.ok());
+    EXPECT_EQ(killed.status().code(), StatusCode::kIoError);
+  }
+  ASSERT_TRUE(FaultInjector::Global().Configure("interrupt:0.5", seed).ok());
+  {
+    StudyDriver driver(parallel);
+    Result<CleaningExperimentResult> killed =
+        driver.RunOrLoad(German(), "missing_values", "log-reg");
+    ASSERT_FALSE(killed.ok());
+    EXPECT_EQ(killed.status().code(), StatusCode::kIoError);
+  }
+
+  // Both paths drew the fault at the same merge boundary and checkpointed
+  // the same repeats: the journals match byte for byte.
+  std::string seq_journal = *ReadFileToString(StudyDriver::JournalPath(
+      sequential, "german", "missing_values", "log-reg"));
+  std::string par_journal = *ReadFileToString(StudyDriver::JournalPath(
+      parallel, "german", "missing_values", "log-reg"));
+  EXPECT_EQ(seq_journal, par_journal);
+
+  // Fault-free re-runs resume both journals to the same final cache.
+  FaultInjector::Global().Reset();
+  StudyDriver seq_driver(sequential);
+  Result<CleaningExperimentResult> seq =
+      seq_driver.RunOrLoad(German(), "missing_values", "log-reg");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq_driver.diagnostics().journal_resumes, 1u);
+  StudyDriver par_driver(parallel);
+  Result<CleaningExperimentResult> par =
+      par_driver.RunOrLoad(German(), "missing_values", "log-reg");
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(par_driver.diagnostics().journal_resumes, 1u);
+  ExpectSameScores(*par, *seq);
+  ExpectSameScores(*par, Baseline());
+  std::string seq_cache = *ReadFileToString(StudyDriver::CachePath(
+      sequential, "german", "missing_values", "log-reg"));
+  std::string par_cache = *ReadFileToString(StudyDriver::CachePath(
+      parallel, "german", "missing_values", "log-reg"));
+  EXPECT_EQ(seq_cache, par_cache);
+}
+
+TEST_F(StudyDriverTest, ParallelRetryRecoversTransientNumericFault) {
+  ASSERT_TRUE(FaultInjector::Global().Configure("numeric:1:1", 1).ok());
+  StudyDriverOptions options = Options();
+  options.threads = 8;
+  StudyDriver driver(options);
+  Result<CleaningExperimentResult> result =
+      driver.RunOrLoad(German(), "missing_values", "log-reg");
+  ASSERT_TRUE(result.ok());
+  // Which slot's probe fires first is scheduling-dependent, but the retry
+  // replays that slot's own seed, so recovery is byte-identical either way.
+  EXPECT_EQ(driver.diagnostics().retries, 1u);
+  EXPECT_EQ(driver.diagnostics().skips, 0u);
+  ExpectSameScores(*result, Baseline());
+}
+
+TEST_F(StudyDriverTest, DegenerateCachedGapsAreRecomputedNotServed) {
+  {
+    StudyDriver driver(Options());
+    ASSERT_TRUE(
+        driver.RunOrLoad(German(), "missing_values", "log-reg").ok());
+  }
+  // Rewrite the cache the way a pre-NaN-semantics run could have left it:
+  // a privileged group with no negative labels (fp + tn == 0), whose FPR
+  // gap now reconstructs to NaN.
+  ResultStore store = ResultStore::LoadFromFile(CacheFile()).ValueOrDie();
+  size_t zeroed = 0;
+  for (const std::string& key : store.KeysWithPrefix("german")) {
+    if (key.find("_priv__") == std::string::npos) continue;
+    if (key.size() >= 4 && (key.compare(key.size() - 4, 4, "__fp") == 0 ||
+                            key.compare(key.size() - 4, 4, "__tn") == 0)) {
+      store.Put(key, 0.0);
+      ++zeroed;
+    }
+  }
+  ASSERT_GT(zeroed, 0u);
+  ASSERT_TRUE(store.SaveToFile(CacheFile()).ok());
+
+  StudyDriver driver(Options());
+  Result<CleaningExperimentResult> result =
+      driver.RunOrLoad(German(), "missing_values", "log-reg");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(driver.diagnostics().cache_hits, 0u);
+  EXPECT_EQ(driver.diagnostics().repeats_run, 3u);
+  ExpectSameScores(*result, Baseline());
+}
+
 TEST_F(StudyDriverTest, CachePathEncodesStudyShape) {
   StudyDriverOptions options = Options();
   options.cache_dir = "cache";

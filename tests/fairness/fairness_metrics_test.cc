@@ -90,6 +90,26 @@ TEST(FairnessGapTest, FalsePositiveRateParity) {
       2.0 / 7.0 - 4.0 / 9.0, 1e-12);
 }
 
+TEST(FairnessGapTest, FprGapIsNanWhenAGroupHasNoNegatives) {
+  // The privileged group has fp + tn == 0: its false-positive rate is
+  // undefined, and the gap must say so instead of reporting a fake 0.
+  GroupConfusion no_priv_negatives = MakeConfusion(8, 0, 5, 0, 6, 4, 5, 5);
+  EXPECT_TRUE(std::isnan(FairnessGap(FairnessMetric::kFalsePositiveRateParity,
+                                     no_priv_negatives)));
+  EXPECT_TRUE(std::isnan(AbsoluteFairnessGap(
+      FairnessMetric::kFalsePositiveRateParity, no_priv_negatives)));
+  GroupConfusion no_dis_negatives = MakeConfusion(8, 2, 5, 5, 6, 0, 5, 0);
+  EXPECT_TRUE(std::isnan(FairnessGap(FairnessMetric::kFalsePositiveRateParity,
+                                     no_dis_negatives)));
+  // The other gaps stay finite on the same matrices.
+  for (FairnessMetric metric :
+       {FairnessMetric::kPredictiveParity, FairnessMetric::kEqualOpportunity,
+        FairnessMetric::kDemographicParity,
+        FairnessMetric::kAccuracyParity}) {
+    EXPECT_TRUE(std::isfinite(FairnessGap(metric, no_priv_negatives)));
+  }
+}
+
 TEST(FairnessGapTest, AccuracyParity) {
   GroupConfusion confusion = MakeConfusion(8, 2, 5, 5, 6, 4, 5, 5);
   EXPECT_NEAR(FairnessGap(FairnessMetric::kAccuracyParity, confusion),

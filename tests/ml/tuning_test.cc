@@ -1,7 +1,10 @@
 #include "ml/tuning.h"
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "ml/metrics.h"
 #include "tests/ml/test_data.h"
 
@@ -62,6 +65,36 @@ TEST(TuneAndFitTest, DeterministicGivenSeed) {
   ASSERT_TRUE(b.ok());
   EXPECT_DOUBLE_EQ(a->best_param, b->best_param);
   EXPECT_DOUBLE_EQ(a->best_cv_accuracy, b->best_cv_accuracy);
+}
+
+TEST(TuneAndFitTest, FoldParallelismDoesNotChangeTheOutcome) {
+  // Arm the shared fold pool before its first (lazily cached) use. ctest
+  // runs each test in its own process, so this sticks; under a monolithic
+  // run the pool may already be fixed and both sides just run inline.
+  ASSERT_EQ(setenv("FAIRCLEAN_THREADS", "4", 1), 0);
+  test::BlobData data = test::MakeBlobs(200, 2, 2.0, 5);
+
+  Rng rng_pooled(7);
+  Result<TuneOutcome> pooled =
+      TuneAndFit(GbdtFamily(), data.x, data.y, 3, &rng_pooled);
+
+  // Calling from inside a pool task forces the inline (sequential) fold
+  // path via OnWorkerThread — the reference the pooled run must match.
+  Rng rng_inline(7);
+  ThreadPool probe(1);
+  Result<TuneOutcome> inlined =
+      probe
+          .Submit([&]() {
+            return TuneAndFit(GbdtFamily(), data.x, data.y, 3, &rng_inline);
+          })
+          .get();
+
+  ASSERT_TRUE(pooled.ok());
+  ASSERT_TRUE(inlined.ok());
+  EXPECT_EQ(pooled->best_param, inlined->best_param);
+  EXPECT_EQ(pooled->best_cv_accuracy, inlined->best_cv_accuracy);
+  EXPECT_EQ(pooled->model->Predict(data.x), inlined->model->Predict(data.x));
+  ASSERT_EQ(unsetenv("FAIRCLEAN_THREADS"), 0);
 }
 
 TEST(TuneAndFitTest, RejectsBadInput) {
