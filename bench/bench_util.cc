@@ -5,8 +5,13 @@
 
 #include "common/env.h"
 #include "common/fault_injection.h"
+#include "common/safe_io.h"
 #include "common/strings.h"
 #include "core/cleaning.h"
+#include "obs/json_lite.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/tests.h"
 
 namespace fairclean {
@@ -63,6 +68,11 @@ StudyScope MislabelScope() {
 }
 
 BenchOptions BenchOptionsFromEnv() {
+  // Benches historically narrated cache hits / resumes / retries; keep that
+  // by defaulting their log level to info (FAIRCLEAN_LOG still overrides).
+  obs::InitLogLevelFromEnv(obs::LogLevel::kInfo);
+  // Activate FAIRCLEAN_TRACE before the first dataset/span of the bench.
+  obs::InitTraceFromEnv();
   BenchOptions options;
   options.study.sample_size =
       static_cast<size_t>(GetEnvInt64("FAIRCLEAN_SAMPLE", 3500));
@@ -92,7 +102,6 @@ exec::StudyDriverOptions DriverOptions(const BenchOptions& options) {
   driver_options.max_retries = options.max_retries;
   driver_options.time_budget_s = options.time_budget_s;
   driver_options.threads = options.threads;
-  driver_options.verbose = options.verbose;
   return driver_options;
 }
 
@@ -245,17 +254,7 @@ int RunTableBench(const StudyScope& scope, const PaperTable references[4],
       driver.diagnostics().threads);
   Result<ScopeResults> results = RunScope(scope, &driver, options);
   if (!results.ok()) {
-    std::fprintf(stderr, "scope run failed: %s\n",
-                 results.status().ToString().c_str());
-    std::fprintf(stderr, "%s", driver.diagnostics().Format().c_str());
-    if (results.status().code() == StatusCode::kDeadlineExceeded) {
-      std::fprintf(stderr,
-                   "completed repeats are checkpointed in %s — re-run to "
-                   "resume where this run stopped\n",
-                   options.cache_dir.c_str());
-      return kExitResumable;
-    }
-    return 1;
+    return ReportScopeFailure(driver, results.status(), options.cache_dir);
   }
 
   const struct {
@@ -283,8 +282,48 @@ int RunTableBench(const StudyScope& scope, const PaperTable references[4],
         FairnessMetricName(kTables[i].metric));
     PrintTableWithReference(*table, references[i], title);
   }
-  std::printf("%s", driver.diagnostics().Format().c_str());
+  PrintRunSummary(driver);
   return 0;
+}
+
+void PrintRunSummary(const exec::StudyDriver& driver) {
+  std::printf("%s", driver.diagnostics().Format().c_str());
+  // At info level also show the process-wide instruments (io/csv byte
+  // counters, queue-wait histogram, fault fires) the diagnostics snapshot
+  // does not cover.
+  if (obs::LogEnabled(obs::LogLevel::kInfo)) {
+    std::printf("process metrics:\n%s",
+                obs::MetricsRegistry::Global().FormatSummary().c_str());
+  }
+}
+
+int ReportScopeFailure(const exec::StudyDriver& driver, const Status& status,
+                       const std::string& cache_dir) {
+  std::fprintf(stderr, "scope run failed: %s\n", status.ToString().c_str());
+  std::fprintf(stderr, "%s", driver.diagnostics().Format().c_str());
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    std::fprintf(stderr,
+                 "completed repeats are checkpointed in %s — re-run to "
+                 "resume where this run stopped\n",
+                 cache_dir.c_str());
+    return kExitResumable;
+  }
+  return 1;
+}
+
+Status WriteBenchPerfJson(const std::string& path,
+                          const std::map<std::string, double>& op_seconds,
+                          size_t threads, double speedup) {
+  std::string body = "{\"ops\":{";
+  bool first = true;
+  for (const auto& [name, seconds] : op_seconds) {
+    body += StrFormat("%s\"%s\":%.9g", first ? "" : ",",
+                      obs::JsonEscape(name).c_str(), seconds);
+    first = false;
+  }
+  body += StrFormat("},\"threads\":%zu,\"speedup\":%.6g}\n", threads,
+                    speedup);
+  return WriteFileAtomic(path, body);
 }
 
 }  // namespace bench

@@ -52,13 +52,14 @@ struct BenchOptions {
   /// whose own default is hardware_concurrency; 1: sequential). Results are
   /// byte-identical across widths, so cached runs stay valid.
   size_t threads = 0;
-  bool verbose = true;
 };
 
 /// Default bench options: scaled-down study (sample 3500, 16 repeats)
 /// overridable via FAIRCLEAN_SAMPLE / FAIRCLEAN_REPEATS / FAIRCLEAN_FOLDS /
 /// FAIRCLEAN_SEED / FAIRCLEAN_CACHE_DIR / FAIRCLEAN_MAX_RETRIES /
-/// FAIRCLEAN_TIME_BUDGET_S / FAIRCLEAN_THREADS.
+/// FAIRCLEAN_TIME_BUDGET_S / FAIRCLEAN_THREADS. Also initializes the log
+/// level: benches default to info (the historical verbose output) unless
+/// FAIRCLEAN_LOG overrides it.
 BenchOptions BenchOptionsFromEnv();
 
 /// Study-driver options corresponding to the bench options.
@@ -126,6 +127,24 @@ void PrintTableWithReference(const ImpactTable& measured,
 /// checkpointed and re-running resumes it.
 int RunTableBench(const StudyScope& scope, const PaperTable references[4],
                   const char* heading);
+
+/// Prints the driver's run diagnostics (and, at info level, the driver
+/// metric instruments) to stdout. Single implementation shared by every
+/// table bench so the report format cannot drift between binaries.
+void PrintRunSummary(const exec::StudyDriver& driver);
+
+/// Reports a failed scope run to stderr — message, diagnostics, and the
+/// resume hint when the time budget was exhausted — and returns the
+/// process exit code (75 for a resumable deadline, 1 otherwise).
+int ReportScopeFailure(const exec::StudyDriver& driver, const Status& status,
+                       const std::string& cache_dir);
+
+/// Writes machine-readable micro-benchmark results as JSON:
+///   {"ops":{"<op>":<seconds>,...},"threads":N,"speedup":S}
+/// Atomic write via the checksummed-IO layer's temp-file+rename path.
+Status WriteBenchPerfJson(const std::string& path,
+                          const std::map<std::string, double>& op_seconds,
+                          size_t threads, double speedup);
 
 }  // namespace bench
 }  // namespace fairclean

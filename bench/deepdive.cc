@@ -58,11 +58,7 @@ int Run() {
   for (const StudyScope& scope : scopes) {
     Result<ScopeResults> results = RunScope(scope, &driver, options);
     if (!results.ok()) {
-      std::fprintf(stderr, "scope %s failed: %s\n", scope.error_type.c_str(),
-                   results.status().ToString().c_str());
-      std::fprintf(stderr, "%s", driver.diagnostics().Format().c_str());
-      return results.status().code() == StatusCode::kDeadlineExceeded ? 75
-                                                                      : 1;
+      return ReportScopeFailure(driver, results.status(), options.cache_dir);
     }
     Result<std::vector<CleaningMethod>> methods =
         CleaningMethodsFor(scope.error_type);
@@ -165,7 +161,7 @@ int Run() {
   std::printf("  (paper: log-reg provides the highest accuracy over all "
               "tasks, outperformed by xgboost only for outliers on "
               "folk/heart and missing values on adult/folk)\n");
-  std::printf("%s", driver.diagnostics().Format().c_str());
+  PrintRunSummary(driver);
   return 0;
 }
 

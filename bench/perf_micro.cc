@@ -2,13 +2,20 @@
 // synthesis, error detection, repair, feature encoding and model training.
 // These measure engineering throughput, not paper results. After the
 // benchmark table, a summary line reports the 1-thread vs N-thread speedup
-// of the study driver's repeat fan-out.
+// of the study driver's repeat fan-out, and the whole run is written as
+// machine-readable JSON (op name -> seconds per iteration, plus the
+// fan-out numbers) to FAIRCLEAN_BENCH_JSON (default BENCH_perf.json) for
+// CI trend tracking.
 
 #include <chrono>
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+#include "common/env.h"
 #include "common/thread_pool.h"
 #include "core/cleaning.h"
 #include "exec/study_driver.h"
@@ -236,7 +243,33 @@ double TimeStudySeconds(size_t threads, const GeneratedDataset& dataset) {
       .count();
 }
 
-void PrintRepeatFanOutSpeedup() {
+/// Console reporter that additionally captures seconds-per-iteration for
+/// every benchmark run, so the table printed to the terminal and the JSON
+/// written for CI come from the same measurements.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      double iterations = static_cast<double>(run.iterations);
+      if (iterations <= 0) continue;
+      // real_accumulated_time is in seconds regardless of the display unit.
+      op_seconds_[run.benchmark_name()] =
+          run.real_accumulated_time / iterations;
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::map<std::string, double>& op_seconds() const {
+    return op_seconds_;
+  }
+
+ private:
+  std::map<std::string, double> op_seconds_;
+};
+
+void ReportRepeatFanOutSpeedup(std::map<std::string, double>* op_seconds,
+                               size_t* threads_out, double* speedup_out) {
   Rng rng(7);
   GeneratedDataset dataset = MakeDataset("german", 500, &rng).ValueOrDie();
   size_t threads = ThreadPool::DefaultThreadCount();
@@ -247,16 +280,42 @@ void PrintRepeatFanOutSpeedup() {
       "\nrepeat fan-out: 1 thread %.2fs, %zu threads %.2fs -> %.2fx speedup "
       "(set FAIRCLEAN_THREADS to change the width)\n",
       sequential_s, threads, parallel_s, sequential_s / parallel_s);
+  (*op_seconds)["repeat_fanout_1_thread"] = sequential_s;
+  (*op_seconds)["repeat_fanout_n_threads"] = parallel_s;
+  *threads_out = threads;
+  *speedup_out = sequential_s / parallel_s;
+}
+
+int RunPerfMicro(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::map<std::string, double> op_seconds = reporter.op_seconds();
+  size_t threads = 1;
+  double speedup = 1.0;
+  ReportRepeatFanOutSpeedup(&op_seconds, &threads, &speedup);
+
+  std::string json_path =
+      GetEnvString("FAIRCLEAN_BENCH_JSON", "BENCH_perf.json");
+  if (!json_path.empty()) {
+    Status written =
+        bench::WriteBenchPerfJson(json_path, op_seconds, threads, speedup);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", json_path.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("machine-readable results: %s\n", json_path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace fairclean
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  fairclean::PrintRepeatFanOutSpeedup();
-  return 0;
+  return fairclean::RunPerfMicro(argc, argv);
 }

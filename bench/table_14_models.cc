@@ -43,11 +43,7 @@ int Run() {
   for (const StudyScope& scope : scopes) {
     Result<ScopeResults> results = RunScope(scope, &driver, options);
     if (!results.ok()) {
-      std::fprintf(stderr, "scope %s failed: %s\n", scope.error_type.c_str(),
-                   results.status().ToString().c_str());
-      std::fprintf(stderr, "%s", driver.diagnostics().Format().c_str());
-      return results.status().code() == StatusCode::kDeadlineExceeded ? 75
-                                                                      : 1;
+      return ReportScopeFailure(driver, results.status(), options.cache_dir);
     }
     Result<std::vector<CleaningMethod>> methods =
         CleaningMethodsFor(scope.error_type);
@@ -128,7 +124,7 @@ int Run() {
       "shape check: for every model, cleaning worsens fairness more often "
       "than it improves it -> %s\n",
       all_worse_dominates ? "MATCH" : "MISMATCH");
-  std::printf("%s", driver.diagnostics().Format().c_str());
+  PrintRunSummary(driver);
   return 0;
 }
 

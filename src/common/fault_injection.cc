@@ -6,6 +6,8 @@
 
 #include "common/env.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fairclean {
 
@@ -103,7 +105,16 @@ bool FaultInjector::ShouldFire(const std::string& site) {
   } else {
     fire = armed.rng.Bernoulli(armed.probability);
   }
-  if (fire) ++armed.fires;
+  if (fire) {
+    ++armed.fires;
+    // Fires show up in the trace timeline as instant events, so injected
+    // failures line up visually with the retries they cause.
+    if (obs::TraceEnabled()) {
+      obs::Tracer::Global().RecordInstant("fault", "fault:" + site);
+    }
+    obs::MetricsRegistry::Global().GetCounter("fault.fires." + site)
+        ->Increment();
+  }
   return fire;
 }
 

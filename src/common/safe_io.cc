@@ -12,10 +12,24 @@
 
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fairclean {
 
 namespace {
+
+void CountBytesRead(size_t bytes) {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("io.bytes_read");
+  counter->Increment(bytes);
+}
+
+void CountBytesWritten(size_t bytes) {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("io.bytes_written");
+  counter->Increment(bytes);
+}
 
 std::array<uint32_t, 256> BuildCrc32Table() {
   std::array<uint32_t, 256> table{};
@@ -45,6 +59,7 @@ uint32_t Crc32(std::string_view data) {
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {
+  obs::TraceSpan span("io", [&] { return "read " + path; });
   std::ifstream stream(path, std::ios::binary);
   if (!stream) {
     return Status::IoError("cannot open: " + path);
@@ -54,10 +69,13 @@ Result<std::string> ReadFileToString(const std::string& path) {
   if (stream.bad()) {
     return Status::IoError("read failed: " + path);
   }
-  return buffer.str();
+  std::string content = buffer.str();
+  CountBytesRead(content.size());
+  return content;
 }
 
 Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  obs::TraceSpan span("io", [&] { return "write " + path; });
   FC_RETURN_IF_ERROR(FaultInjector::Global().Inject("cache_write"));
   std::string tmp = path + ".tmp";
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -91,6 +109,7 @@ Status WriteFileAtomic(const std::string& path, const std::string& content) {
     ::unlink(tmp.c_str());
     return Status::IoError(ErrnoMessage("rename failed", path));
   }
+  CountBytesWritten(content.size());
   return Status::OK();
 }
 

@@ -1,23 +1,50 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
+#include <string>
 
 #include "common/env.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fairclean {
+
+namespace internal {
+
+int64_t QueueEnqueueStamp() {
+  if (!obs::TraceEnabled() && !obs::MetricsExportEnabled()) return -1;
+  return obs::Tracer::Global().NowMicros();
+}
+
+void ObserveQueueWait(int64_t enqueue_us) {
+  if (enqueue_us < 0) return;
+  static obs::Histogram* const histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "threadpool.queue_wait_s",
+          obs::MetricsRegistry::DefaultLatencyBounds());
+  int64_t waited_us = obs::Tracer::Global().NowMicros() - enqueue_us;
+  histogram->Observe(static_cast<double>(waited_us) * 1e-6);
+}
+
+}  // namespace internal
 
 namespace {
 
 thread_local bool t_on_worker_thread = false;
 
+// Distinguishes workers of different pools in trace thread names.
+std::atomic<size_t> g_next_pool_id{1};
+
 }  // namespace
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : pool_id_(g_next_pool_id.fetch_add(1, std::memory_order_relaxed)) {
   size_t count = std::max<size_t>(1, num_threads);
   workers_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
-    workers_.emplace_back([this]() { WorkerLoop(); });
+    workers_.emplace_back([this, i]() { WorkerLoop(i); });
   }
 }
 
@@ -32,8 +59,12 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   t_on_worker_thread = true;
+  // Sticks for the thread's lifetime; spans executed on this worker carry
+  // its tid and the trace shows a "worker-<pool>-<index>" lane.
+  obs::Tracer::SetCurrentThreadName("worker-" + std::to_string(pool_id_) +
+                                    "-" + std::to_string(worker_index));
   for (;;) {
     std::function<void()> task;
     {

@@ -18,6 +18,18 @@
 
 namespace fairclean {
 
+namespace internal {
+/// Observability hooks for Submit (implemented in thread_pool.cc so the
+/// template stays header-only without pulling obs headers in here).
+/// Returns the enqueue timestamp in microseconds when tracing or metrics
+/// export is active, -1 otherwise — so the disabled path never reads a
+/// clock.
+int64_t QueueEnqueueStamp();
+/// Records now - enqueue_us into the "threadpool.queue_wait_s" histogram;
+/// no-op when enqueue_us < 0.
+void ObserveQueueWait(int64_t enqueue_us);
+}  // namespace internal
+
 /// Fixed-size worker pool used to fan out independent units of work
 /// (repeat slices in the study driver, cross-validation folds in
 /// hyperparameter search).
@@ -53,9 +65,13 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
+    int64_t enqueue_us = internal::QueueEnqueueStamp();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      queue_.push([task]() { (*task)(); });
+      queue_.push([task, enqueue_us]() {
+        internal::ObserveQueueWait(enqueue_us);
+        (*task)();
+      });
     }
     cv_.notify_one();
     return future;
@@ -77,8 +93,9 @@ class ThreadPool {
   static ThreadPool* SharedForFolds();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
+  size_t pool_id_ = 0;
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;

@@ -6,6 +6,7 @@
 #include "common/thread_pool.h"
 #include "data/split.h"
 #include "ml/metrics.h"
+#include "obs/trace.h"
 
 namespace fairclean {
 
@@ -68,6 +69,7 @@ Result<FairTuneOutcome> FairTuneAndFit(const TunedModelFamily& family,
   if (options.max_unfairness < 0.0) {
     return Status::InvalidArgument("unfairness budget must be non-negative");
   }
+  obs::TraceSpan span("ml", [&] { return "FairTuneAndFit " + family.name; });
 
   Rng fold_rng = rng->Fork(0xfa12);
   std::vector<TrainTestIndices> folds =
@@ -99,6 +101,9 @@ Result<FairTuneOutcome> FairTuneAndFit(const TunedModelFamily& family,
     }
     std::vector<FoldEval> evals =
         RunIndexed(pool, folds.size(), [&](size_t f) -> FoldEval {
+          obs::TraceSpan fold_span("ml", [&] {
+            return "fair fold " + std::to_string(f) + " " + family.name;
+          });
           FoldEval eval;
           Matrix train_x = x.TakeRows(folds[f].train);
           std::vector<int> train_y;

@@ -9,6 +9,7 @@
 #include "common/strings.h"
 #include "data/split.h"
 #include "ml/encoder.h"
+#include "obs/trace.h"
 #include "stats/descriptive.h"
 #include "stats/tests.h"
 
@@ -48,6 +49,9 @@ Result<EvalOutcome> TrainAndEvaluate(const PreparedData& data,
                                      const std::vector<GroupDefinition>& groups,
                                      const TunedModelFamily& family,
                                      size_t cv_folds, Rng* rng) {
+  obs::TraceSpan span("core", [&] {
+    return "TrainAndEvaluate " + spec.name + " " + family.name;
+  });
   std::vector<std::string> features = spec.FeatureColumns(data.train);
   FeatureEncoder encoder;
   FC_RETURN_IF_ERROR(encoder.Fit(data.train, features));
@@ -174,6 +178,10 @@ Result<CleaningExperimentResult> RunCleaningRepeatSlice(
     const GeneratedDataset& dataset, const std::string& error_type,
     const TunedModelFamily& family, const StudyOptions& options,
     size_t repeat, uint64_t seed_salt) {
+  obs::TraceSpan span("core", [&] {
+    return StrFormat("repeat %s/%s/%s r%zu", dataset.spec.name.c_str(),
+                     error_type.c_str(), family.name.c_str(), repeat);
+  });
   if (!dataset.spec.HasErrorType(error_type)) {
     return Status::InvalidArgument(
         StrFormat("dataset %s has no error type %s",

@@ -7,6 +7,8 @@
 
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fairclean {
 
@@ -140,6 +142,9 @@ std::string EscapeField(const std::string& value, char delimiter) {
 
 Result<DataFrame> ReadCsvFromString(const std::string& text,
                                     const CsvOptions& options) {
+  obs::TraceSpan span("data", "ReadCsvFromString");
+  obs::MetricsRegistry::Global().GetCounter("csv.bytes_parsed")
+      ->Increment(text.size());
   // Fault-injection site: lets tests prove callers survive a parse failure
   // (all real parse errors below already propagate as Status).
   FC_RETURN_IF_ERROR(FaultInjector::Global().Inject("csv_parse"));
@@ -238,14 +243,18 @@ std::string WriteCsvToString(const DataFrame& frame,
 
 Status WriteCsvFile(const DataFrame& frame, const std::string& path,
                     const CsvOptions& options) {
+  obs::TraceSpan span("data", [&] { return "WriteCsvFile " + path; });
   std::ofstream stream(path);
   if (!stream) {
     return Status::IoError("cannot open file for writing: " + path);
   }
-  stream << WriteCsvToString(frame, options);
+  std::string text = WriteCsvToString(frame, options);
+  stream << text;
   if (!stream) {
     return Status::IoError("write failed: " + path);
   }
+  obs::MetricsRegistry::Global().GetCounter("csv.bytes_written")
+      ->Increment(text.size());
   return Status::OK();
 }
 

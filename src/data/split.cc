@@ -3,10 +3,12 @@
 #include <cstddef>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace fairclean {
 
 TrainTestIndices SplitTrainTest(size_t n, double test_fraction, Rng* rng) {
+  obs::TraceSpan span("data", "SplitTrainTest");
   FC_CHECK_GT(n, 0u);
   FC_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
   std::vector<size_t> perm = rng->Permutation(n);
@@ -23,6 +25,7 @@ TrainTestIndices SplitTrainTest(size_t n, double test_fraction, Rng* rng) {
 }
 
 std::vector<TrainTestIndices> KFoldIndices(size_t n, size_t k, Rng* rng) {
+  obs::TraceSpan span("data", "KFoldIndices");
   FC_CHECK_GE(k, 2u);
   FC_CHECK_GE(n, k);
   std::vector<size_t> perm = rng->Permutation(n);

@@ -1,9 +1,12 @@
 #include "datasets/generator.h"
 
+#include "obs/trace.h"
+
 namespace fairclean {
 
 Result<GeneratedDataset> MakeDataset(const std::string& name, size_t num_rows,
                                      Rng* rng) {
+  obs::TraceSpan span("datasets", [&] { return "MakeDataset " + name; });
   if (name == "adult") return MakeAdultDataset(num_rows, rng);
   if (name == "folk") return MakeFolkDataset(num_rows, rng);
   if (name == "credit") return MakeCreditDataset(num_rows, rng);

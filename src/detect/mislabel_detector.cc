@@ -5,12 +5,14 @@
 #include "data/split.h"
 #include "ml/encoder.h"
 #include "ml/logistic_regression.h"
+#include "obs/trace.h"
 
 namespace fairclean {
 
 Result<ErrorMask> MislabelDetector::Detect(const DataFrame& frame,
                                            const DetectionContext& context,
                                            Rng* rng) const {
+  obs::TraceSpan span("detect", "MislabelDetector::Detect");
   if (context.label_column.empty()) {
     return Status::InvalidArgument("mislabel detection requires a label");
   }

@@ -1,11 +1,14 @@
 #include "detect/missing_detector.h"
 
+#include "obs/trace.h"
+
 namespace fairclean {
 
 Result<ErrorMask> MissingValueDetector::Detect(const DataFrame& frame,
                                                const DetectionContext& context,
                                                Rng* rng) const {
   (void)rng;
+  obs::TraceSpan span("detect", "MissingValueDetector::Detect");
   ErrorMask mask(frame.num_rows());
   for (const std::string& name : context.inspect_columns) {
     if (!frame.HasColumn(name)) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "stats/descriptive.h"
 
 namespace fairclean {
@@ -26,6 +27,7 @@ Result<ErrorMask> SdOutlierDetector::Detect(const DataFrame& frame,
                                             const DetectionContext& context,
                                             Rng* rng) const {
   (void)rng;
+  obs::TraceSpan span("detect", "SdOutlierDetector::Detect");
   FC_RETURN_IF_ERROR(CheckColumns(frame, context));
   ErrorMask mask(frame.num_rows());
   for (const std::string& name : context.inspect_columns) {
@@ -48,6 +50,7 @@ Result<ErrorMask> IqrOutlierDetector::Detect(const DataFrame& frame,
                                              const DetectionContext& context,
                                              Rng* rng) const {
   (void)rng;
+  obs::TraceSpan span("detect", "IqrOutlierDetector::Detect");
   FC_RETURN_IF_ERROR(CheckColumns(frame, context));
   ErrorMask mask(frame.num_rows());
   for (const std::string& name : context.inspect_columns) {
@@ -69,6 +72,7 @@ Result<ErrorMask> IqrOutlierDetector::Detect(const DataFrame& frame,
 
 Result<ErrorMask> IsolationForestOutlierDetector::Detect(
     const DataFrame& frame, const DetectionContext& context, Rng* rng) const {
+  obs::TraceSpan span("detect", "IsolationForestOutlierDetector::Detect");
   FC_RETURN_IF_ERROR(CheckColumns(frame, context));
   if (rng == nullptr) {
     return Status::InvalidArgument("outliers-if requires an rng");

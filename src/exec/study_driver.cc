@@ -12,6 +12,8 @@
 #include "common/safe_io.h"
 #include "common/strings.h"
 #include "core/cleaning.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace fairclean {
 namespace exec {
@@ -52,19 +54,24 @@ double ThreadCpuSeconds() {
          static_cast<double>(CLOCKS_PER_SEC);
 }
 
-// Accumulates wall-clock time into a per-stage counter.
-class StageTimer {
+// Measures one stage: the wall time lands in the driver's per-stage
+// histogram and, when tracing, in an "exec" span.
+class StageScope {
  public:
-  explicit StageTimer(double* sink)
-      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
-  ~StageTimer() {
-    *sink_ += std::chrono::duration<double>(
-                  std::chrono::steady_clock::now() - start_)
-                  .count();
+  StageScope(obs::Histogram* histogram, const char* stage)
+      : span_("exec",
+              [&] { return std::string("stage ") + stage; }),
+        histogram_(histogram),
+        start_(std::chrono::steady_clock::now()) {}
+  ~StageScope() {
+    histogram_->Observe(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count());
   }
 
  private:
-  double* sink_;
+  obs::TraceSpan span_;
+  obs::Histogram* histogram_;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -213,8 +220,72 @@ std::string RunDiagnostics::Format() const {
 
 StudyDriver::StudyDriver(StudyDriverOptions options)
     : options_(std::move(options)),
+      metrics_(&obs::MetricsRegistry::Global()),
       start_(std::chrono::steady_clock::now()) {
-  diagnostics_.threads = EffectiveThreads();
+  // Touch the tracer so FAIRCLEAN_TRACE takes effect before the first
+  // span of the run (instrumentation points are no-ops until then).
+  obs::InitTraceFromEnv();
+  metrics_.GetGauge("driver.threads")
+      ->Set(static_cast<double>(EffectiveThreads()));
+}
+
+obs::Counter* StudyDriver::Count(const char* name) {
+  return metrics_.GetCounter(name);
+}
+
+obs::Histogram* StudyDriver::StageWall(const char* stage) {
+  return metrics_.GetHistogram(
+      std::string("driver.stage_wall_s.") + stage,
+      obs::MetricsRegistry::DefaultLatencyBounds());
+}
+
+obs::Histogram* StudyDriver::StageCpu(const char* stage) {
+  return metrics_.GetHistogram(
+      std::string("driver.stage_cpu_s.") + stage,
+      obs::MetricsRegistry::DefaultLatencyBounds());
+}
+
+RunDiagnostics StudyDriver::diagnostics() const {
+  RunDiagnostics out;
+  constexpr char kWallPrefix[] = "driver.stage_wall_s.";
+  constexpr char kCpuPrefix[] = "driver.stage_cpu_s.";
+  for (const obs::MetricSnapshot& metric : metrics_.Snapshot()) {
+    switch (metric.kind) {
+      case obs::MetricSnapshot::Kind::kCounter: {
+        size_t value = static_cast<size_t>(metric.value);
+        if (metric.name == "driver.experiments") out.experiments = value;
+        else if (metric.name == "driver.cache_hits") out.cache_hits = value;
+        else if (metric.name == "driver.journal_resumes")
+          out.journal_resumes = value;
+        else if (metric.name == "driver.repeats_resumed")
+          out.repeats_resumed = value;
+        else if (metric.name == "driver.repeats_run") out.repeats_run = value;
+        else if (metric.name == "driver.retries") out.retries = value;
+        else if (metric.name == "driver.skips") out.skips = value;
+        else if (metric.name == "driver.corrupt_quarantined")
+          out.corrupt_quarantined = value;
+        else if (metric.name == "driver.checkpoints") out.checkpoints = value;
+        break;
+      }
+      case obs::MetricSnapshot::Kind::kGauge:
+        if (metric.name == "driver.budget_exhausted") {
+          out.budget_exhausted = metric.value != 0.0;
+        } else if (metric.name == "driver.threads") {
+          out.threads = static_cast<size_t>(metric.value);
+        }
+        break;
+      case obs::MetricSnapshot::Kind::kHistogram:
+        if (metric.name.rfind(kWallPrefix, 0) == 0) {
+          out.stage_seconds[metric.name.substr(sizeof(kWallPrefix) - 1)] =
+              metric.sum;
+        } else if (metric.name.rfind(kCpuPrefix, 0) == 0) {
+          out.stage_cpu_seconds[metric.name.substr(sizeof(kCpuPrefix) - 1)] =
+              metric.sum;
+        }
+        break;
+    }
+  }
+  return out;
 }
 
 size_t StudyDriver::EffectiveThreads() const {
@@ -255,6 +326,10 @@ bool StudyDriver::BudgetExhausted() const {
 StudyDriver::SlotOutcome StudyDriver::ComputeSlot(
     const GeneratedDataset& dataset, const std::string& error_type,
     const TunedModelFamily& family, size_t slot) const {
+  obs::TraceSpan span("exec", [&] {
+    return StrFormat("slot %s/%s/%s r%zu", dataset.spec.name.c_str(),
+                     error_type.c_str(), family.name.c_str(), slot);
+  });
   SlotOutcome out;
   const double cpu_start = ThreadCpuSeconds();
   for (size_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
@@ -281,12 +356,10 @@ StudyDriver::SlotOutcome StudyDriver::ComputeSlot(
       out.slice = std::move(*slice);
       break;
     }
-    if (options_.verbose) {
-      std::fprintf(stderr, "[retry] %s/%s/%s r%zu attempt %zu: %s\n",
-                   dataset.spec.name.c_str(), error_type.c_str(),
-                   family.name.c_str(), slot, attempt,
-                   out.last_failure.ToString().c_str());
-    }
+    FC_LOG_WARN("driver", "retry %s/%s/%s r%zu attempt %zu: %s",
+                dataset.spec.name.c_str(), error_type.c_str(),
+                family.name.c_str(), slot, attempt,
+                out.last_failure.ToString().c_str());
   }
   out.compute_seconds = ThreadCpuSeconds() - cpu_start;
   return out;
@@ -299,32 +372,30 @@ Status StudyDriver::MergeSlot(size_t slot, SlotOutcome outcome,
                               const std::string& journal_path, bool persist,
                               CleaningExperimentResult* result,
                               Status* last_failure) {
-  diagnostics_.retries += outcome.retries;
-  diagnostics_.stage_cpu_seconds["compute"] += outcome.compute_seconds;
+  Count("driver.retries")->Increment(outcome.retries);
+  StageCpu("compute")->Observe(outcome.compute_seconds);
   if (!outcome.last_failure.ok()) *last_failure = outcome.last_failure;
   if (outcome.slice.has_value()) {
     FC_RETURN_IF_ERROR(AppendRepeatSlice(*outcome.slice, result));
-    ++diagnostics_.repeats_run;
+    Count("driver.repeats_run")->Increment();
   } else {
-    ++diagnostics_.skips;
+    Count("driver.skips")->Increment();
     result->records.Put(SkippedKey(slot), 1.0);
-    if (options_.verbose) {
-      std::fprintf(stderr, "[skip ] %s/%s/%s r%zu: %s\n",
-                   dataset.spec.name.c_str(), error_type.c_str(),
-                   model.c_str(), slot, last_failure->ToString().c_str());
-    }
+    FC_LOG_WARN("driver", "skip %s/%s/%s r%zu: %s",
+                dataset.spec.name.c_str(), error_type.c_str(), model.c_str(),
+                slot, last_failure->ToString().c_str());
   }
   result->records.Put(kMetaNextRepeat, static_cast<double>(slot + 1));
 
   if (persist) {
-    StageTimer timer(&diagnostics_.stage_seconds["checkpoint"]);
+    StageScope stage(StageWall("checkpoint"), "checkpoint");
     Status journaled = result->records.SaveToFile(journal_path);
     if (journaled.ok()) {
-      ++diagnostics_.checkpoints;
-    } else if (options_.verbose) {
+      Count("driver.checkpoints")->Increment();
+    } else {
       // Non-fatal: worst case a later resume redoes this repeat.
-      std::fprintf(stderr, "[warn ] journal write failed: %s\n",
-                   journaled.ToString().c_str());
+      FC_LOG_WARN("driver", "journal write failed: %s",
+                  journaled.ToString().c_str());
     }
   }
   return Status::OK();
@@ -333,7 +404,11 @@ Status StudyDriver::MergeSlot(size_t slot, SlotOutcome outcome,
 Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
     const GeneratedDataset& dataset, const std::string& error_type,
     const std::string& model) {
-  ++diagnostics_.experiments;
+  obs::TraceSpan span("exec", [&] {
+    return StrFormat("RunOrLoad %s/%s/%s", dataset.spec.name.c_str(),
+                     error_type.c_str(), model.c_str());
+  });
+  Count("driver.experiments")->Increment();
   FC_ASSIGN_OR_RETURN(TunedModelFamily family, ModelFamilyByName(model));
 
   const bool persist = !options_.cache_dir.empty();
@@ -348,7 +423,7 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
     cache_path = CachePath(options_, dataset.spec.name, error_type, model);
     journal_path = cache_path + ".journal";
 
-    StageTimer timer(&diagnostics_.stage_seconds["cache_load"]);
+    StageScope stage(StageWall("cache_load"), "cache_load");
     // 1) A completed experiment in the result cache.
     if (std::filesystem::exists(cache_path, ec)) {
       Result<ResultStore> store = ResultStore::LoadFromFile(cache_path);
@@ -356,17 +431,14 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
         // Truncated, bit-flipped, or unparsable: quarantine the evidence
         // and recompute. Transient read errors just recompute in place.
         if (store.status().code() != StatusCode::kIoError) {
-          ++diagnostics_.corrupt_quarantined;
+          Count("driver.corrupt_quarantined")->Increment();
           Result<std::string> moved = QuarantineFile(cache_path);
-          if (options_.verbose) {
-            std::fprintf(stderr, "[warn ] corrupt cache %s (%s) -> %s\n",
-                         cache_path.c_str(),
-                         store.status().ToString().c_str(),
-                         moved.ok() ? moved->c_str() : "quarantine failed");
-          }
-        } else if (options_.verbose) {
-          std::fprintf(stderr, "[warn ] cache read failed: %s\n",
-                       store.status().ToString().c_str());
+          FC_LOG_WARN("driver", "corrupt cache %s (%s) -> %s",
+                      cache_path.c_str(), store.status().ToString().c_str(),
+                      moved.ok() ? moved->c_str() : "quarantine failed");
+        } else {
+          FC_LOG_WARN("driver", "cache read failed: %s",
+                      store.status().ToString().c_str());
         }
       } else {
         Result<Reconstructed> cached = ReconstructFromStore(
@@ -378,12 +450,10 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
           // metrics learned to report empty groups as NaN: their stored
           // confusion matrices now reconstruct to non-finite gaps, and such
           // scores must be recomputed, not served.
-          ++diagnostics_.cache_hits;
-          if (options_.verbose) {
-            std::fprintf(stderr, "[cache] %s/%s/%s\n",
-                         dataset.spec.name.c_str(), error_type.c_str(),
-                         model.c_str());
-          }
+          Count("driver.cache_hits")->Increment();
+          FC_LOG_INFO("driver", "cache hit %s/%s/%s",
+                      dataset.spec.name.c_str(), error_type.c_str(),
+                      model.c_str());
           return cached->result;
         }
         // Stale (missing keys) or incomplete store at the cache path: the
@@ -412,30 +482,25 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
       if (resumed.ok()) {
         result = std::move(resumed->result);
         resume_from = resumed->next_repeat;
-        ++diagnostics_.journal_resumes;
-        diagnostics_.repeats_resumed += resumed->completed;
-        if (options_.verbose) {
-          std::fprintf(stderr, "[resum] %s/%s/%s at repeat %zu/%zu\n",
-                       dataset.spec.name.c_str(), error_type.c_str(),
-                       model.c_str(), resume_from,
-                       options_.study.num_repeats);
-        }
+        Count("driver.journal_resumes")->Increment();
+        Count("driver.repeats_resumed")->Increment(resumed->completed);
+        FC_LOG_INFO("driver", "resume %s/%s/%s at repeat %zu/%zu",
+                    dataset.spec.name.c_str(), error_type.c_str(),
+                    model.c_str(), resume_from, options_.study.num_repeats);
       } else {
-        ++diagnostics_.corrupt_quarantined;
+        Count("driver.corrupt_quarantined")->Increment();
         Result<std::string> moved = QuarantineFile(journal_path);
-        if (options_.verbose) {
-          std::fprintf(stderr, "[warn ] corrupt journal %s (%s) -> %s\n",
-                       journal_path.c_str(),
-                       resumed.status().ToString().c_str(),
-                       moved.ok() ? moved->c_str() : "quarantine failed");
-        }
+        FC_LOG_WARN("driver", "corrupt journal %s (%s) -> %s",
+                    journal_path.c_str(),
+                    resumed.status().ToString().c_str(),
+                    moved.ok() ? moved->c_str() : "quarantine failed");
       }
     }
   }
 
-  if (resume_from < options_.study.num_repeats && options_.verbose) {
-    std::fprintf(stderr, "[run  ] %s/%s/%s ...\n", dataset.spec.name.c_str(),
-                 error_type.c_str(), model.c_str());
+  if (resume_from < options_.study.num_repeats) {
+    FC_LOG_INFO("driver", "run %s/%s/%s ...", dataset.spec.name.c_str(),
+                error_type.c_str(), model.c_str());
   }
 
   Status last_failure;
@@ -443,7 +508,7 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
   const size_t threads = EffectiveThreads();
 
   auto deadline_error = [&](size_t done) {
-    diagnostics_.budget_exhausted = true;
+    metrics_.GetGauge("driver.budget_exhausted")->Set(1.0);
     return Status::DeadlineExceeded(StrFormat(
         "time budget of %.1fs exhausted after %.1fs; %zu/%zu repeats of "
         "%s/%s/%s are checkpointed — re-run to resume",
@@ -462,7 +527,7 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
       FC_RETURN_IF_ERROR(FaultInjector::Global().Inject("interrupt"));
       SlotOutcome outcome;
       {
-        StageTimer timer(&diagnostics_.stage_seconds["compute"]);
+        StageScope stage(StageWall("compute"), "compute");
         outcome = ComputeSlot(dataset, error_type, family, slot);
       }
       FC_RETURN_IF_ERROR(MergeSlot(slot, std::move(outcome), dataset,
@@ -504,7 +569,7 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
       FC_RETURN_IF_ERROR(FaultInjector::Global().Inject("interrupt"));
       SlotOutcome outcome;
       {
-        StageTimer timer(&diagnostics_.stage_seconds["compute"]);
+        StageScope stage(StageWall("compute"), "compute");
         outcome = futures[slot - resume_from].get();
       }
       if (outcome.budget_skipped) return deadline_error(slot);
@@ -527,13 +592,11 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
   }
 
   if (persist) {
-    StageTimer timer(&diagnostics_.stage_seconds["finalize"]);
+    StageScope stage(StageWall("finalize"), "finalize");
     Status saved = result.records.SaveToFile(cache_path);
     if (!saved.ok()) {
-      if (options_.verbose) {
-        std::fprintf(stderr, "[warn ] cache write failed: %s\n",
-                     saved.ToString().c_str());
-      }
+      FC_LOG_WARN("driver", "cache write failed: %s",
+                  saved.ToString().c_str());
     } else {
       std::error_code ec;
       std::filesystem::remove(journal_path, ec);

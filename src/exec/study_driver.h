@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "core/runner.h"
 #include "datasets/generator.h"
+#include "obs/metrics.h"
 
 namespace fairclean {
 namespace exec {
@@ -35,12 +36,17 @@ struct StudyDriverOptions {
   /// the historical strictly-sequential path. Results are byte-identical
   /// across thread counts (see DESIGN.md, threading model).
   size_t threads = 0;
-  bool verbose = false;
 };
 
 /// Structured counters describing how a driver run degraded (or didn't):
 /// cache reuse, journal resumes, retries, skips, quarantined files, and
 /// wall time per stage. Printed by the table benches.
+///
+/// Since the observability rework this is a point-in-time snapshot
+/// assembled from the driver's metrics registry (see
+/// StudyDriver::diagnostics()); the counters live as named instruments
+/// ("driver.retries", "driver.stage_wall_s.compute", ...) that also feed
+/// the process-wide FAIRCLEAN_METRICS export.
 struct RunDiagnostics {
   size_t experiments = 0;        ///< RunOrLoad calls served.
   size_t cache_hits = 0;         ///< served entirely from the result cache
@@ -99,7 +105,10 @@ class StudyDriver {
                                              const std::string& error_type,
                                              const std::string& model);
 
-  const RunDiagnostics& diagnostics() const { return diagnostics_; }
+  /// Snapshot of the driver's metric instruments in the legacy
+  /// RunDiagnostics shape. Counters are shared with the global metrics
+  /// registry, so a FAIRCLEAN_METRICS export sees the same numbers.
+  RunDiagnostics diagnostics() const;
 
   /// Cache file for one configuration (same layout the benches always
   /// used, so pre-existing caches keep working).
@@ -150,8 +159,16 @@ class StudyDriver {
   /// FAIRCLEAN_THREADS / hardware_concurrency).
   size_t EffectiveThreads() const;
 
+  /// Named instrument shorthand on the driver's local registry.
+  obs::Counter* Count(const char* name);
+  obs::Histogram* StageWall(const char* stage);
+  obs::Histogram* StageCpu(const char* stage);
+
   StudyDriverOptions options_;
-  RunDiagnostics diagnostics_;
+  /// Scoped registry: every value recorded here forwards to the same-named
+  /// instrument in MetricsRegistry::Global(), so one driver's diagnostics
+  /// stay separable while the process-wide export aggregates all of them.
+  obs::MetricsRegistry metrics_;
   std::chrono::steady_clock::time_point start_;
 };
 

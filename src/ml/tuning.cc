@@ -9,6 +9,7 @@
 #include "ml/knn.h"
 #include "ml/logistic_regression.h"
 #include "ml/metrics.h"
+#include "obs/trace.h"
 
 namespace fairclean {
 
@@ -71,6 +72,7 @@ Result<TuneOutcome> TuneAndFit(const TunedModelFamily& family, const Matrix& x,
   if (x.rows() < num_folds) {
     return Status::InvalidArgument("fewer rows than folds");
   }
+  obs::TraceSpan span("ml", [&] { return "TuneAndFit " + family.name; });
 
   Rng fold_rng = rng->Fork(0x5eed);
   std::vector<TrainTestIndices> folds =
@@ -95,6 +97,9 @@ Result<TuneOutcome> TuneAndFit(const TunedModelFamily& family, const Matrix& x,
     }
     std::vector<FoldEval> evals =
         RunIndexed(pool, folds.size(), [&](size_t f) -> FoldEval {
+          obs::TraceSpan fold_span("ml", [&] {
+            return "tune fold " + std::to_string(f) + " " + family.name;
+          });
           FoldEval eval;
           Matrix train_x = x.TakeRows(folds[f].train);
           std::vector<int> train_y;

@@ -1,0 +1,91 @@
+#include "obs/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+
+namespace fairclean {
+namespace obs {
+
+namespace internal {
+std::atomic<int> g_min_log_level{static_cast<int>(LogLevel::kWarn)};
+}  // namespace internal
+
+namespace {
+
+// Elapsed-seconds origin shared by every log line of the process.
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Reads FAIRCLEAN_LOG once at start-up so the level is active before any
+// subsystem logs. ProcessEpoch is touched here too so "+0.000s" means
+// roughly process start, not first log call.
+const bool g_env_initialized = [] {
+  ProcessEpoch();
+  InitLogLevelFromEnv(LogLevel::kWarn);
+  return true;
+}();
+
+}  // namespace
+
+LogLevel LogLevelFromString(const std::string& name, LogLevel fallback) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off" || name == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info ";
+    case LogLevel::kWarn: return "warn ";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off  ";
+  }
+  return "?    ";
+}
+
+LogLevel CurrentLogLevel() {
+  return static_cast<LogLevel>(
+      internal::g_min_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  internal::g_min_log_level.store(static_cast<int>(level),
+                                  std::memory_order_relaxed);
+}
+
+void InitLogLevelFromEnv(LogLevel default_level) {
+  const char* raw = std::getenv("FAIRCLEAN_LOG");
+  LogLevel level = default_level;
+  if (raw != nullptr && raw[0] != '\0') {
+    level = LogLevelFromString(raw, default_level);
+  }
+  SetLogLevel(level);
+}
+
+void LogWrite(LogLevel level, const char* site, const char* format, ...) {
+  (void)g_env_initialized;
+  char message[1024];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(message, sizeof(message), format, args);
+  va_end(args);
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - ProcessEpoch())
+                       .count();
+  // One fprintf call per line keeps concurrent writers from interleaving
+  // within a line.
+  std::fprintf(stderr, "[fairclean][%s][+%.3fs] %s: %s\n",
+               LogLevelName(level), elapsed, site, message);
+}
+
+}  // namespace obs
+}  // namespace fairclean

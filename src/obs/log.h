@@ -1,0 +1,79 @@
+#ifndef FAIRCLEAN_OBS_LOG_H_
+#define FAIRCLEAN_OBS_LOG_H_
+
+#include <atomic>
+#include <string>
+
+namespace fairclean {
+namespace obs {
+
+/// Severity levels of the structured logger. The active minimum level comes
+/// from FAIRCLEAN_LOG (debug|info|warn|error|off); anything below it is a
+/// single relaxed atomic load and a branch, so disabled logging costs
+/// nothing measurable.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Parses a level name ("debug", "info", "warn"/"warning", "error", "off");
+/// unknown names return `fallback`.
+LogLevel LogLevelFromString(const std::string& name, LogLevel fallback);
+
+/// Short fixed-width tag for a level ("debug", "info ", "warn ", "error").
+const char* LogLevelName(LogLevel level);
+
+/// The active minimum level.
+LogLevel CurrentLogLevel();
+
+/// Overrides the active minimum level (tests, CLI flags).
+void SetLogLevel(LogLevel level);
+
+/// Re-reads FAIRCLEAN_LOG; when the variable is unset or unparsable the
+/// level becomes `default_level`. Benches call this with kInfo so their
+/// historical progress lines stay on by default while library consumers
+/// (tests) default to kWarn.
+void InitLogLevelFromEnv(LogLevel default_level);
+
+namespace internal {
+extern std::atomic<int> g_min_log_level;
+}  // namespace internal
+
+/// True when a message at `level` would be emitted.
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         internal::g_min_log_level.load(std::memory_order_relaxed);
+}
+
+/// Emits one structured line to stderr:
+///   [fairclean][warn ][+12.345s] site: message
+/// `site` is a short machine-greppable event name ("retry", "cache",
+/// "resume"); the message is printf-formatted. Never call directly on a hot
+/// path — use the FC_LOG_* macros, which skip argument evaluation when the
+/// level is disabled.
+void LogWrite(LogLevel level, const char* site, const char* format, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace obs
+}  // namespace fairclean
+
+#define FC_LOG_IMPL(level, site, ...)                        \
+  do {                                                       \
+    if (::fairclean::obs::LogEnabled(level)) {               \
+      ::fairclean::obs::LogWrite(level, site, __VA_ARGS__);  \
+    }                                                        \
+  } while (0)
+
+#define FC_LOG_DEBUG(site, ...) \
+  FC_LOG_IMPL(::fairclean::obs::LogLevel::kDebug, site, __VA_ARGS__)
+#define FC_LOG_INFO(site, ...) \
+  FC_LOG_IMPL(::fairclean::obs::LogLevel::kInfo, site, __VA_ARGS__)
+#define FC_LOG_WARN(site, ...) \
+  FC_LOG_IMPL(::fairclean::obs::LogLevel::kWarn, site, __VA_ARGS__)
+#define FC_LOG_ERROR(site, ...) \
+  FC_LOG_IMPL(::fairclean::obs::LogLevel::kError, site, __VA_ARGS__)
+
+#endif  // FAIRCLEAN_OBS_LOG_H_

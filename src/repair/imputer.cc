@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "stats/descriptive.h"
 
 namespace fairclean {
@@ -31,6 +32,7 @@ const char* CategoricalImputeName(CategoricalImpute kind) {
 
 Status MissingValueImputer::Fit(const DataFrame& train,
                                 const std::vector<std::string>& columns) {
+  obs::TraceSpan span("repair", "MissingValueImputer::Fit");
   numeric_fill_.clear();
   categorical_fill_.clear();
   columns_ = columns;
@@ -68,6 +70,7 @@ Status MissingValueImputer::Fit(const DataFrame& train,
 }
 
 Status MissingValueImputer::Apply(DataFrame* frame) const {
+  obs::TraceSpan span("repair", "MissingValueImputer::Apply");
   if (!fitted_) {
     return Status::Internal("imputer not fitted");
   }

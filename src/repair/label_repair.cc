@@ -1,9 +1,12 @@
 #include "repair/label_repair.h"
 
+#include "obs/trace.h"
+
 namespace fairclean {
 
 Result<size_t> FlipFlaggedLabels(DataFrame* frame, const ErrorMask& mask,
                                  const std::string& label_column) {
+  obs::TraceSpan span("repair", "FlipFlaggedLabels");
   if (mask.num_rows() != frame->num_rows()) {
     return Status::InvalidArgument("mask/frame size mismatch");
   }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "stats/descriptive.h"
 
 namespace fairclean {
@@ -10,6 +11,7 @@ namespace fairclean {
 Status OutlierRepairer::Fit(const DataFrame& train,
                             const ErrorMask& train_mask,
                             const std::vector<std::string>& columns) {
+  obs::TraceSpan span("repair", "OutlierRepairer::Fit");
   if (train_mask.num_rows() != train.num_rows()) {
     return Status::InvalidArgument("mask/frame size mismatch");
   }
@@ -56,6 +58,7 @@ Status OutlierRepairer::Fit(const DataFrame& train,
 }
 
 Status OutlierRepairer::Apply(DataFrame* frame, const ErrorMask& mask) const {
+  obs::TraceSpan span("repair", "OutlierRepairer::Apply");
   if (!fitted_) {
     return Status::Internal("outlier repairer not fitted");
   }

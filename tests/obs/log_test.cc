@@ -1,0 +1,70 @@
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+namespace fairclean {
+namespace obs {
+namespace {
+
+/// Restores the level around every test so the suite's default (warn)
+/// is not perturbed for other tests in the binary.
+class LogTest : public testing::Test {
+ protected:
+  void SetUp() override { saved_ = CurrentLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+
+  LogLevel saved_;
+};
+
+TEST_F(LogTest, LevelNamesParseRoundTrip) {
+  EXPECT_EQ(LogLevelFromString("debug", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(LogLevelFromString("info", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(LogLevelFromString("warn", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(LogLevelFromString("warning", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(LogLevelFromString("error", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(LogLevelFromString("off", LogLevel::kDebug), LogLevel::kOff);
+}
+
+TEST_F(LogTest, UnknownNameFallsBack) {
+  EXPECT_EQ(LogLevelFromString("chatty", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(LogLevelFromString("", LogLevel::kError), LogLevel::kError);
+}
+
+TEST_F(LogTest, ThresholdGatesLowerLevels) {
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_TRUE(LogEnabled(LogLevel::kDebug));
+
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_FALSE(LogEnabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, MacroSkipsArgumentEvaluationWhenDisabled) {
+  SetLogLevel(LogLevel::kError);
+  bool evaluated = false;
+  auto touch = [&evaluated] {
+    evaluated = true;
+    return "x";
+  };
+  FC_LOG_DEBUG("test", "%s", touch());
+  EXPECT_FALSE(evaluated);
+  SetLogLevel(LogLevel::kOff);  // silence the real write below
+  FC_LOG_ERROR("test", "%s", touch());
+  EXPECT_FALSE(evaluated);
+}
+
+TEST_F(LogTest, LevelNamesAreFixedWidth) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "info ");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "warn ");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "error");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fairclean

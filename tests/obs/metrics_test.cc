@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "obs/json_lite.h"
+
+namespace fairclean {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementsForwardToParent) {
+  MetricsRegistry parent;
+  MetricsRegistry scoped(&parent);
+  scoped.GetCounter("c")->Increment();
+  scoped.GetCounter("c")->Increment(4);
+  EXPECT_EQ(scoped.GetCounter("c")->value(), 5u);
+  EXPECT_EQ(parent.GetCounter("c")->value(), 5u);
+}
+
+TEST(GaugeTest, LastWriteWinsAndForwards) {
+  MetricsRegistry parent;
+  MetricsRegistry scoped(&parent);
+  scoped.GetGauge("g")->Set(2.5);
+  scoped.GetGauge("g")->Set(-1.0);
+  EXPECT_DOUBLE_EQ(scoped.GetGauge("g")->value(), -1.0);
+  EXPECT_DOUBLE_EQ(parent.GetGauge("g")->value(), -1.0);
+}
+
+TEST(HistogramTest, ObservationsLandInTheRightBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h", {1.0, 10.0, 100.0});
+  h->Observe(0.5);    // bucket 0 (<= 1)
+  h->Observe(1.0);    // bucket 0 (boundary counts down)
+  h->Observe(5.0);    // bucket 1
+  h->Observe(50.0);   // bucket 2
+  h->Observe(500.0);  // overflow bucket
+  std::vector<uint64_t> buckets = h->bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_DOUBLE_EQ(h->sum(), 556.5);
+  EXPECT_DOUBLE_EQ(h->min(), 0.5);
+  EXPECT_DOUBLE_EQ(h->max(), 500.0);
+}
+
+TEST(HistogramTest, PercentilesUseBucketUpperBoundsClampedToMinMax) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("p", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 90; ++i) h->Observe(0.5);
+  for (int i = 0; i < 10; ++i) h->Observe(50.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h->Percentile(100.0), 50.0);
+  // p50 falls in the first bucket (bound 1.0) but clamps to max(min, ...).
+  EXPECT_LE(h->Percentile(50.0), 1.0);
+  EXPECT_GE(h->Percentile(50.0), 0.5);
+  // p95 falls in the third bucket; its bound clamps to the exact max.
+  EXPECT_DOUBLE_EQ(h->Percentile(95.0), 50.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("empty", {1.0});
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_DOUBLE_EQ(h->min(), 0.0);
+  EXPECT_DOUBLE_EQ(h->max(), 0.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(50.0), 0.0);
+}
+
+TEST(MetricsRegistryTest, InstrumentPointersAreStable) {
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("stable");
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("filler_" + std::to_string(i));
+  }
+  EXPECT_EQ(registry.GetCounter("stable"), first);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra");
+  registry.GetGauge("alpha");
+  registry.GetHistogram("middle", {1.0});
+  std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "alpha");
+  EXPECT_EQ(snapshot[1].name, "middle");
+  EXPECT_EQ(snapshot[2].name, "zebra");
+}
+
+TEST(MetricsRegistryTest, ToJsonlIsValidJsonPerLine) {
+  MetricsRegistry registry;
+  registry.GetCounter("jsonl.counter")->Increment(7);
+  registry.GetGauge("jsonl.gauge")->Set(1.25);
+  Histogram* h = registry.GetHistogram("jsonl.histogram", {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  std::string jsonl = registry.ToJsonl();
+  size_t lines = 0;
+  size_t start = 0;
+  while (start < jsonl.size()) {
+    size_t end = jsonl.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "missing trailing newline";
+    std::string line = jsonl.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    ++lines;
+    JsonValue value;
+    std::string error;
+    ASSERT_TRUE(JsonValue::Parse(line, &value, &error)) << error << ": "
+                                                        << line;
+    ASSERT_TRUE(value.is_object());
+    EXPECT_NE(value.Find("metric"), nullptr);
+    std::string type = value.StringOr("type", "");
+    if (type == "counter") {
+      EXPECT_DOUBLE_EQ(value.NumberOr("value", -1), 7.0);
+    } else if (type == "gauge") {
+      EXPECT_DOUBLE_EQ(value.NumberOr("value", -1), 1.25);
+    } else if (type == "histogram") {
+      EXPECT_DOUBLE_EQ(value.NumberOr("count", -1), 2.0);
+      const JsonValue* bounds = value.Find("bounds");
+      ASSERT_NE(bounds, nullptr);
+      EXPECT_EQ(bounds->array_items.size(), 2u);
+    } else {
+      ADD_FAILURE() << "unexpected type " << type;
+    }
+  }
+  EXPECT_EQ(lines, 3u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsFromPoolWorkersLoseNothing) {
+  constexpr size_t kTasks = 32;
+  constexpr size_t kIncrementsPerTask = 1000;
+  MetricsRegistry parent;
+  MetricsRegistry scoped(&parent);
+  Counter* counter = scoped.GetCounter("concurrent.counter");
+  Histogram* histogram =
+      scoped.GetHistogram("concurrent.histogram", {0.25, 0.75});
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (size_t task = 0; task < kTasks; ++task) {
+      futures.push_back(pool.Submit([counter, histogram, task] {
+        for (size_t i = 0; i < kIncrementsPerTask; ++i) {
+          counter->Increment();
+          histogram->Observe(task % 2 == 0 ? 0.1 : 0.9);
+        }
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+  EXPECT_EQ(counter->value(), kTasks * kIncrementsPerTask);
+  EXPECT_EQ(parent.GetCounter("concurrent.counter")->value(),
+            kTasks * kIncrementsPerTask);
+  EXPECT_EQ(histogram->count(), kTasks * kIncrementsPerTask);
+  std::vector<uint64_t> buckets = histogram->bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], kTasks / 2 * kIncrementsPerTask);
+  EXPECT_EQ(buckets[2], kTasks / 2 * kIncrementsPerTask);
+}
+
+TEST(MetricsRegistryTest, DefaultLatencyBoundsAreAscending) {
+  const std::vector<double>& bounds =
+      MetricsRegistry::DefaultLatencyBounds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fairclean
