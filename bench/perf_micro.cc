@@ -7,10 +7,12 @@
 // fan-out numbers) to FAIRCLEAN_BENCH_JSON (default BENCH_perf.json) for
 // CI trend tracking.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
 
 #include <benchmark/benchmark.h>
 
@@ -23,11 +25,14 @@
 #include "detect/detector.h"
 #include "detect/mislabel_detector.h"
 #include "detect/outlier_detectors.h"
+#include "data/split.h"
 #include "ml/encoder.h"
 #include "ml/gbdt.h"
 #include "ml/isolation_forest.h"
 #include "ml/knn.h"
+#include "ml/linalg.h"
 #include "ml/logistic_regression.h"
+#include "ml/tuning.h"
 #include "repair/imputer.h"
 #include "stats/tests.h"
 
@@ -204,6 +209,122 @@ void BM_KnnPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_KnnPredict)->Arg(2000);
 
+// --- Kernel microbenches (DESIGN.md §8) ---------------------------------
+// Each pair times an optimized kernel against the path it replaced; the
+// ratios are written to BENCH_kernels.json so CI can watch them. The
+// per-round-sort GBDT ablation is NOT byte-identical to the presort path
+// (per-round std::sort resolves equal-key ties differently), which is why
+// it only exists behind the presort_reuse knob for benchmarking.
+
+void BM_GbdtFitPresortReuse(benchmark::State& state) {
+  EncodedData data = EncodeAdult(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    GradientBoostedTrees model;
+    Rng rng(19);
+    model.Fit(data.x, data.y, &rng).ok();
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GbdtFitPresortReuse)->Arg(8000);
+
+void BM_GbdtFitPerRoundSort(benchmark::State& state) {
+  EncodedData data = EncodeAdult(static_cast<size_t>(state.range(0)));
+  GbdtOptions options;
+  options.presort_reuse = false;
+  for (auto _ : state) {
+    GradientBoostedTrees model(options);
+    Rng rng(19);
+    model.Fit(data.x, data.y, &rng).ok();
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GbdtFitPerRoundSort)->Arg(8000);
+
+constexpr size_t kKnnBenchQueries = 256;
+
+void BM_KnnPredictBlocked(benchmark::State& state) {
+  EncodedData data = EncodeAdult(static_cast<size_t>(state.range(0)));
+  KnnClassifier model;
+  Rng rng(23);
+  model.Fit(data.x, data.y, &rng).ok();
+  std::vector<size_t> query_rows(kKnnBenchQueries);
+  for (size_t i = 0; i < kKnnBenchQueries; ++i) query_rows[i] = i;
+  Matrix queries = data.x.TakeRows(query_rows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PredictProba(queries));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kKnnBenchQueries));
+}
+BENCHMARK(BM_KnnPredictBlocked)->Arg(9000);
+
+void BM_KnnPredictNaive(benchmark::State& state) {
+  // The pre-blocking predict loop: reference distance kernel one query at
+  // a time, allocating nothing it can reuse across queries either.
+  EncodedData data = EncodeAdult(static_cast<size_t>(state.range(0)));
+  std::vector<size_t> query_rows(kKnnBenchQueries);
+  for (size_t i = 0; i < kKnnBenchQueries; ++i) query_rows[i] = i;
+  Matrix queries = data.x.TakeRows(query_rows);
+  size_t n_train = data.x.rows();
+  size_t k = std::min<size_t>(15, n_train);
+  for (auto _ : state) {
+    std::vector<double> out(queries.rows());
+    std::vector<double> sq(n_train);
+    std::vector<std::pair<double, size_t>> dist(n_train);
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      SquaredDistancesToRow(data.x, queries.Row(q), sq.data());
+      for (size_t t = 0; t < n_train; ++t) dist[t] = {sq[t], t};
+      std::partial_sort(dist.begin(),
+                        dist.begin() + static_cast<ptrdiff_t>(k),
+                        dist.end());
+      int positives = 0;
+      for (size_t j = 0; j < k; ++j) positives += data.y[dist[j].second];
+      out[q] = static_cast<double>(positives) / static_cast<double>(k);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kKnnBenchQueries));
+}
+BENCHMARK(BM_KnnPredictNaive)->Arg(9000);
+
+void BM_TuningFoldDataPerGridPoint(benchmark::State& state) {
+  // What TuneAndFit used to do: re-slice (and re-presort) every fold for
+  // each of the three grid points.
+  EncodedData data = EncodeAdult(static_cast<size_t>(state.range(0)));
+  Rng fold_rng(31);
+  std::vector<TrainTestIndices> folds =
+      KFoldIndices(data.x.rows(), 3, &fold_rng);
+  for (auto _ : state) {
+    for (int grid_point = 0; grid_point < 3; ++grid_point) {
+      benchmark::DoNotOptimize(MaterializeTuningFolds(
+          data.x, data.y, folds, /*with_presort=*/true));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TuningFoldDataPerGridPoint)->Arg(4000);
+
+void BM_TuningFoldDataShared(benchmark::State& state) {
+  // The fold-data cache: one materialization serves the whole grid.
+  EncodedData data = EncodeAdult(static_cast<size_t>(state.range(0)));
+  Rng fold_rng(31);
+  std::vector<TrainTestIndices> folds =
+      KFoldIndices(data.x.rows(), 3, &fold_rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaterializeTuningFolds(
+        data.x, data.y, folds, /*with_presort=*/true));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TuningFoldDataShared)->Arg(4000);
+
 void BM_GTest2x2(benchmark::State& state) {
   ContingencyTable2x2 table{523, 9382, 411, 5023};
   for (auto _ : state) {
@@ -286,6 +407,59 @@ void ReportRepeatFanOutSpeedup(std::map<std::string, double>* op_seconds,
   *speedup_out = sequential_s / parallel_s;
 }
 
+// Collects the kernel microbench pairs from the captured run, prints the
+// optimized-vs-replaced ratios and writes them (raw seconds + ratios) to
+// FAIRCLEAN_BENCH_KERNELS_JSON. Pairs whose benchmarks did not run (e.g.
+// filtered out on the command line) are skipped.
+void WriteKernelBenchJson(const std::map<std::string, double>& op_seconds) {
+  struct KernelPair {
+    const char* label;       // key of the ratio entry in the JSON
+    const char* baseline;    // benchmark name of the replaced path
+    const char* optimized;   // benchmark name of the kernel
+  };
+  const KernelPair pairs[] = {
+      {"gbdt_presort_reuse_speedup", "BM_GbdtFitPerRoundSort/8000",
+       "BM_GbdtFitPresortReuse/8000"},
+      {"knn_blocked_speedup", "BM_KnnPredictNaive/9000",
+       "BM_KnnPredictBlocked/9000"},
+      {"fold_cache_speedup", "BM_TuningFoldDataPerGridPoint/4000",
+       "BM_TuningFoldDataShared/4000"},
+  };
+  std::map<std::string, double> kernel_ops;
+  double headline_speedup = 1.0;
+  for (const KernelPair& pair : pairs) {
+    auto baseline = op_seconds.find(pair.baseline);
+    auto optimized = op_seconds.find(pair.optimized);
+    if (baseline == op_seconds.end() || optimized == op_seconds.end() ||
+        optimized->second <= 0.0) {
+      continue;
+    }
+    double ratio = baseline->second / optimized->second;
+    kernel_ops[pair.baseline] = baseline->second;
+    kernel_ops[pair.optimized] = optimized->second;
+    kernel_ops[pair.label] = ratio;
+    std::printf("kernel %s: %.2fx (%s %.4fs -> %s %.4fs)\n", pair.label,
+                ratio, pair.baseline, baseline->second, pair.optimized,
+                optimized->second);
+    if (std::string(pair.label) == "gbdt_presort_reuse_speedup") {
+      headline_speedup = ratio;
+    }
+  }
+  if (kernel_ops.empty()) return;
+  std::string json_path = GetEnvString("FAIRCLEAN_BENCH_KERNELS_JSON",
+                                       "BENCH_kernels.json");
+  if (json_path.empty()) return;
+  Status written = bench::WriteBenchPerfJson(
+      json_path, kernel_ops, ThreadPool::DefaultThreadCount(),
+      headline_speedup);
+  if (!written.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", json_path.c_str(),
+                 written.ToString().c_str());
+    return;
+  }
+  std::printf("kernel bench results: %s\n", json_path.c_str());
+}
+
 int RunPerfMicro(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
@@ -294,6 +468,7 @@ int RunPerfMicro(int argc, char** argv) {
   benchmark::Shutdown();
 
   std::map<std::string, double> op_seconds = reporter.op_seconds();
+  WriteKernelBenchJson(op_seconds);
   size_t threads = 1;
   double speedup = 1.0;
   ReportRepeatFanOutSpeedup(&op_seconds, &threads, &speedup);

@@ -88,6 +88,11 @@ Result<FairTuneOutcome> FairTuneAndFit(const TunedModelFamily& family,
   };
 
   ThreadPool* pool = ThreadPool::SharedForFolds();
+  // Fold-data cache shared across the grid (see ml/tuning.cc): slices and
+  // per-fold presorts are pure data movement, so hoisting them out of the
+  // grid loop cannot change any random draw or score.
+  std::vector<TuningFoldData> fold_data = MaterializeTuningFolds(
+      x, y, folds, family.wants_presort, &group_membership);
   std::vector<Candidate> candidates;
   for (double param : family.param_grid) {
     Candidate candidate;
@@ -105,28 +110,18 @@ Result<FairTuneOutcome> FairTuneAndFit(const TunedModelFamily& family,
             return "fair fold " + std::to_string(f) + " " + family.name;
           });
           FoldEval eval;
-          Matrix train_x = x.TakeRows(folds[f].train);
-          std::vector<int> train_y;
-          train_y.reserve(folds[f].train.size());
-          for (size_t index : folds[f].train) train_y.push_back(y[index]);
-          Matrix valid_x = x.TakeRows(folds[f].test);
-          std::vector<int> valid_y;
-          std::vector<int> valid_membership;
-          valid_y.reserve(folds[f].test.size());
-          valid_membership.reserve(folds[f].test.size());
-          for (size_t index : folds[f].test) {
-            valid_y.push_back(y[index]);
-            valid_membership.push_back(group_membership[index]);
-          }
-
+          const TuningFoldData& data = fold_data[f];
           std::unique_ptr<Classifier> model = family.make(param);
-          Status st = model->Fit(train_x, train_y, &fit_rngs[f]);
+          Status st = model->FitWithPresort(
+              data.train_x, data.train_y, &fit_rngs[f],
+              data.has_presort ? &data.train_presort : nullptr);
           if (!st.ok()) return eval;
-          std::vector<int> predictions = model->Predict(valid_x);
+          std::vector<int> predictions = model->Predict(data.valid_x);
           Result<double> unfairness = FoldUnfairness(
-              valid_y, predictions, valid_membership, options.metric);
+              data.valid_y, predictions, data.valid_membership,
+              options.metric);
           if (!unfairness.ok()) return eval;  // degenerate group; skip fold
-          eval.accuracy = AccuracyScore(valid_y, predictions);
+          eval.accuracy = AccuracyScore(data.valid_y, predictions);
           eval.unfairness = *unfairness;
           eval.ok = true;
           return eval;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "data/split.h"
 #include "ml/encoder.h"
 #include "ml/logistic_regression.h"
@@ -40,23 +41,51 @@ Result<ErrorMask> MislabelDetector::Detect(const DataFrame& frame,
   Rng fold_rng = rng->Fork(0xc1ea);
   std::vector<TrainTestIndices> folds =
       KFoldIndices(n, options_.num_folds, &fold_rng);
+
+  // Pre-fork the per-fold fit RNGs in fold order before the fan-out: Fork
+  // advances the parent engine, so the fork order must match the old
+  // sequential loop for the probabilities to stay byte-identical under
+  // parallelism (pattern from ml/tuning.cc).
+  std::vector<Rng> fit_rngs;
+  fit_rngs.reserve(folds.size());
   for (size_t f = 0; f < folds.size(); ++f) {
-    Matrix train_x = features.TakeRows(folds[f].train);
-    std::vector<int> train_y;
-    train_y.reserve(folds[f].train.size());
-    for (size_t index : folds[f].train) train_y.push_back(labels[index]);
+    fit_rngs.push_back(rng->Fork(0xf01d + f));
+  }
+  LogisticRegressionOptions lr_options;
+  lr_options.c = options_.logreg_c;
 
-    LogisticRegressionOptions lr_options;
-    lr_options.c = options_.logreg_c;
-    LogisticRegression model(lr_options);
-    Rng fit_rng = rng->Fork(0xf01d + f);
-    Status st = model.Fit(train_x, train_y, &fit_rng);
-    if (!st.ok()) continue;  // degenerate fold: keep prior for its rows
+  struct FoldProba {
+    bool ok = false;
+    std::vector<double> held_p;
+  };
+  ThreadPool* pool = ThreadPool::SharedForFolds();
+  std::vector<FoldProba> fold_probas =
+      RunIndexed(pool, folds.size(), [&](size_t f) -> FoldProba {
+        obs::TraceSpan fold_span("detect", [&] {
+          return "mislabel oof fold " + std::to_string(f);
+        });
+        FoldProba result;
+        Matrix train_x = features.TakeRows(folds[f].train);
+        std::vector<int> train_y;
+        train_y.reserve(folds[f].train.size());
+        for (size_t index : folds[f].train) train_y.push_back(labels[index]);
 
-    Matrix held_x = features.TakeRows(folds[f].test);
-    std::vector<double> held_p = model.PredictProba(held_x);
+        LogisticRegression model(lr_options);
+        Status st = model.Fit(train_x, train_y, &fit_rngs[f]);
+        if (!st.ok()) return result;  // degenerate fold: keep prior rows
+
+        Matrix held_x = features.TakeRows(folds[f].test);
+        result.held_p = model.PredictProba(held_x);
+        result.ok = true;
+        return result;
+      });
+  // Slot-ordered writes: scatter each fold's probabilities in fold order
+  // on the caller thread (fold test sets are disjoint, so this matches the
+  // sequential loop exactly).
+  for (size_t f = 0; f < folds.size(); ++f) {
+    if (!fold_probas[f].ok) continue;
     for (size_t i = 0; i < folds[f].test.size(); ++i) {
-      proba[folds[f].test[i]] = held_p[i];
+      proba[folds[f].test[i]] = fold_probas[f].held_p[i];
     }
   }
 

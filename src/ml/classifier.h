@@ -11,6 +11,8 @@
 
 namespace fairclean {
 
+struct PresortedFeatures;
+
 /// Common interface for the study's binary classifiers (logistic
 /// regression, kNN, gradient-boosted trees). Labels are 0/1; the positive
 /// class denotes the desirable outcome.
@@ -23,6 +25,18 @@ class Classifier {
   /// given the rng state.
   virtual Status Fit(const Matrix& x, const std::vector<int>& y,
                      Rng* rng) = 0;
+
+  /// Like Fit, but may consume a caller-precomputed
+  /// PresortedFeatures::Compute(x) shared across several fits on the same
+  /// matrix (hyperparameter grids). The default ignores the hint, so
+  /// families that cannot use it behave exactly like Fit; overrides must
+  /// stay byte-identical to Fit for a presort computed from this `x`.
+  virtual Status FitWithPresort(const Matrix& x, const std::vector<int>& y,
+                                Rng* rng,
+                                const PresortedFeatures* presorted) {
+    (void)presorted;
+    return Fit(x, y, rng);
+  }
 
   /// P(y = 1) for every row of `x`. Requires a prior successful Fit.
   virtual std::vector<double> PredictProba(const Matrix& x) const = 0;

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fairclean {
 
@@ -41,6 +43,7 @@ Status GradientBoostedTrees::Fit(const Matrix& x, const std::vector<int>& y,
     return Status::InvalidArgument("subsample must be in (0, 1]");
   }
   size_t n = x.rows();
+  obs::TraceSpan span("ml", "gbdt fit");
 
   // Initialize with the log-odds of the base rate (clipped for degenerate
   // single-class training sets).
@@ -58,8 +61,28 @@ Status GradientBoostedTrees::Fit(const Matrix& x, const std::vector<int>& y,
   trees_.clear();
   loss_curve_.clear();
 
-  // The feature ordering is invariant across boosting rounds; presort once.
-  PresortedFeatures presorted = PresortedFeatures::Compute(x);
+  // The feature ordering is invariant across boosting rounds; presort once
+  // — or not at all when the tuner already presorted this matrix for the
+  // whole hyperparameter grid.
+  static obs::Counter* const shared_presorts =
+      obs::MetricsRegistry::Global().GetCounter("ml.gbdt.presorts_shared");
+  static obs::Counter* const round_filters =
+      obs::MetricsRegistry::Global().GetCounter("ml.gbdt.round_filters");
+  const PresortedFeatures* presorted = external_presort_;
+  PresortedFeatures owned_presort;
+  if (presorted != nullptr) {
+    shared_presorts->Increment();
+  } else if (options_.presort_reuse) {
+    owned_presort = PresortedFeatures::Compute(x);
+    presorted = &owned_presort;
+  }
+
+  // Round-loop scratch hoisted out of the 50-round hot loop: tree-fit
+  // buffers, the subsample membership bitmap and the filtered per-feature
+  // order are all reused across rounds.
+  TreeFitWorkspace workspace;
+  PresortedFeatures round_order;
+  std::vector<char> member;
 
   for (int round = 0; round < options_.num_rounds; ++round) {
     for (size_t i = 0; i < n; ++i) {
@@ -79,8 +102,25 @@ Status GradientBoostedTrees::Fit(const Matrix& x, const std::vector<int>& y,
     }
 
     RegressionTree tree;
-    FC_RETURN_IF_ERROR(
-        tree.FitPresorted(x, grad, hess, sample, presorted, tree_options));
+    if (presorted == nullptr) {
+      // Ablation path (presort_reuse = false): per-round sort, the cost the
+      // shared presort eliminates.
+      FC_RETURN_IF_ERROR(tree.Fit(x, grad, hess, sample, tree_options));
+    } else if (sample.size() < n) {
+      // Derive this round's subsampled per-feature order by a stable
+      // membership filter of the global order: the scan sequence (and so
+      // every float sum) matches scanning the full order and skipping
+      // non-members, while each level scan shrinks to the sample size.
+      member.assign(n, 0);
+      for (size_t index : sample) member[index] = 1;
+      presorted->FilterInto(member, sample.size(), &round_order);
+      round_filters->Increment();
+      FC_RETURN_IF_ERROR(tree.FitPresorted(x, grad, hess, sample, round_order,
+                                           tree_options, &workspace));
+    } else {
+      FC_RETURN_IF_ERROR(tree.FitPresorted(x, grad, hess, sample, *presorted,
+                                           tree_options, &workspace));
+    }
 
     double loss = 0.0;
     for (size_t i = 0; i < n; ++i) {
@@ -92,6 +132,16 @@ Status GradientBoostedTrees::Fit(const Matrix& x, const std::vector<int>& y,
   }
   fitted_ = true;
   return Status::OK();
+}
+
+Status GradientBoostedTrees::FitWithPresort(const Matrix& x,
+                                            const std::vector<int>& y,
+                                            Rng* rng,
+                                            const PresortedFeatures* presorted) {
+  external_presort_ = presorted;
+  Status status = Fit(x, y, rng);
+  external_presort_ = nullptr;
+  return status;
 }
 
 std::vector<double> GradientBoostedTrees::PredictProba(const Matrix& x) const {

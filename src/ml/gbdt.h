@@ -22,6 +22,13 @@ struct GbdtOptions {
   /// values < 1 make training depend on the Fit rng, mirroring the paper's
   /// per-seed model instances.
   double subsample = 0.8;
+  /// Bench/ablation knob: when false, every boosting round re-sorts its
+  /// subsample from scratch instead of filtering the shared presort. The
+  /// per-round sort orders ties between equal feature values differently
+  /// than the stable filter, so scores are NOT byte-identical across the
+  /// two settings — keep true everywhere except perf_micro's on/off
+  /// comparison.
+  bool presort_reuse = true;
   RegressionTreeOptions tree;
 };
 
@@ -34,6 +41,11 @@ class GradientBoostedTrees : public Classifier {
       : options_(options) {}
 
   Status Fit(const Matrix& x, const std::vector<int>& y, Rng* rng) override;
+  /// Consumes a caller-provided PresortedFeatures::Compute(x) instead of
+  /// presorting internally — byte-identical to Fit, minus the sort cost.
+  /// The tuner uses this to presort each fold once for the whole grid.
+  Status FitWithPresort(const Matrix& x, const std::vector<int>& y, Rng* rng,
+                        const PresortedFeatures* presorted) override;
   std::vector<double> PredictProba(const Matrix& x) const override;
   std::unique_ptr<Classifier> Clone() const override {
     return std::make_unique<GradientBoostedTrees>(options_);
@@ -50,6 +62,8 @@ class GradientBoostedTrees : public Classifier {
 
  private:
   GbdtOptions options_;
+  /// Set only for the duration of FitWithPresort.
+  const PresortedFeatures* external_presort_ = nullptr;
   std::vector<RegressionTree> trees_;
   double base_score_ = 0.0;  // initial log-odds
   std::vector<double> loss_curve_;

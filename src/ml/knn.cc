@@ -4,10 +4,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "ml/linalg.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fairclean {
+
+namespace {
+
+// Queries handled per task: large enough to amortize the blocked kernel's
+// tile transposes and the task dispatch, small enough to fan out modest
+// validation folds. Block boundaries never affect results — every query
+// writes only its own output slot.
+constexpr size_t kQueryBlock = 64;
+
+}  // namespace
 
 Status KnnClassifier::Fit(const Matrix& x, const std::vector<int>& y,
                           Rng* rng) {
@@ -30,29 +45,56 @@ Status KnnClassifier::Fit(const Matrix& x, const std::vector<int>& y,
 std::vector<double> KnnClassifier::PredictProba(const Matrix& x) const {
   FC_CHECK_MSG(fitted_, "PredictProba before Fit");
   FC_CHECK_EQ(x.cols(), train_x_.cols());
+  obs::TraceSpan span("ml", "knn predict");
+  static obs::Counter* const distance_pairs =
+      obs::MetricsRegistry::Global().GetCounter("ml.knn.distance_pairs");
   size_t n_train = train_x_.rows();
   size_t k = std::min(static_cast<size_t>(options_.k), n_train);
-  size_t d = x.cols();
+  size_t n_queries = x.rows();
+  distance_pairs->Increment(static_cast<uint64_t>(n_queries) * n_train);
 
-  std::vector<double> out(x.rows());
-  std::vector<std::pair<double, size_t>> dist(n_train);
-  for (size_t i = 0; i < x.rows(); ++i) {
-    const double* query = x.Row(i);
-    for (size_t t = 0; t < n_train; ++t) {
-      const double* row = train_x_.Row(t);
-      double sq = 0.0;
-      for (size_t j = 0; j < d; ++j) {
-        double diff = query[j] - row[j];
-        sq += diff * diff;
+  std::vector<double> out(n_queries);
+  size_t num_blocks = (n_queries + kQueryBlock - 1) / kQueryBlock;
+  ThreadPool* pool = ThreadPool::SharedForFolds();
+  RunIndexed(pool, num_blocks, [&](size_t block) -> int {
+    size_t begin = block * kQueryBlock;
+    size_t end = std::min(begin + kQueryBlock, n_queries);
+    // Per-task scratch, reused across every query of the block (hoisted
+    // out of the per-query loop).
+    std::vector<double> sq((end - begin) * n_train);
+    std::vector<std::pair<double, size_t>> best(k);
+    BlockedSquaredDistances(x, begin, end, train_x_, sq.data());
+    for (size_t q = begin; q < end; ++q) {
+      const double* sq_row = sq.data() + (q - begin) * n_train;
+      // Bounded selection: one pass keeping the k smallest (dist, index)
+      // pairs in an insertion-sorted buffer. The comparison is the same
+      // lexicographic (dist, index) order a partial_sort over all pairs
+      // would use — the ascending-t scan means an equal-distance newcomer
+      // always loses to a kept entry — so the selected set is identical,
+      // without ever materializing an n-sized pair array.
+      size_t filled = 0;
+      for (size_t t = 0; t < n_train; ++t) {
+        double dv = sq_row[t];
+        if (filled == k) {
+          if (dv >= best[k - 1].first) continue;
+        } else {
+          ++filled;
+        }
+        size_t pos = filled - 1;
+        while (pos > 0 && dv < best[pos - 1].first) {
+          best[pos] = best[pos - 1];
+          --pos;
+        }
+        best[pos] = {dv, t};
       }
-      dist[t] = {sq, t};
+      int positives = 0;
+      for (size_t j = 0; j < k; ++j) positives += train_y_[best[j].second];
+      // Slot-ordered write: each query owns out[q], so the block fan-out
+      // cannot reorder or race results.
+      out[q] = static_cast<double>(positives) / static_cast<double>(k);
     }
-    std::partial_sort(dist.begin(),
-                      dist.begin() + static_cast<ptrdiff_t>(k), dist.end());
-    int positives = 0;
-    for (size_t j = 0; j < k; ++j) positives += train_y_[dist[j].second];
-    out[i] = static_cast<double>(positives) / static_cast<double>(k);
-  }
+    return 0;
+  });
   return out;
 }
 

@@ -1,11 +1,37 @@
 #ifndef FAIRCLEAN_ML_LINALG_H_
 #define FAIRCLEAN_ML_LINALG_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "common/status.h"
+#include "ml/matrix.h"
 
 namespace fairclean {
+
+/// Reference scalar kernel: out[t] = squared Euclidean distance from
+/// `query` (train.cols() doubles) to train row t, accumulated in ascending
+/// feature order with one accumulator per pair — the exact loop of the
+/// pre-blocking kNN implementation. Kept as the bit-identity oracle for
+/// BlockedSquaredDistances and as the naive side of the kernel microbench.
+void SquaredDistancesToRow(const Matrix& train, const double* query,
+                           double* out);
+
+/// Cache-blocked, query-tiled squared-distance kernel: for every query row
+/// q in [query_begin, query_end) fills
+///   out[(q - query_begin) * train.rows() + t]
+/// with the squared Euclidean distance to train row t.
+///
+/// Train rows are packed once into register-width panels so the inner loop
+/// keeps one independent accumulator per panel row in vector registers
+/// (breaking the reference loop's add latency chain) while every pair
+/// still accumulates its squares in the same ascending feature order as
+/// SquaredDistancesToRow. The blocking reorders only WHICH pair is computed
+/// when — never the float sums inside a pair — so every distance is
+/// bit-equal to the reference kernel (no norm-trick expansion).
+void BlockedSquaredDistances(const Matrix& queries, size_t query_begin,
+                             size_t query_end, const Matrix& train,
+                             double* out);
 
 /// Solves A x = b for a symmetric positive-definite matrix A (row-major,
 /// n x n) via Cholesky decomposition. Fails if A is not positive definite.

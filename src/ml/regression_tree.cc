@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace fairclean {
 
@@ -17,6 +18,14 @@ double ScoreHalf(double g, double h, double lambda) {
   return g * g / (h + lambda);
 }
 
+// Feature ranges are chunked so the column-parallel scans submit at most
+// one task per pool worker per level; the chunk boundaries never affect
+// results because every feature writes only its own slice.
+size_t FeatureChunks(ThreadPool* pool, size_t num_features) {
+  if (pool == nullptr) return num_features == 0 ? 0 : 1;
+  return std::min(num_features, pool->num_threads());
+}
+
 }  // namespace
 
 PresortedFeatures PresortedFeatures::Compute(const Matrix& x) {
@@ -24,13 +33,69 @@ PresortedFeatures PresortedFeatures::Compute(const Matrix& x) {
   std::vector<size_t> base(x.rows());
   for (size_t i = 0; i < x.rows(); ++i) base[i] = i;
   presorted.order.assign(x.cols(), base);
+  presorted.values.resize(x.cols());
   for (size_t f = 0; f < x.cols(); ++f) {
     std::sort(presorted.order[f].begin(), presorted.order[f].end(),
               [&x, f](size_t a, size_t b) {
                 return x.Row(a)[f] < x.Row(b)[f];
               });
+    std::vector<double>& vals = presorted.values[f];
+    vals.resize(x.rows());
+    for (size_t i = 0; i < x.rows(); ++i) {
+      vals[i] = x.Row(presorted.order[f][i])[f];
+    }
   }
   return presorted;
+}
+
+void PresortedFeatures::FilterInto(const std::vector<char>& member,
+                                   size_t member_count,
+                                   PresortedFeatures* out) const {
+  size_t num_features = order.size();
+  bool has_values = !values.empty();
+  out->order.resize(num_features);
+  out->values.resize(has_values ? num_features : 0);
+  ThreadPool* pool = ThreadPool::SharedForFolds();
+  size_t num_chunks = FeatureChunks(pool, num_features);
+  RunIndexed(pool, num_chunks, [&](size_t chunk) -> int {
+    size_t begin = num_features * chunk / num_chunks;
+    size_t end = num_features * (chunk + 1) / num_chunks;
+    for (size_t f = begin; f < end; ++f) {
+      const std::vector<size_t>& full = order[f];
+      std::vector<size_t>& filtered = out->order[f];
+      // Branchless compaction: write every candidate, advance the cursor
+      // only for members. Membership is effectively random per row, so a
+      // conditional push_back would mispredict constantly; the output is
+      // identical (kept rows, original relative order) either way. One
+      // slot of headroom absorbs the unconditional write after the last
+      // member; the final resize trims it.
+      filtered.resize(member_count + 1);
+      size_t count = 0;
+      if (has_values) {
+        const std::vector<double>& full_vals = values[f];
+        std::vector<double>& filtered_vals = out->values[f];
+        filtered_vals.resize(member_count + 1);
+        size_t* out_idx = filtered.data();
+        double* out_val = filtered_vals.data();
+        for (size_t i = 0; i < full.size(); ++i) {
+          size_t index = full[i];
+          out_idx[count] = index;
+          out_val[count] = full_vals[i];
+          count += static_cast<size_t>(member[index] != 0);
+        }
+        filtered_vals.resize(member_count);
+      } else {
+        size_t* out_idx = filtered.data();
+        for (size_t index : full) {
+          out_idx[count] = index;
+          count += static_cast<size_t>(member[index] != 0);
+        }
+      }
+      FC_CHECK_EQ(count, member_count);
+      filtered.resize(member_count);
+    }
+    return 0;
+  });
 }
 
 Status RegressionTree::Fit(const Matrix& x, const std::vector<double>& grad,
@@ -49,15 +114,34 @@ Status RegressionTree::Fit(const Matrix& x, const std::vector<double>& grad,
   return FitPresorted(x, grad, hess, sample_indices, presorted, options);
 }
 
-// Level-order exact greedy construction over presorted features: each level
-// costs O(num_features * num_rows) instead of a sort per node, which makes
-// this the throughput-critical piece of GBDT training.
 Status RegressionTree::FitPresorted(const Matrix& x,
                                     const std::vector<double>& grad,
                                     const std::vector<double>& hess,
                                     const std::vector<size_t>& sample_indices,
                                     const PresortedFeatures& presorted,
                                     const RegressionTreeOptions& options) {
+  TreeFitWorkspace workspace;
+  return FitPresorted(x, grad, hess, sample_indices, presorted, options,
+                      &workspace);
+}
+
+// Level-order exact greedy construction over presorted features: each level
+// costs O(num_features * num_rows) instead of a sort per node, which makes
+// this the throughput-critical piece of GBDT training.
+//
+// Determinism contract: the split search is parallel over feature chunks,
+// but every feature scans into its own scratch/candidate slice in the exact
+// row sequence of `presorted`, and the per-level reduction walks features
+// in ascending index with a strict > comparison — reproducing the
+// sequential loop's float sums and tie-breaks (lowest feature, then
+// earliest scan position) bit for bit at any thread count.
+Status RegressionTree::FitPresorted(const Matrix& x,
+                                    const std::vector<double>& grad,
+                                    const std::vector<double>& hess,
+                                    const std::vector<size_t>& sample_indices,
+                                    const PresortedFeatures& presorted,
+                                    const RegressionTreeOptions& options,
+                                    TreeFitWorkspace* ws) {
   if (grad.size() != x.rows() || hess.size() != x.rows()) {
     return Status::InvalidArgument("gradient/hessian size mismatch");
   }
@@ -86,106 +170,168 @@ Status RegressionTree::FitPresorted(const Matrix& x,
   nodes_[0].value = LeafWeight(g_root, h_root, options.lambda);
 
   // Per-sample current node (indexed by absolute row id).
-  std::vector<int> node_of(x.rows(), -1);
-  for (size_t index : sample_indices) node_of[index] = 0;
+  ws->node_of.assign(x.rows(), -1);
+  for (size_t index : sample_indices) ws->node_of[index] = 0;
+
+  // Interleave gradient and hessian so each scan entry touches one cache
+  // line instead of two. Same doubles, added in the same places — the
+  // split sums cannot change.
+  ws->gh.resize(2 * x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    ws->gh[2 * i] = grad[i];
+    ws->gh[2 * i + 1] = hess[i];
+  }
 
   // Per-node statistics, indexed by node id.
-  std::vector<double> g_total = {g_root};
-  std::vector<double> h_total = {h_root};
-  std::vector<int> frontier = {0};
+  ws->g_total.assign(1, g_root);
+  ws->h_total.assign(1, h_root);
+  ws->frontier.assign(1, 0);
 
-  struct Candidate {
-    double gain = 0.0;
-    size_t feature = 0;
-    double threshold = 0.0;
-  };
-  struct Scratch {
-    double g_left = 0.0;
-    double h_left = 0.0;
-    double last_value = 0.0;
-    size_t count_left = 0;
-  };
+  ThreadPool* pool = ThreadPool::SharedForFolds();
 
-  for (int depth = 0; depth < options.max_depth && !frontier.empty();
+  for (int depth = 0; depth < options.max_depth && !ws->frontier.empty();
        ++depth) {
-    std::vector<Candidate> best(nodes_.size());
-    std::vector<Scratch> scratch(nodes_.size());
-    std::vector<char> in_frontier(nodes_.size(), 0);
-    for (int node : frontier) in_frontier[static_cast<size_t>(node)] = 1;
+    size_t num_nodes = nodes_.size();
+    ws->best.assign(num_nodes, {});
+    ws->in_frontier.assign(num_nodes, 0);
+    for (int node : ws->frontier) {
+      ws->in_frontier[static_cast<size_t>(node)] = 1;
+    }
+    ws->feature_best.resize(num_features * num_nodes);
+    ws->feature_scratch.resize(num_features * num_nodes);
 
-    for (size_t f = 0; f < num_features; ++f) {
-      for (int node : frontier) scratch[static_cast<size_t>(node)] = {};
-      for (size_t index : order[f]) {
-        int node = node_of[index];
-        if (node < 0 || !in_frontier[static_cast<size_t>(node)]) continue;
-        size_t node_id = static_cast<size_t>(node);
-        Scratch& s = scratch[node_id];
-        double value = x.Row(index)[f];
-        if (s.count_left > 0 && value != s.last_value) {
-          double g_right = g_total[node_id] - s.g_left;
-          double h_right = h_total[node_id] - s.h_left;
-          if (s.h_left >= options.min_child_weight &&
-              h_right >= options.min_child_weight) {
-            double gain =
-                0.5 * (ScoreHalf(s.g_left, s.h_left, options.lambda) +
-                       ScoreHalf(g_right, h_right, options.lambda) -
-                       ScoreHalf(g_total[node_id], h_total[node_id],
-                                 options.lambda)) -
-                options.gamma;
-            if (gain > best[node_id].gain) {
-              best[node_id].gain = gain;
-              best[node_id].feature = f;
-              best[node_id].threshold = 0.5 * (s.last_value + value);
+    // Column-parallel split search: feature f reads shared per-node totals
+    // and writes only its own [f * num_nodes, (f + 1) * num_nodes) slices.
+    size_t num_chunks = FeatureChunks(pool, num_features);
+    RunIndexed(pool, num_chunks, [&](size_t chunk) -> int {
+      size_t begin = num_features * chunk / num_chunks;
+      size_t end = num_features * (chunk + 1) / num_chunks;
+      for (size_t f = begin; f < end; ++f) {
+        TreeFitWorkspace::SplitScratch* scratch =
+            ws->feature_scratch.data() + f * num_nodes;
+        TreeFitWorkspace::SplitCandidate* best_f =
+            ws->feature_best.data() + f * num_nodes;
+        for (int node : ws->frontier) {
+          scratch[static_cast<size_t>(node)] = {};
+          best_f[static_cast<size_t>(node)] = {};
+        }
+        // Stream presorted values sequentially when the presort carries
+        // them (same doubles as the row gather, just cache-friendly).
+        const std::vector<size_t>& order_f = order[f];
+        const double* sorted_values =
+            (f < presorted.values.size() &&
+             presorted.values[f].size() == order_f.size())
+                ? presorted.values[f].data()
+                : nullptr;
+        const double* gh = ws->gh.data();
+        // One scan step: shared by both loop variants below so the float
+        // operations (and therefore the split choice) are literally the
+        // same code.
+        auto step = [&](size_t node_id, double value, size_t index) {
+          TreeFitWorkspace::SplitScratch& s = scratch[node_id];
+          if (s.count_left > 0 && value != s.last_value) {
+            double g_right = ws->g_total[node_id] - s.g_left;
+            double h_right = ws->h_total[node_id] - s.h_left;
+            if (s.h_left >= options.min_child_weight &&
+                h_right >= options.min_child_weight) {
+              double gain =
+                  0.5 * (ScoreHalf(s.g_left, s.h_left, options.lambda) +
+                         ScoreHalf(g_right, h_right, options.lambda) -
+                         ScoreHalf(ws->g_total[node_id], ws->h_total[node_id],
+                                   options.lambda)) -
+                  options.gamma;
+              if (gain > best_f[node_id].gain) {
+                best_f[node_id].gain = gain;
+                best_f[node_id].feature = f;
+                best_f[node_id].threshold = 0.5 * (s.last_value + value);
+              }
             }
           }
+          s.g_left += gh[2 * index];
+          s.h_left += gh[2 * index + 1];
+          s.last_value = value;
+          ++s.count_left;
+        };
+        if (num_nodes == 1 && order_f.size() == sample_indices.size()) {
+          // Root level over a sample-exact order (e.g. a FilterInto view):
+          // every entry is a sampled row sitting in node 0, so the
+          // node_of/in_frontier gathers are dead weight.
+          for (size_t pos = 0; pos < order_f.size(); ++pos) {
+            size_t index = order_f[pos];
+            double value = sorted_values != nullptr ? sorted_values[pos]
+                                                    : x.Row(index)[f];
+            step(0, value, index);
+          }
+        } else {
+          for (size_t pos = 0; pos < order_f.size(); ++pos) {
+            size_t index = order_f[pos];
+            int node = ws->node_of[index];
+            if (node < 0 || !ws->in_frontier[static_cast<size_t>(node)]) {
+              continue;
+            }
+            double value = sorted_values != nullptr ? sorted_values[pos]
+                                                    : x.Row(index)[f];
+            step(static_cast<size_t>(node), value, index);
+          }
         }
-        s.g_left += grad[index];
-        s.h_left += hess[index];
-        s.last_value = value;
-        ++s.count_left;
+      }
+      return 0;
+    });
+
+    // Reduce in fixed column order with a strict >, so ties keep the lowest
+    // feature — exactly what the sequential cross-feature scan produced.
+    for (size_t f = 0; f < num_features; ++f) {
+      const TreeFitWorkspace::SplitCandidate* best_f =
+          ws->feature_best.data() + f * num_nodes;
+      for (int node : ws->frontier) {
+        size_t node_id = static_cast<size_t>(node);
+        if (best_f[node_id].gain > ws->best[node_id].gain) {
+          ws->best[node_id] = best_f[node_id];
+        }
       }
     }
 
     // Materialize the accepted splits and re-assign samples to children.
-    std::vector<int> next_frontier;
-    for (int node : frontier) {
+    ws->next_frontier.clear();
+    for (int node : ws->frontier) {
       size_t node_id = static_cast<size_t>(node);
-      if (best[node_id].gain <= 0.0) continue;  // stays a leaf
+      if (ws->best[node_id].gain <= 0.0) continue;  // stays a leaf
       int left = static_cast<int>(nodes_.size());
       nodes_.emplace_back();
       int right = static_cast<int>(nodes_.size());
       nodes_.emplace_back();
       Node& parent = nodes_[node_id];
       parent.is_leaf = false;
-      parent.feature = best[node_id].feature;
-      parent.threshold = best[node_id].threshold;
+      parent.feature = ws->best[node_id].feature;
+      parent.threshold = ws->best[node_id].threshold;
       parent.left = left;
       parent.right = right;
-      g_total.resize(nodes_.size(), 0.0);
-      h_total.resize(nodes_.size(), 0.0);
-      next_frontier.push_back(left);
-      next_frontier.push_back(right);
+      ws->g_total.resize(nodes_.size(), 0.0);
+      ws->h_total.resize(nodes_.size(), 0.0);
+      ws->next_frontier.push_back(left);
+      ws->next_frontier.push_back(right);
     }
-    if (next_frontier.empty()) break;
+    if (ws->next_frontier.empty()) break;
 
     for (size_t index : sample_indices) {
-      int node = node_of[index];
+      int node = ws->node_of[index];
       if (node < 0) continue;
       const Node& parent = nodes_[static_cast<size_t>(node)];
       if (parent.is_leaf) continue;
       int child = x.Row(index)[parent.feature] < parent.threshold
                       ? parent.left
                       : parent.right;
-      node_of[index] = child;
-      g_total[static_cast<size_t>(child)] += grad[index];
-      h_total[static_cast<size_t>(child)] += hess[index];
+      ws->node_of[index] = child;
+      ws->g_total[static_cast<size_t>(child)] += grad[index];
+      ws->h_total[static_cast<size_t>(child)] += hess[index];
     }
-    for (int child : next_frontier) {
+    for (int child : ws->next_frontier) {
       size_t child_id = static_cast<size_t>(child);
-      nodes_[child_id].value =
-          LeafWeight(g_total[child_id], h_total[child_id], options.lambda);
+      nodes_[child_id].value = LeafWeight(ws->g_total[child_id],
+                                          ws->h_total[child_id],
+                                          options.lambda);
     }
-    frontier = std::move(next_frontier);
+    std::swap(ws->frontier, ws->next_frontier);
   }
   return Status::OK();
 }

@@ -22,12 +22,67 @@ struct RegressionTreeOptions {
 
 /// Feature-sorted row orderings shared across the trees of one boosting
 /// run: the presort is the dominant per-tree cost and the ordering never
-/// changes, so GradientBoostedTrees computes it once.
+/// changes, so GradientBoostedTrees computes it once — and tuning shares
+/// one presort per fold across the whole hyperparameter grid.
 struct PresortedFeatures {
-  /// order[f] = all row ids of the matrix sorted ascending by feature f.
+  /// order[f] = row ids sorted ascending by feature f. Compute() emits all
+  /// rows of the matrix; FilterInto() emits a subset in the same relative
+  /// order.
   std::vector<std::vector<size_t>> order;
+  /// values[f][i] = feature f of row order[f][i], kept in lockstep with
+  /// `order` so level scans stream feature values sequentially instead of
+  /// gathering one cache line per row. Same doubles in the same sequence —
+  /// a pure cache-layout optimization that cannot change any float sum.
+  /// May be empty (e.g. a hand-built presort), in which case scans gather
+  /// from the matrix.
+  std::vector<std::vector<double>> values;
 
   static PresortedFeatures Compute(const Matrix& x);
+
+  /// Stable membership filter: out->order[f] keeps exactly the rows with
+  /// member[row] != 0, preserving this order's relative order — the scan
+  /// sequence is therefore identical to scanning the full order and
+  /// skipping non-members, which keeps split-search float accumulation
+  /// byte-identical. `values` (when present) is filtered in lockstep.
+  /// member_count must be the exact number of kept rows (checked). Reuses
+  /// out's buffers across calls; column-parallel when a fold pool is
+  /// available (per-feature outputs are independent, so scheduling cannot
+  /// affect the result).
+  void FilterInto(const std::vector<char>& member, size_t member_count,
+                  PresortedFeatures* out) const;
+};
+
+/// Reusable scratch for FitPresorted, hoisted out of the per-round hot loop
+/// by GradientBoostedTrees so repeated fits on the same matrix allocate
+/// their row/node buffers once instead of once per tree. Contents are
+/// overwritten by every fit; a workspace must not be shared between
+/// concurrent fits.
+class TreeFitWorkspace {
+ private:
+  friend class RegressionTree;
+
+  struct SplitCandidate {
+    double gain = 0.0;
+    size_t feature = 0;
+    double threshold = 0.0;
+  };
+  struct SplitScratch {
+    double g_left = 0.0;
+    double h_left = 0.0;
+    double last_value = 0.0;
+    size_t count_left = 0;
+  };
+
+  std::vector<int> node_of;      // per absolute row: current node id or -1
+  std::vector<double> gh;        // interleaved [grad, hess] per absolute row
+  std::vector<double> g_total;   // per node
+  std::vector<double> h_total;   // per node
+  std::vector<int> frontier;
+  std::vector<int> next_frontier;
+  std::vector<char> in_frontier;
+  std::vector<SplitCandidate> best;           // per node, reduced result
+  std::vector<SplitCandidate> feature_best;   // [feature * num_nodes + node]
+  std::vector<SplitScratch> feature_scratch;  // [feature * num_nodes + node]
 };
 
 /// A depth-limited regression tree fitted to per-example gradients and
@@ -42,13 +97,24 @@ class RegressionTree {
              const std::vector<size_t>& sample_indices,
              const RegressionTreeOptions& options);
 
-  /// Like Fit, but reuses a precomputed full-matrix feature presort
-  /// (rows outside `sample_indices` are skipped during the scans).
+  /// Like Fit, but reuses a precomputed feature presort. `presorted` may
+  /// hold all rows of the matrix (rows outside `sample_indices` are
+  /// skipped during the scans) or only the sample rows (e.g. a FilterInto
+  /// view), which makes each level scan proportional to the sample size.
   Status FitPresorted(const Matrix& x, const std::vector<double>& grad,
                       const std::vector<double>& hess,
                       const std::vector<size_t>& sample_indices,
                       const PresortedFeatures& presorted,
                       const RegressionTreeOptions& options);
+
+  /// FitPresorted with caller-owned scratch, for hot loops that fit many
+  /// trees back to back (boosting rounds, grid points).
+  Status FitPresorted(const Matrix& x, const std::vector<double>& grad,
+                      const std::vector<double>& hess,
+                      const std::vector<size_t>& sample_indices,
+                      const PresortedFeatures& presorted,
+                      const RegressionTreeOptions& options,
+                      TreeFitWorkspace* workspace);
 
   /// Leaf weight for a single feature row (length = x.cols() at fit time).
   double PredictOne(const double* row) const;

@@ -9,9 +9,41 @@
 #include "ml/knn.h"
 #include "ml/logistic_regression.h"
 #include "ml/metrics.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace fairclean {
+
+std::vector<TuningFoldData> MaterializeTuningFolds(
+    const Matrix& x, const std::vector<int>& y,
+    const std::vector<TrainTestIndices>& folds, bool with_presort,
+    const std::vector<int>* group_membership) {
+  obs::TraceSpan span("ml", "materialize tuning folds");
+  static obs::Counter* const materialized =
+      obs::MetricsRegistry::Global().GetCounter("ml.tuning.folds_materialized");
+  materialized->Increment(folds.size());
+  ThreadPool* pool = ThreadPool::SharedForFolds();
+  return RunIndexed(pool, folds.size(), [&](size_t f) -> TuningFoldData {
+    TuningFoldData data;
+    data.train_x = x.TakeRows(folds[f].train);
+    data.train_y.reserve(folds[f].train.size());
+    for (size_t index : folds[f].train) data.train_y.push_back(y[index]);
+    data.valid_x = x.TakeRows(folds[f].test);
+    data.valid_y.reserve(folds[f].test.size());
+    for (size_t index : folds[f].test) data.valid_y.push_back(y[index]);
+    if (group_membership != nullptr) {
+      data.valid_membership.reserve(folds[f].test.size());
+      for (size_t index : folds[f].test) {
+        data.valid_membership.push_back((*group_membership)[index]);
+      }
+    }
+    if (with_presort) {
+      data.train_presort = PresortedFeatures::Compute(data.train_x);
+      data.has_presort = true;
+    }
+    return data;
+  });
+}
 
 TunedModelFamily LogRegFamily() {
   TunedModelFamily family;
@@ -46,6 +78,7 @@ TunedModelFamily GbdtFamily() {
     options.max_depth = static_cast<int>(depth);
     return std::make_unique<GradientBoostedTrees>(options);
   };
+  family.wants_presort = true;
   return family;
 }
 
@@ -84,6 +117,13 @@ Result<TuneOutcome> TuneAndFit(const TunedModelFamily& family, const Matrix& x,
   };
 
   ThreadPool* pool = ThreadPool::SharedForFolds();
+  // Fold-data cache: materialize each fold's train/validation slices (and,
+  // for presort-aware families, the per-fold feature presort) once and
+  // reuse them for every grid point. TakeRows does not consume the rng, so
+  // hoisting it out of the grid loop leaves all random draws — and thus
+  // all scores — byte-identical.
+  std::vector<TuningFoldData> fold_data =
+      MaterializeTuningFolds(x, y, folds, family.wants_presort);
   double best_accuracy = -1.0;
   double best_param = family.param_grid.front();
   for (double param : family.param_grid) {
@@ -101,19 +141,14 @@ Result<TuneOutcome> TuneAndFit(const TunedModelFamily& family, const Matrix& x,
             return "tune fold " + std::to_string(f) + " " + family.name;
           });
           FoldEval eval;
-          Matrix train_x = x.TakeRows(folds[f].train);
-          std::vector<int> train_y;
-          train_y.reserve(folds[f].train.size());
-          for (size_t index : folds[f].train) train_y.push_back(y[index]);
-          Matrix valid_x = x.TakeRows(folds[f].test);
-          std::vector<int> valid_y;
-          valid_y.reserve(folds[f].test.size());
-          for (size_t index : folds[f].test) valid_y.push_back(y[index]);
-
+          const TuningFoldData& data = fold_data[f];
           std::unique_ptr<Classifier> model = family.make(param);
-          Status st = model->Fit(train_x, train_y, &fit_rngs[f]);
+          Status st = model->FitWithPresort(
+              data.train_x, data.train_y, &fit_rngs[f],
+              data.has_presort ? &data.train_presort : nullptr);
           if (!st.ok()) return eval;  // e.g. single-class fold; skip
-          eval.accuracy = AccuracyScore(valid_y, model->Predict(valid_x));
+          eval.accuracy =
+              AccuracyScore(data.valid_y, model->Predict(data.valid_x));
           eval.ok = true;
           return eval;
         });

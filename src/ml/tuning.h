@@ -8,7 +8,9 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "data/split.h"
 #include "ml/classifier.h"
+#include "ml/regression_tree.h"
 
 namespace fairclean {
 
@@ -21,7 +23,37 @@ struct TunedModelFamily {
   std::vector<double> param_grid;
   /// Builds an untrained classifier for a hyperparameter value.
   std::function<std::unique_ptr<Classifier>(double)> make;
+  /// True when the family's FitWithPresort consumes a shared
+  /// PresortedFeatures of its training matrix (xgboost); lets the tuner
+  /// presort every fold once for the whole grid instead of once per fit.
+  bool wants_presort = false;
 };
+
+/// Per-fold train/validation slices of a hyperparameter search,
+/// materialized once and reused across every grid point — the grid loop
+/// used to re-copy near-full matrices |grid| times per fold.
+struct TuningFoldData {
+  Matrix train_x;
+  std::vector<int> train_y;
+  Matrix valid_x;
+  std::vector<int> valid_y;
+  /// Validation-row slice of the caller's group membership; filled only
+  /// when a membership vector is supplied (fairness-constrained tuning).
+  std::vector<int> valid_membership;
+  /// Feature presort of train_x, built only for wants_presort families
+  /// (has_presort distinguishes "not built" from "built but empty").
+  PresortedFeatures train_presort;
+  bool has_presort = false;
+};
+
+/// Materializes the per-fold slices, fanning folds across the shared fold
+/// pool when one is available (each fold writes only its own slot, so
+/// scheduling cannot affect the result). Pure data movement plus
+/// deterministic sorts: does not consume any rng.
+std::vector<TuningFoldData> MaterializeTuningFolds(
+    const Matrix& x, const std::vector<int>& y,
+    const std::vector<TrainTestIndices>& folds, bool with_presort,
+    const std::vector<int>* group_membership = nullptr);
 
 /// The three families of the study with their default grids.
 TunedModelFamily LogRegFamily();

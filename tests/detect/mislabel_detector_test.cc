@@ -1,6 +1,10 @@
 #include "detect/mislabel_detector.h"
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
 
 namespace fairclean {
 namespace {
@@ -124,6 +128,38 @@ TEST(MislabelDetectorTest, RejectsSingleClassLabels) {
   MislabelDetector detector;
   Rng rng(13);
   EXPECT_FALSE(detector.Detect(frame, MakeContext(), &rng).ok());
+}
+
+TEST(MislabelDetectorTest, FoldParallelismDoesNotChangeTheMask) {
+  // Arm the shared fold pool before its first (lazily cached) use. ctest
+  // runs each test in its own process, so this sticks; under a monolithic
+  // run the pool may already be fixed and both sides just run inline.
+  ASSERT_EQ(setenv("FAIRCLEAN_THREADS", "4", 1), 0);
+  NoisyProblem problem = MakeNoisyProblem(200, 8, 21);
+  MislabelDetector detector;
+
+  Rng rng_pooled(22);
+  Result<ErrorMask> pooled =
+      detector.Detect(problem.frame, MakeContext(), &rng_pooled);
+
+  // Calling from inside a pool task forces the inline (sequential) fold
+  // path via OnWorkerThread — the reference the pooled run must match.
+  Rng rng_inline(22);
+  ThreadPool probe(1);
+  Result<ErrorMask> inlined =
+      probe
+          .Submit([&]() {
+            return detector.Detect(problem.frame, MakeContext(), &rng_inline);
+          })
+          .get();
+
+  ASSERT_TRUE(pooled.ok());
+  ASSERT_TRUE(inlined.ok());
+  ASSERT_EQ(pooled->num_rows(), inlined->num_rows());
+  for (size_t i = 0; i < pooled->num_rows(); ++i) {
+    EXPECT_EQ(pooled->RowFlagged(i), inlined->RowFlagged(i)) << "row " << i;
+  }
+  ASSERT_EQ(unsetenv("FAIRCLEAN_THREADS"), 0);
 }
 
 }  // namespace

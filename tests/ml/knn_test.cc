@@ -1,7 +1,11 @@
 #include "ml/knn.h"
 
+#include <algorithm>
+#include <utility>
+
 #include <gtest/gtest.h>
 
+#include "ml/linalg.h"
 #include "ml/metrics.h"
 #include "tests/ml/test_data.h"
 
@@ -79,6 +83,33 @@ TEST(KnnTest, RejectsBadInput) {
   bad.k = 0;
   KnnClassifier bad_model(bad);
   EXPECT_FALSE(bad_model.Fit(x, {0, 1}, &rng).ok());
+}
+
+TEST(KnnTest, BlockedPredictMatchesNaivePath) {
+  // Reimplements the pre-blocking predict loop (reference distance kernel,
+  // one query at a time) and demands exact equality with PredictProba —
+  // the query blocking must be invisible in the output bits.
+  test::BlobData train = test::MakeBlobs(300, 4, 1.5, 51);
+  test::BlobData queries = test::MakeBlobs(150, 4, 1.5, 52);  // > 2 blocks
+  KnnOptions options;
+  options.k = 7;
+  KnnClassifier model(options);
+  Rng rng(53);
+  ASSERT_TRUE(model.Fit(train.x, train.y, &rng).ok());
+  std::vector<double> blocked = model.PredictProba(queries.x);
+
+  size_t n_train = train.x.rows();
+  std::vector<double> sq(n_train);
+  std::vector<std::pair<double, size_t>> dist(n_train);
+  for (size_t q = 0; q < queries.x.rows(); ++q) {
+    SquaredDistancesToRow(train.x, queries.x.Row(q), sq.data());
+    for (size_t t = 0; t < n_train; ++t) dist[t] = {sq[t], t};
+    std::partial_sort(dist.begin(), dist.begin() + 7, dist.end());
+    int positives = 0;
+    for (size_t j = 0; j < 7; ++j) positives += train.y[dist[j].second];
+    EXPECT_EQ(blocked[q], static_cast<double>(positives) / 7.0)
+        << "query " << q;
+  }
 }
 
 TEST(KnnTest, CloneHasSameHyperparameters) {

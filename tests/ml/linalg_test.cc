@@ -2,8 +2,75 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/ml/test_data.h"
+
 namespace fairclean {
 namespace {
+
+// Fills `out` with distances from every query to every train row using the
+// reference kernel — the oracle the blocked kernel must match bit for bit.
+std::vector<double> ReferenceDistances(const Matrix& queries,
+                                       size_t query_begin, size_t query_end,
+                                       const Matrix& train) {
+  std::vector<double> out((query_end - query_begin) * train.rows());
+  for (size_t q = query_begin; q < query_end; ++q) {
+    SquaredDistancesToRow(train, queries.Row(q),
+                          out.data() + (q - query_begin) * train.rows());
+  }
+  return out;
+}
+
+TEST(BlockedSquaredDistancesTest, BitEqualsReferenceKernel) {
+  test::BlobData train = test::MakeBlobs(97, 5, 1.5, 41);
+  test::BlobData queries = test::MakeBlobs(23, 5, 1.5, 42);
+  std::vector<double> blocked(queries.x.rows() * train.x.rows());
+  BlockedSquaredDistances(queries.x, 0, queries.x.rows(), train.x,
+                          blocked.data());
+  std::vector<double> reference =
+      ReferenceDistances(queries.x, 0, queries.x.rows(), train.x);
+  ASSERT_EQ(blocked.size(), reference.size());
+  for (size_t i = 0; i < blocked.size(); ++i) {
+    EXPECT_EQ(blocked[i], reference[i]) << "entry " << i;
+  }
+}
+
+TEST(BlockedSquaredDistancesTest, OddSizesAcrossTileBoundary) {
+  // 131 train rows leave a ragged tail behind the last full register panel
+  // (16 rows on AVX2, 8 on SSE2); full panels and the zero-padded tail
+  // must both match the reference exactly.
+  test::BlobData train = test::MakeBlobs(131, 3, 2.0, 43);
+  test::BlobData queries = test::MakeBlobs(7, 3, 2.0, 44);
+  std::vector<double> blocked(queries.x.rows() * train.x.rows());
+  BlockedSquaredDistances(queries.x, 0, queries.x.rows(), train.x,
+                          blocked.data());
+  std::vector<double> reference =
+      ReferenceDistances(queries.x, 0, queries.x.rows(), train.x);
+  for (size_t i = 0; i < blocked.size(); ++i) {
+    EXPECT_EQ(blocked[i], reference[i]) << "entry " << i;
+  }
+}
+
+TEST(BlockedSquaredDistancesTest, SubRangeOfQueries) {
+  test::BlobData train = test::MakeBlobs(50, 4, 1.0, 45);
+  test::BlobData queries = test::MakeBlobs(20, 4, 1.0, 46);
+  std::vector<double> blocked(5 * train.x.rows());
+  BlockedSquaredDistances(queries.x, 11, 16, train.x, blocked.data());
+  std::vector<double> reference = ReferenceDistances(queries.x, 11, 16,
+                                                     train.x);
+  for (size_t i = 0; i < blocked.size(); ++i) {
+    EXPECT_EQ(blocked[i], reference[i]) << "entry " << i;
+  }
+}
+
+TEST(BlockedSquaredDistancesTest, ZeroDistanceToSelf) {
+  test::BlobData train = test::MakeBlobs(10, 3, 1.0, 47);
+  std::vector<double> blocked(train.x.rows() * train.x.rows());
+  BlockedSquaredDistances(train.x, 0, train.x.rows(), train.x,
+                          blocked.data());
+  for (size_t i = 0; i < train.x.rows(); ++i) {
+    EXPECT_EQ(blocked[i * train.x.rows() + i], 0.0);
+  }
+}
 
 TEST(CholeskyTest, SolvesIdentity) {
   std::vector<double> a = {1, 0, 0, 1};

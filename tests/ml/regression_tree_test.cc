@@ -125,6 +125,131 @@ TEST(RegressionTreeTest, FitsOnSubsetOnly) {
   EXPECT_DOUBLE_EQ(tree.PredictOne(&left_row), -5.0);
 }
 
+TEST(PresortedFeaturesTest, FilterIntoPreservesRelativeOrder) {
+  Rng rng(3);
+  Matrix x(40, 2);
+  for (size_t i = 0; i < 40; ++i) {
+    for (size_t d = 0; d < 2; ++d) x(i, d) = rng.Normal(0, 1);
+  }
+  PresortedFeatures full = PresortedFeatures::Compute(x);
+  std::vector<char> member(40, 0);
+  size_t member_count = 0;
+  for (size_t i = 0; i < 40; i += 3) {
+    member[i] = 1;
+    ++member_count;
+  }
+  PresortedFeatures filtered;
+  full.FilterInto(member, member_count, &filtered);
+  ASSERT_EQ(filtered.order.size(), full.order.size());
+  for (size_t f = 0; f < full.order.size(); ++f) {
+    // The filtered order must be exactly the full order with non-members
+    // dropped — same rows, same relative positions.
+    std::vector<size_t> expected;
+    for (size_t row : full.order[f]) {
+      if (member[row]) expected.push_back(row);
+    }
+    EXPECT_EQ(filtered.order[f], expected) << "feature " << f;
+    // The streamed values stay in lockstep with the filtered order.
+    ASSERT_EQ(filtered.values[f].size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(filtered.values[f][i], x(expected[i], f))
+          << "feature " << f << " pos " << i;
+    }
+  }
+}
+
+TEST(PresortedFeaturesTest, FilterIntoReusesOutputBuffers) {
+  Matrix x(6, 1);
+  for (size_t i = 0; i < 6; ++i) x(i, 0) = static_cast<double>(i);
+  PresortedFeatures full = PresortedFeatures::Compute(x);
+  PresortedFeatures filtered;
+  std::vector<char> member = {1, 0, 1, 0, 1, 0};
+  full.FilterInto(member, 3, &filtered);
+  EXPECT_EQ(filtered.order[0], (std::vector<size_t>{0, 2, 4}));
+  // Second filter into the same object must fully replace the first.
+  member = {0, 1, 0, 1, 0, 1};
+  full.FilterInto(member, 3, &filtered);
+  EXPECT_EQ(filtered.order[0], (std::vector<size_t>{1, 3, 5}));
+}
+
+TEST(RegressionTreeTest, FilteredPresortMatchesGlobalPresort) {
+  // Fitting on a subsample must give bit-identical trees whether the scan
+  // skips non-members of the global presort or walks a FilterInto view.
+  Rng rng(9);
+  Matrix x(120, 3);
+  std::vector<double> grad(120);
+  std::vector<double> hess(120, 1.0);
+  for (size_t i = 0; i < 120; ++i) {
+    for (size_t d = 0; d < 3; ++d) x(i, d) = rng.Normal(0, 1);
+    grad[i] = rng.Normal(0, 1);
+  }
+  std::vector<size_t> sample;
+  std::vector<char> member(120, 0);
+  for (size_t i = 0; i < 120; i += 2) {
+    sample.push_back(i);
+    member[i] = 1;
+  }
+  PresortedFeatures full = PresortedFeatures::Compute(x);
+  PresortedFeatures filtered;
+  full.FilterInto(member, sample.size(), &filtered);
+  RegressionTreeOptions options;
+  options.max_depth = 4;
+  RegressionTree from_full;
+  RegressionTree from_filtered;
+  ASSERT_TRUE(
+      from_full.FitPresorted(x, grad, hess, sample, full, options).ok());
+  ASSERT_TRUE(
+      from_filtered.FitPresorted(x, grad, hess, sample, filtered, options)
+          .ok());
+  ASSERT_EQ(from_full.num_nodes(), from_filtered.num_nodes());
+  EXPECT_EQ(from_full.num_leaves(), from_filtered.num_leaves());
+  Rng probe_rng(10);
+  for (size_t i = 0; i < 50; ++i) {
+    double row[3] = {probe_rng.Normal(0, 1), probe_rng.Normal(0, 1),
+                     probe_rng.Normal(0, 1)};
+    EXPECT_EQ(from_full.PredictOne(row), from_filtered.PredictOne(row));
+  }
+}
+
+TEST(RegressionTreeTest, WorkspaceReuseMatchesFreshWorkspace) {
+  Rng rng(12);
+  Matrix x(80, 2);
+  std::vector<double> grad(80);
+  std::vector<double> hess(80, 1.0);
+  for (size_t i = 0; i < 80; ++i) {
+    for (size_t d = 0; d < 2; ++d) x(i, d) = rng.Normal(0, 1);
+    grad[i] = rng.Normal(0, 1);
+  }
+  PresortedFeatures presorted = PresortedFeatures::Compute(x);
+  RegressionTreeOptions options;
+  options.max_depth = 3;
+  TreeFitWorkspace workspace;
+  RegressionTree first;
+  ASSERT_TRUE(first
+                  .FitPresorted(x, grad, hess, AllIndices(80), presorted,
+                                options, &workspace)
+                  .ok());
+  // Refit with the dirty workspace and different gradients; results must
+  // match a fit with a fresh workspace (the workspace carries no state
+  // between fits, only capacity).
+  for (size_t i = 0; i < 80; ++i) grad[i] = -grad[i] + 0.25;
+  RegressionTree reused;
+  RegressionTree fresh;
+  ASSERT_TRUE(reused
+                  .FitPresorted(x, grad, hess, AllIndices(80), presorted,
+                                options, &workspace)
+                  .ok());
+  ASSERT_TRUE(
+      fresh.FitPresorted(x, grad, hess, AllIndices(80), presorted, options)
+          .ok());
+  ASSERT_EQ(reused.num_nodes(), fresh.num_nodes());
+  Rng probe_rng(13);
+  for (size_t i = 0; i < 50; ++i) {
+    double row[2] = {probe_rng.Normal(0, 1), probe_rng.Normal(0, 1)};
+    EXPECT_EQ(reused.PredictOne(row), fresh.PredictOne(row));
+  }
+}
+
 TEST(RegressionTreeTest, RejectsBadInput) {
   Matrix x(2, 1);
   RegressionTree tree;

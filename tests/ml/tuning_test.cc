@@ -122,5 +122,46 @@ TEST(TuneAndFitTest, PicksRegularizationThatGeneralizes) {
   EXPECT_LE(outcome->best_cv_accuracy, 1.0);
 }
 
+TEST(MaterializeTuningFoldsTest, SlicesMatchFoldIndices) {
+  test::BlobData data = test::MakeBlobs(45, 3, 1.0, 61);
+  Rng fold_rng(62);
+  std::vector<TrainTestIndices> folds = KFoldIndices(45, 3, &fold_rng);
+  std::vector<int> membership(45);
+  for (size_t i = 0; i < 45; ++i) membership[i] = i % 2 == 0 ? 1 : -1;
+  std::vector<TuningFoldData> fold_data = MaterializeTuningFolds(
+      data.x, data.y, folds, /*with_presort=*/false, &membership);
+  ASSERT_EQ(fold_data.size(), folds.size());
+  for (size_t f = 0; f < folds.size(); ++f) {
+    const TuningFoldData& fd = fold_data[f];
+    ASSERT_EQ(fd.train_x.rows(), folds[f].train.size());
+    ASSERT_EQ(fd.valid_x.rows(), folds[f].test.size());
+    EXPECT_FALSE(fd.has_presort);
+    for (size_t i = 0; i < folds[f].train.size(); ++i) {
+      EXPECT_EQ(fd.train_y[i], data.y[folds[f].train[i]]);
+      for (size_t d = 0; d < 3; ++d) {
+        EXPECT_EQ(fd.train_x(i, d), data.x(folds[f].train[i], d));
+      }
+    }
+    for (size_t i = 0; i < folds[f].test.size(); ++i) {
+      EXPECT_EQ(fd.valid_y[i], data.y[folds[f].test[i]]);
+      EXPECT_EQ(fd.valid_membership[i], membership[folds[f].test[i]]);
+    }
+  }
+}
+
+TEST(MaterializeTuningFoldsTest, PresortBuiltOnDemandAndMatchesCompute) {
+  test::BlobData data = test::MakeBlobs(30, 2, 1.0, 63);
+  Rng fold_rng(64);
+  std::vector<TrainTestIndices> folds = KFoldIndices(30, 3, &fold_rng);
+  std::vector<TuningFoldData> fold_data =
+      MaterializeTuningFolds(data.x, data.y, folds, /*with_presort=*/true);
+  for (size_t f = 0; f < folds.size(); ++f) {
+    ASSERT_TRUE(fold_data[f].has_presort);
+    PresortedFeatures expected =
+        PresortedFeatures::Compute(fold_data[f].train_x);
+    EXPECT_EQ(fold_data[f].train_presort.order, expected.order);
+  }
+}
+
 }  // namespace
 }  // namespace fairclean
