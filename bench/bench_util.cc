@@ -1,71 +1,16 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
-#include <set>
 
-#include "common/env.h"
 #include "common/fault_injection.h"
 #include "common/safe_io.h"
 #include "common/strings.h"
-#include "core/cleaning.h"
 #include "obs/json_lite.h"
 #include "obs/log.h"
-#include "obs/metrics.h"
 #include "obs/trace.h"
-#include "stats/tests.h"
 
 namespace fairclean {
 namespace bench {
-
-namespace {
-
-// EX_TEMPFAIL: the run stopped at its time budget with resumable state.
-constexpr int kExitResumable = 75;
-
-uint64_t Fnv1a(const std::string& text) {
-  uint64_t hash = 0xcbf29ce484222325ULL;
-  for (unsigned char c : text) {
-    hash ^= c;
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
-}  // namespace
-
-std::vector<std::string> StudyScope::Datasets() const {
-  std::set<std::string> names;
-  for (const PairSpec& pair : single_pairs) names.insert(pair.dataset);
-  for (const std::string& name : intersectional_datasets) names.insert(name);
-  return std::vector<std::string>(names.begin(), names.end());
-}
-
-StudyScope MissingScope() {
-  StudyScope scope;
-  scope.error_type = "missing_values";
-  scope.single_pairs = {{"adult", "sex"},  {"adult", "race"},
-                        {"folk", "sex"},   {"folk", "race"},
-                        {"german", "sex"}, {"german", "age"}};
-  scope.intersectional_datasets = {"adult", "folk", "german"};
-  return scope;
-}
-
-StudyScope OutlierScope() {
-  StudyScope scope;
-  scope.error_type = "outliers";
-  scope.single_pairs = {{"adult", "sex"}, {"adult", "race"},
-                        {"folk", "sex"},  {"folk", "race"},
-                        {"credit", "age"}, {"heart", "sex"},
-                        {"heart", "age"}};
-  scope.intersectional_datasets = {"adult", "folk", "german", "heart"};
-  return scope;
-}
-
-StudyScope MislabelScope() {
-  StudyScope scope = OutlierScope();
-  scope.error_type = "mislabels";
-  return scope;
-}
 
 BenchOptions BenchOptionsFromEnv() {
   // Benches historically narrated cache hits / resumes / retries; keep that
@@ -73,168 +18,15 @@ BenchOptions BenchOptionsFromEnv() {
   obs::InitLogLevelFromEnv(obs::LogLevel::kInfo);
   // Activate FAIRCLEAN_TRACE before the first dataset/span of the bench.
   obs::InitTraceFromEnv();
-  BenchOptions options;
-  options.study.sample_size =
-      static_cast<size_t>(GetEnvInt64("FAIRCLEAN_SAMPLE", 3500));
-  options.study.num_repeats =
-      static_cast<size_t>(GetEnvInt64("FAIRCLEAN_REPEATS", 16));
-  options.study.cv_folds =
-      static_cast<size_t>(GetEnvInt64("FAIRCLEAN_FOLDS", 3));
-  // A larger holdout than the library default stabilizes the group-wise
-  // precision/recall estimates that the fairness metrics compare.
-  options.study.test_fraction = 0.3;
-  options.study.seed =
-      static_cast<uint64_t>(GetEnvInt64("FAIRCLEAN_SEED", 42));
-  options.cache_dir = GetEnvString("FAIRCLEAN_CACHE_DIR", "fairclean_cache");
-  options.max_retries = static_cast<size_t>(
-      GetEnvInt64("FAIRCLEAN_MAX_RETRIES",
-                  static_cast<int64_t>(options.max_retries)));
-  options.time_budget_s =
-      GetEnvDouble("FAIRCLEAN_TIME_BUDGET_S", options.time_budget_s);
-  options.threads = static_cast<size_t>(GetEnvInt64("FAIRCLEAN_THREADS", 0));
-  return options;
-}
-
-exec::StudyDriverOptions DriverOptions(const BenchOptions& options) {
-  exec::StudyDriverOptions driver_options;
-  driver_options.study = options.study;
-  driver_options.cache_dir = options.cache_dir;
-  driver_options.max_retries = options.max_retries;
-  driver_options.time_budget_s = options.time_budget_s;
-  driver_options.threads = options.threads;
-  return driver_options;
+  return sched::SuiteOptionsFromEnv();
 }
 
 Result<GeneratedDataset> BenchDataset(const std::string& name,
                                       const BenchOptions& options) {
-  // Dataset synthesis is decoupled from the runner's per-repeat seeds but
-  // still derives from the global bench seed.
-  Rng rng(options.study.seed * 0x9e3779b97f4a7c15ULL + Fnv1a(name));
-  return MakeDataset(name, 0, &rng);
+  return sched::MakeSuiteDataset(name, options.study.seed);
 }
 
-Result<CleaningExperimentResult> RunOrLoadExperiment(
-    const GeneratedDataset& dataset, const std::string& error_type,
-    const std::string& model, const BenchOptions& options) {
-  exec::StudyDriver driver(DriverOptions(options));
-  return driver.RunOrLoad(dataset, error_type, model);
-}
-
-Result<ScopeResults> RunScope(const StudyScope& scope,
-                              exec::StudyDriver* driver,
-                              const BenchOptions& options) {
-  ScopeResults results;
-  for (const std::string& name : scope.Datasets()) {
-    FC_ASSIGN_OR_RETURN(GeneratedDataset dataset,
-                        BenchDataset(name, options));
-    for (const std::string& model : AllModelNames()) {
-      FC_ASSIGN_OR_RETURN(
-          CleaningExperimentResult result,
-          driver->RunOrLoad(dataset, scope.error_type, model));
-      results.emplace(name + "/" + model, std::move(result));
-    }
-  }
-  return results;
-}
-
-Result<ScopeResults> RunScope(const StudyScope& scope,
-                              const BenchOptions& options) {
-  exec::StudyDriver driver(DriverOptions(options));
-  return RunScope(scope, &driver, options);
-}
-
-Result<ImpactTable> AggregateImpactTable(const ScopeResults& results,
-                                         const StudyScope& scope,
-                                         bool intersectional,
-                                         FairnessMetric metric,
-                                         const BenchOptions& options) {
-  ImpactTable table;
-  FC_ASSIGN_OR_RETURN(std::vector<CleaningMethod> methods,
-                      CleaningMethodsFor(scope.error_type));
-  double alpha = BonferroniAlpha(options.study.alpha, methods.size());
-
-  auto add_configurations = [&](const CleaningExperimentResult& result,
-                                const std::string& group_key) -> Status {
-    for (const auto& [method, series] : result.repaired) {
-      FC_ASSIGN_OR_RETURN(
-          ImpactOutcome impact,
-          ComputeImpact(result.dirty, series, group_key, metric, alpha));
-      table.Add(impact.fairness, impact.accuracy);
-    }
-    return Status::OK();
-  };
-
-  for (const std::string& model : AllModelNames()) {
-    if (!intersectional) {
-      for (const PairSpec& pair : scope.single_pairs) {
-        auto it = results.find(pair.dataset + "/" + model);
-        if (it == results.end()) {
-          return Status::NotFound("no results for " + pair.dataset + "/" +
-                                  model);
-        }
-        FC_RETURN_IF_ERROR(add_configurations(it->second, pair.attribute));
-      }
-    } else {
-      for (const std::string& dataset : scope.intersectional_datasets) {
-        auto it = results.find(dataset + "/" + model);
-        if (it == results.end()) {
-          return Status::NotFound("no results for " + dataset + "/" + model);
-        }
-        const CleaningExperimentResult& result = it->second;
-        std::string group_key;
-        for (const GroupDefinition& group : result.groups) {
-          if (group.intersectional) group_key = group.key;
-        }
-        if (group_key.empty()) {
-          return Status::InvalidArgument(
-              "dataset has no intersectional group: " + dataset);
-        }
-        FC_RETURN_IF_ERROR(add_configurations(result, group_key));
-      }
-    }
-  }
-  return table;
-}
-
-void PrintTableWithReference(const ImpactTable& measured,
-                             const PaperTable& reference,
-                             const std::string& title) {
-  std::printf("%s\n", measured.Format(title).c_str());
-  std::printf("paper reference (%s):\n", reference.label);
-  const char* row_labels[3] = {"fairness worse", "fairness insign.",
-                               "fairness better"};
-  for (size_t r = 0; r < 3; ++r) {
-    std::printf("%-22s |", row_labels[r]);
-    for (size_t c = 0; c < 3; ++c) {
-      std::printf(" %5.1f%%        ", reference.cells[r][c]);
-    }
-    std::printf("\n");
-  }
-
-  // Qualitative shape checks against the paper.
-  double paper_worse = reference.cells[0][0] + reference.cells[0][1] +
-                       reference.cells[0][2];
-  double paper_better = reference.cells[2][0] + reference.cells[2][1] +
-                        reference.cells[2][2];
-  int64_t total = measured.Total();
-  double measured_worse =
-      total ? 100.0 * measured.RowTotal(Impact::kWorse) / total : 0.0;
-  double measured_better =
-      total ? 100.0 * measured.RowTotal(Impact::kBetter) / total : 0.0;
-  bool paper_direction = paper_worse > paper_better;
-  bool measured_direction = measured_worse > measured_better;
-  std::printf(
-      "shape check: fairness worse vs better — paper %.1f%% / %.1f%% (%s), "
-      "measured %.1f%% / %.1f%% (%s) -> %s\n\n",
-      paper_worse, paper_better,
-      paper_direction ? "worse dominates" : "better dominates",
-      measured_worse, measured_better,
-      measured_direction ? "worse dominates" : "better dominates",
-      paper_direction == measured_direction ? "MATCH" : "MISMATCH");
-}
-
-int RunTableBench(const StudyScope& scope, const PaperTable references[4],
-                  const char* heading) {
+int RunTableBench(const std::string& unit_name) {
   BenchOptions options = BenchOptionsFromEnv();
   Status faults = FaultInjector::Global().ConfigureFromEnv();
   if (!faults.ok()) {
@@ -242,73 +34,25 @@ int RunTableBench(const StudyScope& scope, const PaperTable references[4],
                  faults.ToString().c_str());
     return 1;
   }
-  exec::StudyDriver driver(DriverOptions(options));
-  std::printf("== %s ==\n", heading);
-  std::printf(
-      "scale: sample=%zu repeats=%zu folds=%zu seed=%llu threads=%zu "
-      "(override via FAIRCLEAN_SAMPLE / FAIRCLEAN_REPEATS / FAIRCLEAN_FOLDS "
-      "/ FAIRCLEAN_SEED / FAIRCLEAN_THREADS)\n\n",
-      options.study.sample_size, options.study.num_repeats,
-      options.study.cv_folds,
-      static_cast<unsigned long long>(options.study.seed),
-      driver.diagnostics().threads);
-  Result<ScopeResults> results = RunScope(scope, &driver, options);
-  if (!results.ok()) {
-    return ReportScopeFailure(driver, results.status(), options.cache_dir);
+
+  sched::SuiteSpec spec = sched::PaperSuite();
+  const sched::SuiteUnit* unit = nullptr;
+  for (const sched::SuiteUnit& candidate : spec.units) {
+    if (candidate.name == unit_name) unit = &candidate;
+  }
+  if (unit == nullptr) {
+    std::fprintf(stderr, "unknown suite unit: %s\n", unit_name.c_str());
+    return 1;
   }
 
-  const struct {
-    bool intersectional;
-    FairnessMetric metric;
-    const char* grouping;
-  } kTables[4] = {
-      {false, FairnessMetric::kPredictiveParity, "single-attribute"},
-      {false, FairnessMetric::kEqualOpportunity, "single-attribute"},
-      {true, FairnessMetric::kPredictiveParity, "intersectional"},
-      {true, FairnessMetric::kEqualOpportunity, "intersectional"},
-  };
-  for (size_t i = 0; i < 4; ++i) {
-    Result<ImpactTable> table =
-        AggregateImpactTable(*results, scope, kTables[i].intersectional,
-                             kTables[i].metric, options);
-    if (!table.ok()) {
-      std::fprintf(stderr, "aggregation failed: %s\n",
-                   table.status().ToString().c_str());
-      return 1;
-    }
-    std::string title = StrFormat(
-        "Impact of auto-cleaning %s for %s groups, %s as fairness metric",
-        scope.error_type.c_str(), kTables[i].grouping,
-        FairnessMetricName(kTables[i].metric));
-    PrintTableWithReference(*table, references[i], title);
+  sched::SuiteScheduler scheduler(options);
+  Status status = scheduler.RunUnit(*unit);
+  if (!status.ok()) return scheduler.ReportFailure(status);
+  // Figure benches never printed run diagnostics; table benches always did.
+  if (unit->kind != sched::SuiteUnit::Kind::kFigure) {
+    scheduler.PrintRunSummary();
   }
-  PrintRunSummary(driver);
   return 0;
-}
-
-void PrintRunSummary(const exec::StudyDriver& driver) {
-  std::printf("%s", driver.diagnostics().Format().c_str());
-  // At info level also show the process-wide instruments (io/csv byte
-  // counters, queue-wait histogram, fault fires) the diagnostics snapshot
-  // does not cover.
-  if (obs::LogEnabled(obs::LogLevel::kInfo)) {
-    std::printf("process metrics:\n%s",
-                obs::MetricsRegistry::Global().FormatSummary().c_str());
-  }
-}
-
-int ReportScopeFailure(const exec::StudyDriver& driver, const Status& status,
-                       const std::string& cache_dir) {
-  std::fprintf(stderr, "scope run failed: %s\n", status.ToString().c_str());
-  std::fprintf(stderr, "%s", driver.diagnostics().Format().c_str());
-  if (status.code() == StatusCode::kDeadlineExceeded) {
-    std::fprintf(stderr,
-                 "completed repeats are checkpointed in %s — re-run to "
-                 "resume where this run stopped\n",
-                 cache_dir.c_str());
-    return kExitResumable;
-  }
-  return 1;
 }
 
 Status WriteBenchPerfJson(const std::string& path,

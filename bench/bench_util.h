@@ -3,141 +3,53 @@
 
 #include <map>
 #include <string>
-#include <vector>
 
 #include "core/runner.h"
 #include "datasets/generator.h"
 #include "exec/study_driver.h"
+#include "sched/suite_runner.h"
+#include "sched/suite_spec.h"
 
 namespace fairclean {
 namespace bench {
 
-/// One (dataset, sensitive attribute) pair of the single-attribute
-/// analysis.
-struct PairSpec {
-  std::string dataset;
-  std::string attribute;
-};
+// The benches are thin views over the suite scheduler (src/sched): the
+// experiment scopes, paper reference tables, aggregation, and run loop all
+// live there now, shared with tools/run_suite. These aliases keep the
+// bench-facing names stable.
+using sched::MislabelScope;
+using sched::MissingScope;
+using sched::OutlierScope;
+using sched::PairSpec;
+using sched::PaperTable;
+using sched::StudyScope;
 
-/// The exact experiment scope of one error type, derived from the paper's
-/// table denominators (DESIGN.md Section 4).
-struct StudyScope {
-  std::string error_type;
-  std::vector<PairSpec> single_pairs;
-  std::vector<std::string> intersectional_datasets;
+using sched::AggregateImpactTable;
+using sched::PrintTableWithReference;
+using sched::ScopeResults;
 
-  /// Distinct dataset names touched by this scope.
-  std::vector<std::string> Datasets() const;
-};
+/// Benchmark-wide options are the suite scheduler's options.
+using BenchOptions = sched::SuiteOptions;
 
-/// missing values: 6 single pairs (adult/folk/german), 3 intersectional.
-StudyScope MissingScope();
-/// outliers: 7 single pairs (adult/folk/credit/heart), 4 intersectional.
-StudyScope OutlierScope();
-/// mislabels: same 7 single pairs, 4 intersectional.
-StudyScope MislabelScope();
-
-/// Benchmark-wide options: study knobs plus fault-tolerance knobs of the
-/// study driver (cache location, retry policy, time budget).
-struct BenchOptions {
-  StudyOptions study;
-  /// Directory for cached experiment records ("" disables caching).
-  std::string cache_dir = "fairclean_cache";
-  /// Extra attempts per degenerate repeat before it is skipped.
-  size_t max_retries = 2;
-  /// Soft wall-clock budget in seconds (<= 0: unlimited); on exhaustion a
-  /// bench checkpoints and exits with a resumable state.
-  double time_budget_s = 0.0;
-  /// Worker threads for the driver's repeat fan-out (0: FAIRCLEAN_THREADS,
-  /// whose own default is hardware_concurrency; 1: sequential). Results are
-  /// byte-identical across widths, so cached runs stay valid.
-  size_t threads = 0;
-};
-
-/// Default bench options: scaled-down study (sample 3500, 16 repeats)
-/// overridable via FAIRCLEAN_SAMPLE / FAIRCLEAN_REPEATS / FAIRCLEAN_FOLDS /
-/// FAIRCLEAN_SEED / FAIRCLEAN_CACHE_DIR / FAIRCLEAN_MAX_RETRIES /
-/// FAIRCLEAN_TIME_BUDGET_S / FAIRCLEAN_THREADS. Also initializes the log
-/// level: benches default to info (the historical verbose output) unless
-/// FAIRCLEAN_LOG overrides it.
+/// Bench-scale options from the environment (sample 3500, 16 repeats, ...),
+/// resolved exactly once. Also initializes the log level (benches default
+/// to info, the historical verbose output) and the FAIRCLEAN_TRACE sink.
 BenchOptions BenchOptionsFromEnv();
 
-/// Study-driver options corresponding to the bench options.
-exec::StudyDriverOptions DriverOptions(const BenchOptions& options);
-
-/// Generates the named dataset with the bench seed (deterministic across
-/// bench binaries so cached results stay valid).
+/// Generates the named dataset with the canonical suite seed derivation
+/// (deterministic across bench binaries so cached results stay valid).
 Result<GeneratedDataset> BenchDataset(const std::string& name,
                                       const BenchOptions& options);
 
-/// Runs (or loads from cache) the cleaning experiment for one
-/// (dataset, error type, model family) through a transient fault-tolerant
-/// study driver: cached entries are reconstructed from the flat result
-/// records (the paper's stop-and-resume facility), corrupt files are
-/// quarantined and recomputed, and interrupted runs resume from the
-/// per-repeat journal.
-Result<CleaningExperimentResult> RunOrLoadExperiment(
-    const GeneratedDataset& dataset, const std::string& error_type,
-    const std::string& model, const BenchOptions& options);
-
-/// Keyed collection of experiment results: "<dataset>/<model>".
-using ScopeResults = std::map<std::string, CleaningExperimentResult>;
-
-/// Runs the full scope (all datasets x all three model families) through
-/// `driver`, which carries the time budget and diagnostics across
-/// experiments.
-Result<ScopeResults> RunScope(const StudyScope& scope,
-                              exec::StudyDriver* driver,
-                              const BenchOptions& options);
-
-/// Convenience overload with a scope-local driver.
-Result<ScopeResults> RunScope(const StudyScope& scope,
-                              const BenchOptions& options);
-
-/// Aggregates a scope's results into the paper's 3x3 impact table for one
-/// (grouping, fairness metric): every (pair-or-dataset, method, model)
-/// configuration contributes one cell. Alpha is Bonferroni-adjusted by the
-/// number of cleaning methods.
-Result<ImpactTable> AggregateImpactTable(const ScopeResults& results,
-                                         const StudyScope& scope,
-                                         bool intersectional,
-                                         FairnessMetric metric,
-                                         const BenchOptions& options);
-
-/// Reference percentages of a paper table (row-major: fairness worse /
-/// insignificant / better x accuracy worse / insignificant / better).
-struct PaperTable {
-  const char* label;
-  double cells[3][3];
-};
-
-/// Prints measured-vs-paper tables side by side plus a qualitative shape
-/// check (dominant-cell and row-ordering agreement).
-void PrintTableWithReference(const ImpactTable& measured,
-                             const PaperTable& reference,
-                             const std::string& title);
-
-/// Shared driver for the table benches (Tables II-XIII): arms the fault
-/// injector from FAIRCLEAN_FAULTS, runs the scope through a fault-tolerant
-/// study driver, prints the four measured-vs-paper tables plus the run
-/// diagnostics. `references` holds the paper values in the order
-/// single-PP, single-EO, intersectional-PP, intersectional-EO. Returns a
-/// process exit code: 0 on success, 1 on failure, 75 (EX_TEMPFAIL) when
-/// the FAIRCLEAN_TIME_BUDGET_S budget was exhausted — completed work is
-/// checkpointed and re-running resumes it.
-int RunTableBench(const StudyScope& scope, const PaperTable references[4],
-                  const char* heading);
-
-/// Prints the driver's run diagnostics (and, at info level, the driver
-/// metric instruments) to stdout. Single implementation shared by every
-/// table bench so the report format cannot drift between binaries.
-void PrintRunSummary(const exec::StudyDriver& driver);
-
-/// Reports a failed scope run to stderr — message, diagnostics, and the
-/// resume hint when the time budget was exhausted — and returns the
-/// process exit code (75 for a resumable deadline, 1 otherwise).
-int ReportScopeFailure(const exec::StudyDriver& driver, const Status& status,
-                       const std::string& cache_dir);
+/// Runs one named unit of the paper suite (PaperSuite()) through a suite
+/// scheduler: "tables_missing" / "tables_outliers" / "tables_mislabels" /
+/// "table_models" / "fig1" / "fig2". Prints the unit's historical output
+/// (heading, measured-vs-paper tables or disparity panels, and — for table
+/// units — the run diagnostics). Returns a process exit code: 0 on
+/// success, 1 on failure, 75 (EX_TEMPFAIL) when the FAIRCLEAN_TIME_BUDGET_S
+/// budget was exhausted — completed work is checkpointed and re-running
+/// resumes it.
+int RunTableBench(const std::string& unit_name);
 
 /// Writes machine-readable micro-benchmark results as JSON:
 ///   {"ops":{"<op>":<seconds>,...},"threads":N,"speedup":S}

@@ -9,6 +9,10 @@
 //      33.3%, sd 25% of cases negative);
 //  (4) best-performing model per dataset by dirty-baseline accuracy
 //      (paper: log-reg, with xgboost ahead in a few dataset/error combos).
+//
+// Runs its three scopes through one suite scheduler, so datasets and
+// experiment cells are content-addressed artifacts shared across scopes
+// (and with any cached run of the table benches or tools/run_suite).
 
 #include <cstdio>
 #include <map>
@@ -50,29 +54,29 @@ int Run() {
   // dataset/model -> mean dirty accuracy (averaged over error types).
   std::map<std::string, std::vector<double>> dirty_accuracy;
 
-  // One driver across all three scopes so the time budget and diagnostics
-  // span the whole bench.
-  exec::StudyDriver driver(DriverOptions(options));
+  // One scheduler across all three scopes so the time budget, diagnostics,
+  // and shared artifacts span the whole bench.
+  sched::SuiteScheduler scheduler(options);
   const StudyScope scopes[3] = {MissingScope(), OutlierScope(),
                                 MislabelScope()};
   for (const StudyScope& scope : scopes) {
-    Result<ScopeResults> results = RunScope(scope, &driver, options);
+    Result<ScopeResults> results = scheduler.RunScopeCells(scope);
     if (!results.ok()) {
-      return ReportScopeFailure(driver, results.status(), options.cache_dir);
+      return scheduler.ReportFailure(results.status());
     }
     Result<std::vector<CleaningMethod>> methods =
         CleaningMethodsFor(scope.error_type);
     double alpha = BonferroniAlpha(options.study.alpha, methods->size());
 
-    for (const auto& [key, result] : *results) {
-      Result<double> mean_acc = Mean(result.dirty.accuracy);
+    for (const auto& [key, artifact] : *results) {
+      Result<double> mean_acc = Mean(artifact->result.dirty.accuracy);
       if (mean_acc.ok()) dirty_accuracy[key].push_back(*mean_acc);
     }
 
     for (const std::string& model : AllModelNames()) {
       for (const PairSpec& pair : scope.single_pairs) {
         const CleaningExperimentResult& result =
-            results->at(pair.dataset + "/" + model);
+            results->at(pair.dataset + "/" + model)->result;
         for (const CleaningMethod& method : *methods) {
           const ScoreSeries& series = result.repaired.at(method.Name());
           for (FairnessMetric metric :
@@ -161,7 +165,7 @@ int Run() {
   std::printf("  (paper: log-reg provides the highest accuracy over all "
               "tasks, outperformed by xgboost only for outliers on "
               "folk/heart and missing values on adult/folk)\n");
-  PrintRunSummary(driver);
+  scheduler.PrintRunSummary();
   return 0;
 }
 

@@ -1,79 +1,11 @@
 // Reproduces Figure 1: single-attribute analysis of disparate proportions
 // of tuples flagged by the five error-detection strategies, per dataset and
 // sensitive attribute, with G^2 significance at p = .05.
-
-#include <cstdio>
+//
+// Thin view over the suite scheduler's "fig1" unit; the per-dataset
+// disparity analyses are content-addressed artifacts shared with
+// tools/run_suite.
 
 #include "bench/bench_util.h"
-#include "core/disparity.h"
 
-namespace {
-
-using namespace fairclean;        // NOLINT
-using namespace fairclean::bench; // NOLINT
-
-int Run() {
-  BenchOptions options = BenchOptionsFromEnv();
-  std::printf(
-      "== Figure 1: single-attribute disparity of error-detector flag rates "
-      "==\n\n");
-
-  size_t missing_cases = 0;
-  size_t missing_dis_higher = 0;
-  size_t significant_rows = 0;
-  size_t total_rows = 0;
-  size_t adult_significant = 0;
-
-  for (const std::string& name : AllDatasetNames()) {
-    Result<GeneratedDataset> dataset = BenchDataset(name, options);
-    if (!dataset.ok()) {
-      std::fprintf(stderr, "dataset %s failed: %s\n", name.c_str(),
-                   dataset.status().ToString().c_str());
-      return 1;
-    }
-    DisparityOptions disparity_options;
-    Rng rng(options.study.seed + 17);
-    Result<std::vector<DisparityRow>> rows = AnalyzeDisparities(
-        *dataset, /*intersectional=*/false, disparity_options, &rng);
-    if (!rows.ok()) {
-      std::fprintf(stderr, "analysis failed for %s: %s\n", name.c_str(),
-                   rows.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("%s", FormatDisparityTable(*rows).c_str());
-    std::printf("\n");
-
-    for (const DisparityRow& row : *rows) {
-      ++total_rows;
-      if (row.significant) {
-        ++significant_rows;
-        if (row.dataset == "adult") ++adult_significant;
-      }
-      if (row.detector == "missing_values") {
-        ++missing_cases;
-        if (row.DisadvantagedFraction() > row.PrivilegedFraction()) {
-          ++missing_dis_higher;
-        }
-      }
-    }
-  }
-
-  std::printf("== summary vs paper ==\n");
-  std::printf(
-      "missing values flagged more often for the disadvantaged group: "
-      "%zu of %zu dataset/attribute cases (paper: 4 of 6)\n",
-      missing_dis_higher, missing_cases);
-  std::printf(
-      "significant disparities: %zu of %zu detector/group rows overall\n",
-      significant_rows, total_rows);
-  std::printf(
-      "adult rows with significant disparity: %zu of 10 (paper: adult is "
-      "the only dataset where ALL five detectors flag significant "
-      "disparities)\n",
-      adult_significant);
-  return 0;
-}
-
-}  // namespace
-
-int main() { return Run(); }
+int main() { return fairclean::bench::RunTableBench("fig1"); }

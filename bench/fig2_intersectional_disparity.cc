@@ -2,68 +2,11 @@
 // tuples flagged by the error-detection strategies for the intersectionally
 // privileged vs disadvantaged groups (credit has no second demographic
 // attribute and is excluded, as in the paper).
-
-#include <cstdio>
+//
+// Thin view over the suite scheduler's "fig2" unit; the per-dataset
+// disparity analyses are content-addressed artifacts shared with
+// tools/run_suite.
 
 #include "bench/bench_util.h"
-#include "core/disparity.h"
 
-namespace {
-
-using namespace fairclean;        // NOLINT
-using namespace fairclean::bench; // NOLINT
-
-int Run() {
-  BenchOptions options = BenchOptionsFromEnv();
-  std::printf(
-      "== Figure 2: intersectional disparity of error-detector flag rates "
-      "==\n\n");
-
-  size_t missing_cases = 0;
-  size_t missing_dis_higher = 0;
-
-  for (const std::string& name : AllDatasetNames()) {
-    Result<GeneratedDataset> dataset = BenchDataset(name, options);
-    if (!dataset.ok()) {
-      std::fprintf(stderr, "dataset %s failed: %s\n", name.c_str(),
-                   dataset.status().ToString().c_str());
-      return 1;
-    }
-    if (!dataset->spec.intersectional) {
-      std::printf("%s: no intersectional definition (skipped, as in the "
-                  "paper)\n\n",
-                  name.c_str());
-      continue;
-    }
-    DisparityOptions disparity_options;
-    Rng rng(options.study.seed + 19);
-    Result<std::vector<DisparityRow>> rows = AnalyzeDisparities(
-        *dataset, /*intersectional=*/true, disparity_options, &rng);
-    if (!rows.ok()) {
-      std::fprintf(stderr, "analysis failed for %s: %s\n", name.c_str(),
-                   rows.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("%s", FormatDisparityTable(*rows).c_str());
-    std::printf("\n");
-    for (const DisparityRow& row : *rows) {
-      if (row.detector == "missing_values") {
-        ++missing_cases;
-        if (row.DisadvantagedFraction() > row.PrivilegedFraction()) {
-          ++missing_dis_higher;
-        }
-      }
-    }
-  }
-
-  std::printf("== summary vs paper ==\n");
-  std::printf(
-      "missing values flagged more often for the intersectionally "
-      "disadvantaged group: %zu of %zu cases (paper: 2 of 3)\n",
-      missing_dis_higher, missing_cases);
-  return 0;
-}
-
-}  // namespace
-
-int main() { return Run(); }
+int main() { return fairclean::bench::RunTableBench("fig2"); }

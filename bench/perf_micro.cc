@@ -389,6 +389,49 @@ class CapturingReporter : public benchmark::ConsoleReporter {
   std::map<std::string, double> op_seconds_;
 };
 
+// Times a small 3-cell suite (german x missing values x all models) through
+// the suite scheduler at the given experiment-level fan-out width. Caching
+// is disabled so the measurement is compute, not disk.
+double TimeSuiteSeconds(size_t threads, uint64_t* reused_out) {
+  sched::SuiteOptions options;
+  options.study.sample_size = 300;
+  options.study.num_repeats = 8;
+  options.study.cv_folds = 3;
+  options.study.seed = 99;
+  options.cache_dir.clear();
+  options.threads = threads;
+  sched::SuiteScheduler scheduler(options);
+  sched::StudyScope scope;
+  scope.error_type = "missing_values";
+  scope.single_pairs = {{"german", "age"}};
+  auto start = std::chrono::steady_clock::now();
+  scheduler.RunScopeCells(scope).ValueOrDie();
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  *reused_out = scheduler.artifacts().reused();
+  return seconds;
+}
+
+// Suite-level fan-out: experiments in parallel (sequential drivers inside),
+// the scheduler's inversion of the per-repeat fan-out below. Also reports
+// the shared-artifact reuse counter so CI can watch artifact sharing.
+void ReportSuiteFanOutSpeedup(std::map<std::string, double>* op_seconds) {
+  size_t threads = ThreadPool::DefaultThreadCount();
+  uint64_t reused = 0;
+  double sequential_s = TimeSuiteSeconds(1, &reused);
+  double parallel_s =
+      threads > 1 ? TimeSuiteSeconds(threads, &reused) : sequential_s;
+  std::printf(
+      "suite fan-out:  1 thread %.2fs, %zu threads %.2fs -> %.2fx speedup "
+      "(3 cells, sched.artifacts_reused=%llu)\n",
+      sequential_s, threads, parallel_s, sequential_s / parallel_s,
+      static_cast<unsigned long long>(reused));
+  (*op_seconds)["suite_fanout_1_thread"] = sequential_s;
+  (*op_seconds)["suite_fanout_n_threads"] = parallel_s;
+  (*op_seconds)["sched.artifacts_reused"] = static_cast<double>(reused);
+}
+
 void ReportRepeatFanOutSpeedup(std::map<std::string, double>* op_seconds,
                                size_t* threads_out, double* speedup_out) {
   Rng rng(7);
@@ -472,6 +515,7 @@ int RunPerfMicro(int argc, char** argv) {
   size_t threads = 1;
   double speedup = 1.0;
   ReportRepeatFanOutSpeedup(&op_seconds, &threads, &speedup);
+  ReportSuiteFanOutSpeedup(&op_seconds);
 
   std::string json_path =
       GetEnvString("FAIRCLEAN_BENCH_JSON", "BENCH_perf.json");

@@ -3,29 +3,11 @@
 // intersectional group definitions. Six imputation methods ({mean, median,
 // mode} x {mode, dummy}) x three models x the dataset/attribute pairs with
 // missing values.
+//
+// Thin view over the suite scheduler's "tables_missing" unit (scope and
+// paper references live in src/sched/suite_spec.cc; tools/run_suite runs
+// the same unit as part of the whole grid, sharing its cached cells).
 
 #include "bench/bench_util.h"
 
-namespace {
-
-using fairclean::bench::MissingScope;
-using fairclean::bench::PaperTable;
-using fairclean::bench::RunTableBench;
-
-const PaperTable kReferences[4] = {
-    {"Table II: missing values, single-attribute, PP",
-     {{3.7, 1.9, 16.7}, {5.6, 34.3, 7.4}, {3.7, 7.4, 19.4}}},
-    {"Table III: missing values, single-attribute, EO",
-     {{1.9, 15.7, 19.4}, {9.3, 25.9, 13.0}, {1.9, 1.9, 11.1}}},
-    {"Table IV: missing values, intersectional, PP",
-     {{0.0, 0.0, 5.6}, {3.7, 27.8, 11.1}, {3.7, 14.8, 33.3}}},
-    {"Table V: missing values, intersectional, EO",
-     {{0.0, 11.1, 11.1}, {7.4, 20.4, 22.2}, {0.0, 11.1, 16.7}}},
-};
-
-}  // namespace
-
-int main() {
-  return RunTableBench(MissingScope(), kReferences,
-                       "Tables II-V: impact of auto-cleaning missing values");
-}
+int main() { return fairclean::bench::RunTableBench("tables_missing"); }

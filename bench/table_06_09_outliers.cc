@@ -2,29 +2,11 @@
 // parity and equal opportunity, for single-attribute and intersectional
 // group definitions. Nine cleaning configurations ({sd, iqr, if} detection
 // x {mean, median, mode} repair) x three models.
+//
+// Thin view over the suite scheduler's "tables_outliers" unit (scope and
+// paper references live in src/sched/suite_spec.cc; tools/run_suite runs
+// the same unit as part of the whole grid, sharing its cached cells).
 
 #include "bench/bench_util.h"
 
-namespace {
-
-using fairclean::bench::OutlierScope;
-using fairclean::bench::PaperTable;
-using fairclean::bench::RunTableBench;
-
-const PaperTable kReferences[4] = {
-    {"Table VI: outliers, single-attribute, PP",
-     {{21.2, 1.1, 1.6}, {21.2, 25.9, 14.3}, {5.3, 3.2, 6.3}}},
-    {"Table VII: outliers, single-attribute, EO",
-     {{28.0, 5.8, 14.8}, {15.9, 24.3, 7.4}, {3.7, 0.0, 0.0}}},
-    {"Table VIII: outliers, intersectional, PP",
-     {{14.8, 0.9, 0.9}, {28.7, 25.0, 8.3}, {4.6, 2.8, 13.9}}},
-    {"Table IX: outliers, intersectional, EO",
-     {{15.7, 0.9, 16.7}, {32.4, 26.9, 6.5}, {0.0, 0.9, 0.0}}},
-};
-
-}  // namespace
-
-int main() {
-  return RunTableBench(OutlierScope(), kReferences,
-                       "Tables VI-IX: impact of auto-cleaning outliers");
-}
+int main() { return fairclean::bench::RunTableBench("tables_outliers"); }

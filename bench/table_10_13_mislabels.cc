@@ -2,29 +2,11 @@
 // errors on predictive parity and equal opportunity, for single-attribute
 // and intersectional group definitions. One cleaning configuration
 // (confident-learning detection + label flipping) x three models.
+//
+// Thin view over the suite scheduler's "tables_mislabels" unit (scope and
+// paper references live in src/sched/suite_spec.cc; tools/run_suite runs
+// the same unit as part of the whole grid, sharing its cached cells).
 
 #include "bench/bench_util.h"
 
-namespace {
-
-using fairclean::bench::MislabelScope;
-using fairclean::bench::PaperTable;
-using fairclean::bench::RunTableBench;
-
-const PaperTable kReferences[4] = {
-    {"Table X: mislabels, single-attribute, PP",
-     {{14.3, 14.3, 19.0}, {9.5, 0.0, 9.5}, {0.0, 0.0, 33.3}}},
-    {"Table XI: mislabels, single-attribute, EO",
-     {{0.0, 4.8, 0.0}, {0.0, 0.0, 14.3}, {23.8, 9.5, 47.6}}},
-    {"Table XII: mislabels, intersectional, PP",
-     {{25.0, 8.3, 33.3}, {0.0, 0.0, 0.0}, {0.0, 0.0, 33.3}}},
-    {"Table XIII: mislabels, intersectional, EO",
-     {{0.0, 0.0, 0.0}, {0.0, 0.0, 0.0}, {25.0, 8.3, 66.7}}},
-};
-
-}  // namespace
-
-int main() {
-  return RunTableBench(MislabelScope(), kReferences,
-                       "Tables X-XIII: impact of auto-cleaning label errors");
-}
+int main() { return fairclean::bench::RunTableBench("tables_mislabels"); }

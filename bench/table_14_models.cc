@@ -2,132 +2,11 @@
 // auto-cleaning on accuracy and fairness broken down by ML model, over all
 // (dataset/attribute, error type, cleaning method, fairness metric)
 // configurations — 212 per model at the paper's scope.
-
-#include <cstdio>
-#include <map>
+//
+// Thin view over the suite scheduler's "table_models" unit, whose cells
+// span all three error-type scopes and are shared (content-addressed) with
+// the per-error-type table benches and tools/run_suite.
 
 #include "bench/bench_util.h"
-#include "common/fault_injection.h"
-#include "core/cleaning.h"
-#include "stats/tests.h"
 
-namespace {
-
-using namespace fairclean;        // NOLINT
-using namespace fairclean::bench; // NOLINT
-
-struct ModelTally {
-  int64_t total = 0;
-  int64_t fairness_worse = 0;
-  int64_t fairness_better = 0;
-  int64_t both_better = 0;
-};
-
-int Run() {
-  BenchOptions options = BenchOptionsFromEnv();
-  Status faults = FaultInjector::Global().ConfigureFromEnv();
-  if (!faults.ok()) {
-    std::fprintf(stderr, "bad FAIRCLEAN_FAULTS: %s\n",
-                 faults.ToString().c_str());
-    return 1;
-  }
-  std::printf("== Table XIV: impact of auto-cleaning per ML model "
-              "(single-attribute analysis) ==\n\n");
-
-  std::map<std::string, ModelTally> tallies;
-  // One driver across all three scopes so the time budget and diagnostics
-  // span the whole bench.
-  exec::StudyDriver driver(DriverOptions(options));
-  const StudyScope scopes[3] = {MissingScope(), OutlierScope(),
-                                MislabelScope()};
-  for (const StudyScope& scope : scopes) {
-    Result<ScopeResults> results = RunScope(scope, &driver, options);
-    if (!results.ok()) {
-      return ReportScopeFailure(driver, results.status(), options.cache_dir);
-    }
-    Result<std::vector<CleaningMethod>> methods =
-        CleaningMethodsFor(scope.error_type);
-    double alpha = BonferroniAlpha(options.study.alpha, methods->size());
-
-    for (const std::string& model : AllModelNames()) {
-      for (const PairSpec& pair : scope.single_pairs) {
-        const CleaningExperimentResult& result =
-            results->at(pair.dataset + "/" + model);
-        for (const auto& [method, series] : result.repaired) {
-          for (FairnessMetric metric :
-               {FairnessMetric::kPredictiveParity,
-                FairnessMetric::kEqualOpportunity}) {
-            Result<ImpactOutcome> impact = ComputeImpact(
-                result.dirty, series, pair.attribute, metric, alpha);
-            if (!impact.ok()) {
-              std::fprintf(stderr, "impact failed: %s\n",
-                           impact.status().ToString().c_str());
-              return 1;
-            }
-            ModelTally& tally = tallies[model];
-            ++tally.total;
-            if (impact->fairness == Impact::kWorse) ++tally.fairness_worse;
-            if (impact->fairness == Impact::kBetter) ++tally.fairness_better;
-            if (impact->fairness == Impact::kBetter &&
-                impact->accuracy == Impact::kBetter) {
-              ++tally.both_better;
-            }
-          }
-        }
-      }
-    }
-  }
-
-  std::printf("%-10s %-22s %-22s %-26s %s\n", "model", "fairness worse",
-              "fairness better", "fairness & acc. better", "configs");
-  const struct {
-    const char* model;
-    double worse, better, both;
-  } kPaper[3] = {{"xgboost", 32.1, 17.0, 1.9},
-                 {"knn", 31.6, 12.7, 11.3},
-                 {"log-reg", 36.3, 21.2, 16.0}};
-  for (const auto& paper : kPaper) {
-    const ModelTally& tally = tallies[paper.model];
-    double total = static_cast<double>(tally.total);
-    std::printf(
-        "%-10s %5.1f%% (%3lld)        %5.1f%% (%3lld)        %5.1f%% "
-        "(%3lld)            %lld\n",
-        paper.model,
-        total ? 100.0 * tally.fairness_worse / total : 0.0,
-        static_cast<long long>(tally.fairness_worse),
-        total ? 100.0 * tally.fairness_better / total : 0.0,
-        static_cast<long long>(tally.fairness_better),
-        total ? 100.0 * tally.both_better / total : 0.0,
-        static_cast<long long>(tally.both_better),
-        static_cast<long long>(tally.total));
-    std::printf("  paper:   %5.1f%%               %5.1f%%               "
-                "%5.1f%%                    212\n",
-                paper.worse, paper.better, paper.both);
-  }
-
-  // Paper's qualitative claims for Table XIV.
-  const ModelTally& logreg = tallies["log-reg"];
-  const ModelTally& xgb = tallies["xgboost"];
-  bool logreg_most_both = logreg.both_better >= xgb.both_better &&
-                          logreg.both_better >= tallies["knn"].both_better;
-  std::printf(
-      "\nshape check: log-reg benefits most from cleaning "
-      "(fairness & accuracy better) -> %s\n",
-      logreg_most_both ? "MATCH" : "MISMATCH");
-  bool all_worse_dominates = true;
-  for (const auto& [model, tally] : tallies) {
-    if (tally.fairness_worse < tally.fairness_better) {
-      all_worse_dominates = false;
-    }
-  }
-  std::printf(
-      "shape check: for every model, cleaning worsens fairness more often "
-      "than it improves it -> %s\n",
-      all_worse_dominates ? "MATCH" : "MISMATCH");
-  PrintRunSummary(driver);
-  return 0;
-}
-
-}  // namespace
-
-int main() { return Run(); }
+int main() { return fairclean::bench::RunTableBench("table_models"); }

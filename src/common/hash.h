@@ -1,0 +1,27 @@
+#ifndef FAIRCLEAN_COMMON_HASH_H_
+#define FAIRCLEAN_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fairclean {
+
+/// FNV-1a 64-bit hash. Stable across platforms and builds; used wherever a
+/// deterministic name-derived seed or content key is needed (bench dataset
+/// seeds, suite artifact keys). Not cryptographic.
+uint64_t Fnv1a64(std::string_view text);
+
+/// Incremental FNV-1a 64-bit: feeds `text` into a running hash, so callers
+/// can fingerprint structured content (e.g. a data frame column by column)
+/// without materializing one big string.
+uint64_t Fnv1a64(std::string_view text, uint64_t seed);
+
+/// SHA-256 of `data` as a lowercase hex string (64 characters). Used for
+/// the suite report's per-cell cache digests, where collisions must be
+/// out of the question for a byte-identity check to mean anything.
+std::string Sha256Hex(std::string_view data);
+
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_COMMON_HASH_H_

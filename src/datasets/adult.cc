@@ -36,6 +36,7 @@ Result<GeneratedDataset> MakeAdultDataset(size_t num_rows, Rng* rng) {
       marital(n);
   std::vector<double> age(n), education(n), hours(n), capital_gain(n),
       capital_loss(n), income(n);
+  std::vector<int> true_labels(n);
 
   for (size_t i = 0; i < n; ++i) {
     sex[i] = rng->Bernoulli(0.67) ? 0 : 1;  // 0 = male (privileged)
@@ -92,6 +93,7 @@ Result<GeneratedDataset> MakeAdultDataset(size_t num_rows, Rng* rng) {
                0.5 * (male ? 1.0 : 0.0) + 0.4 * (white ? 1.0 : 0.0) +
                (marital[i] == 0 ? 0.55 : 0.0) + rng->Normal(0.0, 0.4);
     int true_label = rng->Bernoulli(Sigmoid(z)) ? 1 : 0;
+    true_labels[i] = true_label;
 
     // Asymmetric label noise: deserving members of disadvantaged groups are
     // more likely recorded below 50k (historical under-reporting), while
@@ -166,6 +168,7 @@ Result<GeneratedDataset> MakeAdultDataset(size_t num_rows, Rng* rng) {
 
   GeneratedDataset dataset;
   dataset.frame = std::move(frame);
+  dataset.true_labels = std::move(true_labels);
   dataset.spec.name = "adult";
   dataset.spec.source = "census";
   dataset.spec.label = "income";

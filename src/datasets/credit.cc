@@ -30,6 +30,7 @@ Result<GeneratedDataset> MakeCreditDataset(size_t num_rows, Rng* rng) {
   std::vector<double> util(n), age(n), late30(n), debt_ratio(n), income(n),
       open_lines(n), late90(n), real_estate(n), late60(n), dependents(n),
       label(n);
+  std::vector<int> true_labels(n);
 
   for (size_t i = 0; i < n; ++i) {
     age[i] = Clamp(std::round(21.0 + 64.0 * Beta(rng, 1.5, 2.2)), 21.0, 95.0);
@@ -87,6 +88,7 @@ Result<GeneratedDataset> MakeCreditDataset(size_t num_rows, Rng* rng) {
                     0.03 * (age[i] - 45.0);
     int delinquent = rng->Bernoulli(Sigmoid(risk_z)) ? 1 : 0;
     int good_credit = 1 - delinquent;
+    true_labels[i] = good_credit;
 
     // Sentinel-value data errors in the past-due counts (the real dataset
     // records 96/98 for "unknown"): a genuine error an outlier repair can
@@ -131,6 +133,7 @@ Result<GeneratedDataset> MakeCreditDataset(size_t num_rows, Rng* rng) {
 
   GeneratedDataset dataset;
   dataset.frame = std::move(frame);
+  dataset.true_labels = std::move(true_labels);
   dataset.spec.name = "credit";
   dataset.spec.source = "finance";
   dataset.spec.label = "good_credit";

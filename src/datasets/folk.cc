@@ -34,6 +34,7 @@ Result<GeneratedDataset> MakeFolkDataset(size_t num_rows, Rng* rng) {
 
   std::vector<int32_t> sex(n), race(n), occp(n), cow(n), mar(n);
   std::vector<double> agep(n), schl(n), wkhp(n), label(n);
+  std::vector<int> true_labels(n);
 
   for (size_t i = 0; i < n; ++i) {
     sex[i] = rng->Bernoulli(0.5) ? 0 : 1;  // 0 = male (privileged)
@@ -88,6 +89,7 @@ Result<GeneratedDataset> MakeFolkDataset(size_t num_rows, Rng* rng) {
                rng->Normal(0.0, 0.5);
     if (minor) z -= 4.0;
     int true_label = rng->Bernoulli(Sigmoid(z)) ? 1 : 0;
+    true_labels[i] = true_label;
 
     // Light, mildly asymmetric label noise.
     int observed = true_label;
@@ -148,6 +150,7 @@ Result<GeneratedDataset> MakeFolkDataset(size_t num_rows, Rng* rng) {
 
   GeneratedDataset dataset;
   dataset.frame = std::move(frame);
+  dataset.true_labels = std::move(true_labels);
   dataset.spec.name = "folk";
   dataset.spec.source = "census";
   dataset.spec.label = "PINCP_50K";

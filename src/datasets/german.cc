@@ -46,6 +46,7 @@ Result<GeneratedDataset> MakeGermanDataset(size_t num_rows, Rng* rng) {
       purpose(n), savings(n), employment(n), housing(n), job(n), sex(n);
   std::vector<double> age(n), duration(n), amount(n), installment_rate(n),
       existing_credits(n), dependents(n), label(n);
+  std::vector<int> true_labels(n);
 
   for (size_t i = 0; i < n; ++i) {
     sex[i] = rng->Bernoulli(0.69) ? 0 : 1;  // 0 = male (privileged)
@@ -97,6 +98,7 @@ Result<GeneratedDataset> MakeGermanDataset(size_t num_rows, Rng* rng) {
                0.3 * (history[i] == 0 ? 1.0 : 0.0) +
                rng->Normal(0.0, 0.6);
     int good = rng->Bernoulli(Sigmoid(z)) ? 1 : 0;
+    true_labels[i] = good;
 
     // Mild asymmetric noise: young applicants with good outcomes are more
     // likely to carry a bad recorded label.
@@ -161,6 +163,7 @@ Result<GeneratedDataset> MakeGermanDataset(size_t num_rows, Rng* rng) {
 
   GeneratedDataset dataset;
   dataset.frame = std::move(frame);
+  dataset.true_labels = std::move(true_labels);
   dataset.spec.name = "german";
   dataset.spec.source = "finance";
   dataset.spec.label = "credit";

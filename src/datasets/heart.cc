@@ -25,6 +25,7 @@ Result<GeneratedDataset> MakeHeartDataset(size_t num_rows, Rng* rng) {
   std::vector<int32_t> sex(n);
   std::vector<double> age(n), height(n), weight(n), ap_hi(n), ap_lo(n),
       cholesterol(n), gluc(n), smoke(n), alco(n), active(n), cardio(n);
+  std::vector<int> true_labels(n);
 
   for (size_t i = 0; i < n; ++i) {
     sex[i] = rng->Bernoulli(0.35) ? 0 : 1;  // 0 = male (privileged)
@@ -57,6 +58,7 @@ Result<GeneratedDataset> MakeHeartDataset(size_t num_rows, Rng* rng) {
                0.25 * (gluc[i] - 1.0) + 0.3 * smoke[i] - 0.35 * active[i] +
                rng->Normal(0.0, 0.3);
     int disease = rng->Bernoulli(Sigmoid(z)) ? 1 : 0;
+    true_labels[i] = disease;
 
     // Measurement-error corruption of the blood-pressure columns, mirroring
     // the implausible ap_hi/ap_lo values in the real cardio file: decimal
@@ -122,6 +124,7 @@ Result<GeneratedDataset> MakeHeartDataset(size_t num_rows, Rng* rng) {
 
   GeneratedDataset dataset;
   dataset.frame = std::move(frame);
+  dataset.true_labels = std::move(true_labels);
   dataset.spec.name = "heart";
   dataset.spec.source = "healthcare";
   dataset.spec.label = "cardio";

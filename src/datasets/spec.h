@@ -56,6 +56,11 @@ struct DatasetSpec {
 struct GeneratedDataset {
   DataFrame frame;
   DatasetSpec spec;
+  /// Ground-truth labels before the generator's label noise was applied
+  /// (same row order as `frame`). Only the generator knows these — the
+  /// experiment pipeline never sees them; they exist so invariant tests can
+  /// audit the injected noise rates against the spec'd mechanisms.
+  std::vector<int> true_labels;
 };
 
 }  // namespace fairclean

@@ -1,0 +1,239 @@
+#ifndef FAIRCLEAN_SCHED_SUITE_RUNNER_H_
+#define FAIRCLEAN_SCHED_SUITE_RUNNER_H_
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/disparity.h"
+#include "core/runner.h"
+#include "datasets/generator.h"
+#include "exec/study_driver.h"
+#include "obs/metrics.h"
+#include "sched/artifact_store.h"
+#include "sched/experiment_graph.h"
+#include "sched/suite_spec.h"
+
+namespace fairclean {
+namespace sched {
+
+/// EX_TEMPFAIL: the run stopped at its time budget with resumable state.
+constexpr int kExitResumable = 75;
+
+/// Suite-wide options: study scale, the driver's fault-tolerance knobs, and
+/// the suite-level fan-out width. Resolved ONCE (SuiteOptionsFromEnv) and
+/// threaded through every cell, so a mid-run environment change cannot
+/// split one suite across inconsistent knobs.
+struct SuiteOptions {
+  StudyOptions study;
+  /// Directory for cached experiment records ("" disables caching).
+  std::string cache_dir = "fairclean_cache";
+  /// Extra attempts per degenerate repeat before it is skipped.
+  size_t max_retries = 2;
+  /// Soft wall-clock budget in seconds for the whole suite (<= 0:
+  /// unlimited); on exhaustion the suite checkpoints and reports a
+  /// resumable failure (exit 75).
+  double time_budget_s = 0.0;
+  /// Worker threads for the suite-level experiment fan-out (0:
+  /// FAIRCLEAN_THREADS, whose own default is hardware_concurrency; 1:
+  /// sequential). Results are byte-identical across widths.
+  size_t threads = 0;
+  /// Where RunSuite writes the merged JSON report ("" keeps it in memory
+  /// only; see SuiteScheduler::report_json()).
+  std::string report_path;
+};
+
+/// The bench-scale defaults (sample 3500, 16 repeats, 3 folds, holdout
+/// 0.3, seed 42) overridable via FAIRCLEAN_SAMPLE / FAIRCLEAN_REPEATS /
+/// FAIRCLEAN_FOLDS / FAIRCLEAN_SEED / FAIRCLEAN_CACHE_DIR /
+/// FAIRCLEAN_MAX_RETRIES / FAIRCLEAN_TIME_BUDGET_S / FAIRCLEAN_THREADS /
+/// FAIRCLEAN_SUITE_REPORT. Reads the environment exactly once, at the call.
+SuiteOptions SuiteOptionsFromEnv();
+
+/// One produced experiment-cell artifact: the driver result plus the byte
+/// identity of its persisted cache record (sha256 of the exact file bytes,
+/// or of the bytes SaveToFile would write when caching is disabled).
+struct CellArtifact {
+  CleaningExperimentResult result;
+  /// Cache file basename ("" when caching is disabled). Basename, not
+  /// path, so reports are identical across cache directories.
+  std::string cache_file;
+  std::string sha256;
+};
+
+/// One per-dataset disparity analysis (Fig. 1 / Fig. 2 panel).
+struct DisparityArtifact {
+  std::vector<DisparityRow> rows;
+};
+
+/// Scope results keyed "<dataset>/<model>", shared with the artifact store.
+using ScopeResults = std::map<std::string, std::shared_ptr<const CellArtifact>>;
+
+/// Aggregates a scope's results into the paper's 3x3 impact table for one
+/// (grouping, fairness metric): every (pair-or-dataset, method, model)
+/// configuration contributes one cell. `alpha` is the base level; it is
+/// Bonferroni-adjusted by the scope's cleaning-method count.
+Result<ImpactTable> AggregateImpactTable(const ScopeResults& results,
+                                         const StudyScope& scope,
+                                         bool intersectional,
+                                         FairnessMetric metric, double alpha);
+
+/// Prints measured-vs-paper tables side by side plus a qualitative shape
+/// check (dominant-row agreement). Byte-identical to the historical bench
+/// output.
+void PrintTableWithReference(const ImpactTable& measured,
+                             const PaperTable& reference,
+                             const std::string& title);
+
+/// Runs the paper grid as one DAG: dataset and experiment-cell nodes are
+/// deduplicated across units and produced exactly once through a
+/// content-addressed ArtifactStore, ready nodes fan out across a
+/// suite-level ThreadPool (each cell runs a sequential StudyDriver, so the
+/// per-repeat fan-out is replaced by experiment-level parallelism without
+/// nesting pools), and aggregation nodes fold cell artifacts into the
+/// paper's tables and figures.
+///
+/// Identity contract (DESIGN.md Section 9): each cell's cache record is
+/// byte-identical to what the standalone table bench produces, at any
+/// thread width, and the merged report is byte-identical between
+/// sequential, parallel, and killed-and-resumed runs.
+///
+/// RunSuite / RunUnit / RunScopeCells must be called from one thread at a
+/// time; internal fan-out is the scheduler's own concern.
+class SuiteScheduler {
+ public:
+  explicit SuiteScheduler(SuiteOptions options);
+
+  const SuiteOptions& options() const { return options_; }
+  /// Resolved suite fan-out width.
+  size_t width() const { return width_; }
+  ArtifactStore& artifacts() { return artifacts_; }
+
+  /// Runs every unit the filter selects, prints each unit's report
+  /// (byte-identical to the standalone benches' bodies), and assembles the
+  /// merged JSON report (written to options.report_path when set).
+  Status RunSuite(const SuiteSpec& spec, const SuiteFilter& filter);
+
+  /// Runs a single unit for the legacy bench binaries: prints the unit
+  /// heading up front (progress visibility), executes the unit's subgraph,
+  /// then prints the unit body. No merged report.
+  Status RunUnit(const SuiteUnit& unit);
+
+  /// Runs (or reuses) every cell of one scope across the suite pool and
+  /// returns them keyed "<dataset>/<model>". Shared-artifact path for the
+  /// Table XIV and deep-dive consumers: repeated calls reuse datasets and
+  /// cells through the store.
+  Result<ScopeResults> RunScopeCells(const StudyScope& scope);
+
+  /// Shared dataset / cell / disparity artifacts (produced on first use).
+  Result<std::shared_ptr<const GeneratedDataset>> Dataset(
+      const std::string& name);
+  Result<std::shared_ptr<const CellArtifact>> Cell(const CellKey& cell);
+  Result<std::shared_ptr<const DisparityArtifact>> Disparity(
+      const std::string& dataset, bool intersectional);
+
+  /// Sum of every cell driver's diagnostics; `threads` reports the suite
+  /// width (per-cell drivers are sequential by construction).
+  exec::RunDiagnostics AggregateDiagnostics() const;
+
+  /// Prints the aggregate diagnostics (and, at info level, the process
+  /// metric instruments) to stdout — the benches' historical run summary.
+  void PrintRunSummary() const;
+
+  /// Reports a failed run to stderr (message, diagnostics, resume hint on
+  /// deadline) and returns the process exit code: kExitResumable for a
+  /// resumable deadline, 1 otherwise.
+  int ReportFailure(const Status& status) const;
+
+  /// The merged report of the last successful RunSuite (deterministic
+  /// bytes: no wall times, no thread counts, no cache-hit counters).
+  const std::string& report_json() const { return report_json_; }
+
+  double ElapsedSeconds() const;
+
+  static int ExitCode(const Status& status) {
+    if (status.ok()) return 0;
+    return status.code() == StatusCode::kDeadlineExceeded ? kExitResumable
+                                                          : 1;
+  }
+
+ private:
+  struct FigureValue {
+    bool skipped = false;  ///< dataset has no intersectional definition
+    std::shared_ptr<const DisparityArtifact> rows;
+  };
+  struct TableValue {
+    bool skipped = false;  ///< filter narrowed the unit: cannot aggregate
+    ImpactTable table;
+  };
+  struct ModelTableValue {
+    struct Tally {
+      int64_t total = 0;
+      int64_t fairness_worse = 0;
+      int64_t fairness_better = 0;
+      int64_t both_better = 0;
+    };
+    bool skipped = false;
+    std::map<std::string, Tally> tallies;
+  };
+
+  /// Driver options for one cell: the suite options with threads pinned to
+  /// 1 and the time budget reduced to what remains of the suite budget.
+  /// DeadlineExceeded when the suite budget is already exhausted.
+  Result<exec::StudyDriverOptions> CellDriverOptions() const;
+
+  Result<CellArtifact> ProduceCell(const CellKey& cell);
+  void Accumulate(const exec::RunDiagnostics& diagnostics);
+
+  /// Executes the graph wave by wave: dataset/cell/figure nodes fan out
+  /// across the pool, aggregation nodes run inline; node results land in
+  /// node_values_. On failure returns the failed node with the smallest id
+  /// (deterministic across widths).
+  Status ExecuteGraph(const SuiteSpec& spec, const ExperimentGraph& graph);
+  Status RunNode(const SuiteSpec& spec, const ExperimentGraph& graph,
+                 size_t id);
+  bool Narrowed(const ExperimentGraph& graph, size_t unit_index) const;
+  /// Cell artifacts among `node`'s deps with the given error type, keyed
+  /// "<dataset>/<model>".
+  ScopeResults ScopeFromDeps(const ExperimentGraph& graph,
+                             const GraphNode& node,
+                             const std::string& error_type) const;
+
+  void PrintUnitHeading(const SuiteUnit& unit) const;
+  Status RenderUnitBody(const SuiteSpec& spec, const ExperimentGraph& graph,
+                        size_t unit_index) const;
+  void RenderFigureSummary(const SuiteUnit& unit,
+                           const ExperimentGraph& graph) const;
+
+  std::string BuildReportJson(const SuiteSpec& spec,
+                              const ExperimentGraph& graph,
+                              const SuiteFilter& filter) const;
+
+  SuiteOptions options_;
+  size_t width_ = 1;
+  /// Scoped registry: suite counters forward to MetricsRegistry::Global()
+  /// while staying separable for perf reporting.
+  obs::MetricsRegistry metrics_;
+  ArtifactStore artifacts_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when width_ == 1
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex diag_mutex_;
+  exec::RunDiagnostics total_;
+
+  /// Node results of the last ExecuteGraph, indexed by node id. Holds
+  /// CellArtifact / GeneratedDataset / FigureValue / TableValue /
+  /// ModelTableValue per the node kind.
+  std::vector<std::shared_ptr<const void>> node_values_;
+  std::string report_json_;
+};
+
+}  // namespace sched
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_SCHED_SUITE_RUNNER_H_

@@ -1,0 +1,156 @@
+#ifndef FAIRCLEAN_SCHED_SUITE_SPEC_H_
+#define FAIRCLEAN_SCHED_SUITE_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/runner.h"
+#include "datasets/generator.h"
+#include "fairness/fairness_metrics.h"
+
+namespace fairclean {
+namespace sched {
+
+/// One (dataset, sensitive attribute) pair of the single-attribute
+/// analysis.
+struct PairSpec {
+  std::string dataset;
+  std::string attribute;
+};
+
+/// The exact experiment scope of one error type, derived from the paper's
+/// table denominators (DESIGN.md Section 4).
+struct StudyScope {
+  std::string error_type;
+  std::vector<PairSpec> single_pairs;
+  std::vector<std::string> intersectional_datasets;
+
+  /// Distinct dataset names touched by this scope.
+  std::vector<std::string> Datasets() const;
+};
+
+/// missing values: 6 single pairs (adult/folk/german), 3 intersectional.
+StudyScope MissingScope();
+/// outliers: 7 single pairs (adult/folk/credit/heart), 4 intersectional.
+StudyScope OutlierScope();
+/// mislabels: same 7 single pairs, 4 intersectional.
+StudyScope MislabelScope();
+
+/// Reference percentages of a paper table (row-major: fairness worse /
+/// insignificant / better x accuracy worse / insignificant / better).
+struct PaperTable {
+  const char* label;
+  double cells[3][3];
+};
+
+/// One measured-vs-paper impact table of a table unit.
+struct TableSpec {
+  bool intersectional;
+  FairnessMetric metric;
+  PaperTable reference;
+};
+
+/// Paper reference row of the per-model analysis (Table XIV percentages).
+struct ModelReference {
+  const char* model;
+  double worse;
+  double better;
+  double both;
+};
+
+/// One schedulable unit of the suite: a table group over one error-type
+/// scope, the per-model breakdown spanning all three scopes, or a
+/// disparity figure.
+struct SuiteUnit {
+  enum class Kind { kTables, kModelTable, kFigure };
+
+  std::string name;
+  Kind kind = Kind::kTables;
+  /// Bench heading, e.g. "Tables II-V: impact of auto-cleaning missing
+  /// values".
+  std::string heading;
+  /// kTables: the scope whose cells feed this unit's aggregations.
+  StudyScope scope;
+  /// kTables: the measured-vs-paper tables, in print order.
+  std::vector<TableSpec> tables;
+  /// kModelTable: the paper's per-model reference rows (Table XIV), in
+  /// print order.
+  std::vector<ModelReference> model_references;
+  /// kFigure: true for the intersectional analysis (Fig. 2).
+  bool fig_intersectional = false;
+  /// Units excluded from a default full run; selected only when a filter
+  /// token names them (the CI "smoke" subset).
+  bool only_on_filter = false;
+};
+
+/// A named collection of suite units.
+struct SuiteSpec {
+  std::string name;
+  std::vector<SuiteUnit> units;
+};
+
+/// The full paper grid as one suite: Figures 1-2, Tables II-XIII (three
+/// table units), Table XIV (model unit), plus the filter-only "smoke"
+/// subset used by CI.
+SuiteSpec PaperSuite();
+
+/// One experiment cell of the grid: the unit of driver work and caching.
+struct CellKey {
+  std::string dataset;
+  std::string error_type;
+  std::string model;
+
+  /// "<dataset>/<error_type>/<model>" — stable display and filter id.
+  std::string Id() const;
+
+  bool operator<(const CellKey& other) const;
+  bool operator==(const CellKey& other) const;
+};
+
+/// The distinct experiment cells a unit consumes, in deterministic order
+/// (scope dataset order x AllModelNames). The model unit spans the three
+/// error-type scopes; figure units consume no cells.
+std::vector<CellKey> UnitCells(const SuiteUnit& unit);
+
+/// Comma-separated substring filter over unit names and cell/figure ids.
+/// An empty filter selects every default unit. A token that matches a unit
+/// name selects the whole unit (including only_on_filter units); a token
+/// that matches a cell id narrows a unit to the matching cells, which makes
+/// its table aggregations report as skipped-incomplete.
+struct SuiteFilter {
+  std::vector<std::string> tokens;
+
+  static SuiteFilter Parse(const std::string& csv);
+
+  bool Empty() const { return tokens.empty(); }
+  /// Any token is a substring of `name`.
+  bool MatchesName(const std::string& name) const;
+};
+
+/// Generates the named dataset with the canonical suite seed derivation
+/// (seed * golden-ratio-odd + FNV-1a(name)) — the exact formula the benches
+/// have always used, so every pre-existing driver cache stays valid.
+Result<GeneratedDataset> MakeSuiteDataset(const std::string& name,
+                                          uint64_t study_seed);
+
+/// Content-address key of a generated dataset artifact. Generation is
+/// deterministic given (name, study seed), so the key pins the bytes.
+std::string DatasetArtifactKey(const std::string& name, uint64_t study_seed);
+
+/// Content-address key of an experiment-cell artifact; mirrors the study
+/// driver's cache-file naming so one (cell, scale) maps to one record.
+std::string CellArtifactKey(const CellKey& cell, const StudyOptions& study);
+
+/// Content-address key of a per-dataset disparity analysis (detector
+/// outputs + G^2 rows). The figure-specific rng seed is part of the key:
+/// Fig. 1 and Fig. 2 deliberately draw from distinct streams, so their
+/// detector outputs are distinct artifacts by construction.
+std::string DisparityArtifactKey(const std::string& dataset,
+                                 bool intersectional, uint64_t study_seed);
+
+}  // namespace sched
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_SCHED_SUITE_SPEC_H_

@@ -1,0 +1,57 @@
+#include "common/hash.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace fairclean {
+namespace {
+
+TEST(Fnv1a64Test, KnownVectors) {
+  // Published FNV-1a 64-bit reference values.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64Test, IncrementalMatchesOneShot) {
+  uint64_t partial = Fnv1a64("foo");
+  EXPECT_EQ(Fnv1a64("bar", partial), Fnv1a64("foobar"));
+}
+
+TEST(Sha256Test, KnownVectors) {
+  // FIPS 180-4 / NIST example vectors.
+  EXPECT_EQ(
+      Sha256Hex(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      Sha256Hex("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      Sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, PaddingBoundaries) {
+  // Lengths around the 55/56-byte padding split and the 64-byte block size
+  // exercise both one- and two-block finalization paths.
+  std::string a55(55, 'a');
+  std::string a56(56, 'a');
+  std::string a64(64, 'a');
+  EXPECT_EQ(
+      Sha256Hex(a55),
+      "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(
+      Sha256Hex(a56),
+      "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+  EXPECT_EQ(
+      Sha256Hex(a64),
+      "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256Test, DistinguishesNearbyInputs) {
+  EXPECT_NE(Sha256Hex("suite-report-a"), Sha256Hex("suite-report-b"));
+}
+
+}  // namespace
+}  // namespace fairclean

@@ -1,0 +1,150 @@
+// Metamorphic properties of the RQ1 disparity analysis (Figures 1-2):
+// seeded determinism, internal consistency of every row, group-swap
+// symmetry of the G^2 test, and invariance of the flag-rate fractions
+// under exact row duplication. The deterministic missing-values detector is
+// used for the metamorphic cases so no detector randomness interferes.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/disparity.h"
+#include "datasets/generator.h"
+
+namespace fairclean {
+namespace {
+
+GeneratedDataset SmallGerman() {
+  Rng rng(77);
+  return MakeDataset("german", 2000, &rng).ValueOrDie();
+}
+
+TEST(DisparityProperties, SeededRunsAreIdentical) {
+  GeneratedDataset dataset = SmallGerman();
+  DisparityOptions options;
+  Rng rng_a(5);
+  Rng rng_b(5);
+  Result<std::vector<DisparityRow>> a =
+      AnalyzeDisparities(dataset, false, options, &rng_a);
+  Result<std::vector<DisparityRow>> b =
+      AnalyzeDisparities(dataset, false, options, &rng_b);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].detector, (*b)[i].detector);
+    EXPECT_EQ((*a)[i].group_key, (*b)[i].group_key);
+    EXPECT_EQ((*a)[i].privileged_flagged, (*b)[i].privileged_flagged);
+    EXPECT_EQ((*a)[i].disadvantaged_flagged, (*b)[i].disadvantaged_flagged);
+    EXPECT_DOUBLE_EQ((*a)[i].g2.statistic, (*b)[i].g2.statistic);
+    EXPECT_DOUBLE_EQ((*a)[i].g2.p_value, (*b)[i].g2.p_value);
+  }
+}
+
+TEST(DisparityProperties, EveryRowIsInternallyConsistent) {
+  GeneratedDataset dataset = SmallGerman();
+  DisparityOptions options;
+  Rng rng(5);
+  Result<std::vector<DisparityRow>> rows =
+      AnalyzeDisparities(dataset, false, options, &rng);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_FALSE(rows->empty());
+  for (const DisparityRow& row : *rows) {
+    EXPECT_LE(row.privileged_flagged, row.privileged_total);
+    EXPECT_LE(row.disadvantaged_flagged, row.disadvantaged_total);
+    EXPECT_EQ(row.privileged_total + row.disadvantaged_total,
+              dataset.frame.num_rows());
+    EXPECT_GE(row.PrivilegedFraction(), 0.0);
+    EXPECT_LE(row.PrivilegedFraction(), 1.0);
+    EXPECT_GE(row.DisadvantagedFraction(), 0.0);
+    EXPECT_LE(row.DisadvantagedFraction(), 1.0);
+    EXPECT_EQ(row.significant, row.g2.SignificantAt(options.alpha));
+  }
+}
+
+// Complementing the privileged predicate (sex = male -> sex = female on the
+// binary attribute) swaps the two groups: the flag fractions trade places
+// and the G^2 statistic — symmetric in the groups — is unchanged.
+TEST(DisparityProperties, GroupSwapSwapsFractionsAndKeepsG2) {
+  GeneratedDataset dataset = SmallGerman();
+  DisparityOptions options;
+  options.detectors = {"missing_values"};
+
+  GeneratedDataset swapped = dataset;
+  ASSERT_EQ(swapped.spec.sensitive_attributes[0].name, "sex");
+  swapped.spec.sensitive_attributes[0].privileged =
+      GroupPredicate::CategoryEq("sex", "female");
+
+  Rng rng_a(9);
+  Rng rng_b(9);
+  Result<std::vector<DisparityRow>> original =
+      AnalyzeDisparities(dataset, false, options, &rng_a);
+  Result<std::vector<DisparityRow>> flipped =
+      AnalyzeDisparities(swapped, false, options, &rng_b);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(flipped.ok());
+
+  bool compared = false;
+  for (const DisparityRow& row : *original) {
+    if (row.group_key != "sex") continue;
+    for (const DisparityRow& other : *flipped) {
+      if (other.group_key != "sex") continue;
+      compared = true;
+      EXPECT_EQ(row.privileged_flagged, other.disadvantaged_flagged);
+      EXPECT_EQ(row.disadvantaged_flagged, other.privileged_flagged);
+      EXPECT_EQ(row.privileged_total, other.disadvantaged_total);
+      EXPECT_DOUBLE_EQ(row.g2.statistic, other.g2.statistic);
+      EXPECT_DOUBLE_EQ(row.g2.p_value, other.g2.p_value);
+    }
+  }
+  EXPECT_TRUE(compared);
+}
+
+// Duplicating every row doubles all counts exactly, so the flag-rate
+// fractions are bit-identical (the G^2 statistic grows with the sample and
+// is deliberately not compared).
+TEST(DisparityProperties, RowDuplicationKeepsFlagFractions) {
+  GeneratedDataset dataset = SmallGerman();
+  DisparityOptions options;
+  options.detectors = {"missing_values"};
+
+  GeneratedDataset doubled = dataset;
+  std::vector<size_t> indices;
+  indices.reserve(2 * dataset.frame.num_rows());
+  for (int copy = 0; copy < 2; ++copy) {
+    for (size_t i = 0; i < dataset.frame.num_rows(); ++i) {
+      indices.push_back(i);
+    }
+  }
+  doubled.frame = dataset.frame.Take(indices);
+  doubled.true_labels.insert(doubled.true_labels.end(),
+                             dataset.true_labels.begin(),
+                             dataset.true_labels.end());
+
+  Rng rng_a(13);
+  Rng rng_b(13);
+  Result<std::vector<DisparityRow>> original =
+      AnalyzeDisparities(dataset, false, options, &rng_a);
+  Result<std::vector<DisparityRow>> duplicated =
+      AnalyzeDisparities(doubled, false, options, &rng_b);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(duplicated.ok());
+  ASSERT_EQ(original->size(), duplicated->size());
+  for (size_t i = 0; i < original->size(); ++i) {
+    const DisparityRow& row = (*original)[i];
+    const DisparityRow& doubled_row = (*duplicated)[i];
+    EXPECT_EQ(row.group_key, doubled_row.group_key);
+    EXPECT_EQ(2 * row.privileged_flagged, doubled_row.privileged_flagged);
+    EXPECT_EQ(2 * row.disadvantaged_flagged,
+              doubled_row.disadvantaged_flagged);
+    EXPECT_DOUBLE_EQ(row.PrivilegedFraction(),
+                     doubled_row.PrivilegedFraction());
+    EXPECT_DOUBLE_EQ(row.DisadvantagedFraction(),
+                     doubled_row.DisadvantagedFraction());
+  }
+}
+
+}  // namespace
+}  // namespace fairclean

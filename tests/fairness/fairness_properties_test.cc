@@ -1,0 +1,187 @@
+// Metamorphic properties of the group fairness metrics: swapping the groups
+// negates every signed gap, a perfect classifier has zero EO/PP gaps, and
+// duplicating every row leaves all gaps unchanged (gaps are differences of
+// rates, and rates are invariant under exact count doubling).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "fairness/fairness_metrics.h"
+#include "fairness/group.h"
+
+namespace fairclean {
+namespace {
+
+const FairnessMetric kAllMetrics[] = {
+    FairnessMetric::kPredictiveParity,
+    FairnessMetric::kEqualOpportunity,
+    FairnessMetric::kDemographicParity,
+    FairnessMetric::kFalsePositiveRateParity,
+    FairnessMetric::kAccuracyParity,
+};
+
+struct Population {
+  std::vector<int> y_true;
+  std::vector<int> y_pred;
+  GroupAssignment groups;
+};
+
+// A random population where both groups are guaranteed labels and
+// predictions of both classes, so every metric is defined (no empty
+// denominators, no NaN gaps).
+Population RandomPopulation(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  Population population;
+  population.y_true.resize(n);
+  population.y_pred.resize(n);
+  population.groups.privileged.resize(n);
+  population.groups.disadvantaged.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool privileged = rng.Bernoulli(0.6);
+    population.groups.privileged[i] = privileged;
+    population.groups.disadvantaged[i] = !privileged;
+    population.y_true[i] = rng.Bernoulli(privileged ? 0.45 : 0.35) ? 1 : 0;
+    // Noisy predictions correlated with the label.
+    double p_positive = population.y_true[i] ? 0.75 : 0.25;
+    population.y_pred[i] = rng.Bernoulli(p_positive) ? 1 : 0;
+  }
+  // Pin one row of each (group, label, prediction) combination so all
+  // confusion cells are non-empty regardless of the draw.
+  size_t i = 0;
+  for (int privileged = 0; privileged < 2; ++privileged) {
+    for (int label = 0; label < 2; ++label) {
+      for (int prediction = 0; prediction < 2; ++prediction) {
+        population.groups.privileged[i] = privileged != 0;
+        population.groups.disadvantaged[i] = privileged == 0;
+        population.y_true[i] = label;
+        population.y_pred[i] = prediction;
+        ++i;
+      }
+    }
+  }
+  return population;
+}
+
+TEST(FairnessProperties, GroupSwapNegatesEverySignedGap) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Population population = RandomPopulation(seed, 400);
+    Result<GroupConfusion> confusion = ComputeGroupConfusion(
+        population.y_true, population.y_pred, population.groups);
+    ASSERT_TRUE(confusion.ok()) << confusion.status().ToString();
+
+    GroupAssignment swapped;
+    swapped.privileged = population.groups.disadvantaged;
+    swapped.disadvantaged = population.groups.privileged;
+    Result<GroupConfusion> swapped_confusion =
+        ComputeGroupConfusion(population.y_true, population.y_pred, swapped);
+    ASSERT_TRUE(swapped_confusion.ok());
+
+    for (FairnessMetric metric : kAllMetrics) {
+      double gap = FairnessGap(metric, *confusion);
+      double swapped_gap = FairnessGap(metric, *swapped_confusion);
+      ASSERT_TRUE(std::isfinite(gap)) << FairnessMetricName(metric);
+      EXPECT_DOUBLE_EQ(gap, -swapped_gap)
+          << FairnessMetricName(metric) << " seed " << seed;
+      EXPECT_DOUBLE_EQ(AbsoluteFairnessGap(metric, *confusion),
+                       AbsoluteFairnessGap(metric, *swapped_confusion))
+          << FairnessMetricName(metric) << " seed " << seed;
+    }
+  }
+}
+
+// A perfect classifier has precision = recall = accuracy = 1 in both
+// groups, so the paper's two metrics (and accuracy parity) are exactly
+// satisfied. Demographic parity is NOT implied — base rates may differ —
+// which is the classic impossibility result; the test documents that too.
+TEST(FairnessProperties, PerfectClassifierHasZeroEoAndPpGaps) {
+  Population population = RandomPopulation(11, 400);
+  population.y_pred = population.y_true;
+  Result<GroupConfusion> confusion = ComputeGroupConfusion(
+      population.y_true, population.y_pred, population.groups);
+  ASSERT_TRUE(confusion.ok());
+
+  EXPECT_DOUBLE_EQ(
+      FairnessGap(FairnessMetric::kPredictiveParity, *confusion), 0.0);
+  EXPECT_DOUBLE_EQ(
+      FairnessGap(FairnessMetric::kEqualOpportunity, *confusion), 0.0);
+  EXPECT_DOUBLE_EQ(
+      FairnessGap(FairnessMetric::kFalsePositiveRateParity, *confusion), 0.0);
+  EXPECT_DOUBLE_EQ(FairnessGap(FairnessMetric::kAccuracyParity, *confusion),
+                   0.0);
+  // Base rates of the two groups differ by construction, so demographic
+  // parity is violated even by the perfect classifier.
+  EXPECT_NE(FairnessGap(FairnessMetric::kDemographicParity, *confusion), 0.0);
+}
+
+TEST(FairnessProperties, DuplicatingEveryRowLeavesAllGapsUnchanged) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    Population population = RandomPopulation(seed, 300);
+    Result<GroupConfusion> confusion = ComputeGroupConfusion(
+        population.y_true, population.y_pred, population.groups);
+    ASSERT_TRUE(confusion.ok());
+
+    Population doubled = population;
+    doubled.y_true.insert(doubled.y_true.end(), population.y_true.begin(),
+                          population.y_true.end());
+    doubled.y_pred.insert(doubled.y_pred.end(), population.y_pred.begin(),
+                          population.y_pred.end());
+    doubled.groups.privileged.insert(doubled.groups.privileged.end(),
+                                     population.groups.privileged.begin(),
+                                     population.groups.privileged.end());
+    doubled.groups.disadvantaged.insert(
+        doubled.groups.disadvantaged.end(),
+        population.groups.disadvantaged.begin(),
+        population.groups.disadvantaged.end());
+    Result<GroupConfusion> doubled_confusion =
+        ComputeGroupConfusion(doubled.y_true, doubled.y_pred, doubled.groups);
+    ASSERT_TRUE(doubled_confusion.ok());
+
+    EXPECT_EQ(doubled_confusion->privileged.total(),
+              2 * confusion->privileged.total());
+    EXPECT_EQ(doubled_confusion->disadvantaged.total(),
+              2 * confusion->disadvantaged.total());
+    for (FairnessMetric metric : kAllMetrics) {
+      // Exact equality: every rate is a ratio of counts and both counts
+      // double, and scaling numerator and denominator by 2 is exact in
+      // binary floating point.
+      EXPECT_DOUBLE_EQ(FairnessGap(metric, *confusion),
+                       FairnessGap(metric, *doubled_confusion))
+          << FairnessMetricName(metric) << " seed " << seed;
+    }
+  }
+}
+
+// Rows outside both groups (possible under intersectional definitions) must
+// not influence the confusion matrices.
+TEST(FairnessProperties, RowsInNeitherGroupAreIgnored) {
+  Population population = RandomPopulation(31, 200);
+  Result<GroupConfusion> confusion = ComputeGroupConfusion(
+      population.y_true, population.y_pred, population.groups);
+  ASSERT_TRUE(confusion.ok());
+
+  Population extended = population;
+  for (int i = 0; i < 50; ++i) {
+    extended.y_true.push_back(i % 2);
+    extended.y_pred.push_back((i / 2) % 2);
+    extended.groups.privileged.push_back(false);
+    extended.groups.disadvantaged.push_back(false);
+  }
+  Result<GroupConfusion> extended_confusion = ComputeGroupConfusion(
+      extended.y_true, extended.y_pred, extended.groups);
+  ASSERT_TRUE(extended_confusion.ok());
+
+  EXPECT_EQ(confusion->privileged.total(),
+            extended_confusion->privileged.total());
+  EXPECT_EQ(confusion->disadvantaged.total(),
+            extended_confusion->disadvantaged.total());
+  for (FairnessMetric metric : kAllMetrics) {
+    EXPECT_DOUBLE_EQ(FairnessGap(metric, *confusion),
+                     FairnessGap(metric, *extended_confusion));
+  }
+}
+
+}  // namespace
+}  // namespace fairclean

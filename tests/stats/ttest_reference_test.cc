@@ -1,0 +1,113 @@
+// Pins PairedTTest against hand-computed reference values and exercises the
+// degenerate inputs the study pipeline feeds it, plus the Bonferroni
+// adjustment at the table benches' comparison counts.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cleaning.h"
+#include "stats/tests.h"
+
+namespace fairclean {
+namespace {
+
+// Six paired accuracy scores; the reference t and p were computed by hand:
+//   d = x - y = {.03, .03, .04, -.01, .03, .03}, mean(d) = 0.025,
+//   sd(d) = 0.017606816861659, t = mean / (sd / sqrt(6)), df = 5.
+TEST(PairedTTestReference, HandComputedValues) {
+  std::vector<double> x = {0.81, 0.79, 0.84, 0.78, 0.80, 0.83};
+  std::vector<double> y = {0.78, 0.76, 0.80, 0.79, 0.77, 0.80};
+  Result<TestResult> result = PairedTTest(x, y);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->statistic, 3.478041718201262, 1e-9);
+  EXPECT_NEAR(result->p_value, 0.01769589188401353, 1e-9);
+  EXPECT_TRUE(result->SignificantAt(0.05));
+  EXPECT_FALSE(result->SignificantAt(0.01));
+}
+
+TEST(PairedTTestReference, SwappingArgumentsNegatesStatistic) {
+  std::vector<double> x = {0.81, 0.79, 0.84, 0.78, 0.80, 0.83};
+  std::vector<double> y = {0.78, 0.76, 0.80, 0.79, 0.77, 0.80};
+  Result<TestResult> forward = PairedTTest(x, y);
+  Result<TestResult> backward = PairedTTest(y, x);
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(backward.ok());
+  EXPECT_DOUBLE_EQ(forward->statistic, -backward->statistic);
+  EXPECT_DOUBLE_EQ(forward->p_value, backward->p_value);
+}
+
+// Zero variance of differences is well-defined by contract: p = 1 when the
+// constant difference is zero, p = 0 otherwise.
+TEST(PairedTTestReference, ConstantNonzeroDifference) {
+  // Exactly representable values so the pairwise differences are all
+  // bit-identical and the variance is exactly zero.
+  std::vector<double> x = {1.5, 2.5, 3.5};
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  Result<TestResult> result = PairedTTest(x, y);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->p_value, 0.0);
+  EXPECT_TRUE(result->SignificantAt(0.05));
+}
+
+TEST(PairedTTestReference, IdenticalSeriesIsInsignificant) {
+  std::vector<double> x = {0.80, 0.82, 0.84};
+  Result<TestResult> result = PairedTTest(x, x);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->p_value, 1.0);
+  EXPECT_FALSE(result->SignificantAt(0.05));
+}
+
+TEST(PairedTTestReference, SinglePairIsInvalid) {
+  Result<TestResult> result = PairedTTest({0.8}, {0.7});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PairedTTestReference, MismatchedLengthsAreInvalid) {
+  Result<TestResult> result = PairedTTest({0.8, 0.9}, {0.7});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PairedTTestReference, NonFiniteScoreIsInvalid) {
+  Result<TestResult> result =
+      PairedTTest({0.8, std::nan("")}, {0.7, 0.6});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The table benches Bonferroni-adjust by the number of cleaning methods of
+// each error-type scope: 6 missing-value configurations, 9 outlier
+// configurations, 1 mislabel configuration. Pin both the counts and the
+// adjusted levels so a change to either is a conscious decision.
+TEST(BonferroniReference, TableBenchComparisonCounts) {
+  Result<std::vector<CleaningMethod>> missing =
+      CleaningMethodsFor("missing_values");
+  Result<std::vector<CleaningMethod>> outliers = CleaningMethodsFor("outliers");
+  Result<std::vector<CleaningMethod>> mislabels =
+      CleaningMethodsFor("mislabels");
+  ASSERT_TRUE(missing.ok());
+  ASSERT_TRUE(outliers.ok());
+  ASSERT_TRUE(mislabels.ok());
+  ASSERT_EQ(missing->size(), 6u);
+  ASSERT_EQ(outliers->size(), 9u);
+  ASSERT_EQ(mislabels->size(), 1u);
+
+  EXPECT_DOUBLE_EQ(BonferroniAlpha(0.05, missing->size()), 0.05 / 6.0);
+  EXPECT_DOUBLE_EQ(BonferroniAlpha(0.05, outliers->size()), 0.05 / 9.0);
+  EXPECT_DOUBLE_EQ(BonferroniAlpha(0.05, mislabels->size()), 0.05);
+}
+
+TEST(BonferroniReference, MonotoneInHypothesisCount) {
+  double previous = BonferroniAlpha(0.05, 1);
+  for (size_t n = 2; n <= 16; ++n) {
+    double adjusted = BonferroniAlpha(0.05, n);
+    EXPECT_LT(adjusted, previous);
+    previous = adjusted;
+  }
+}
+
+}  // namespace
+}  // namespace fairclean
