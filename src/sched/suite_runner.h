@@ -151,7 +151,8 @@ class SuiteScheduler {
   int ReportFailure(const Status& status) const;
 
   /// The merged report of the last successful RunSuite (deterministic
-  /// bytes: no wall times, no thread counts, no cache-hit counters).
+  /// bytes: no wall times, no thread counts, artifact counts derived
+  /// structurally from the graph rather than from runtime counters).
   const std::string& report_json() const { return report_json_; }
 
   double ElapsedSeconds() const;
@@ -207,8 +208,11 @@ class SuiteScheduler {
   void PrintUnitHeading(const SuiteUnit& unit) const;
   Status RenderUnitBody(const SuiteSpec& spec, const ExperimentGraph& graph,
                         size_t unit_index) const;
-  void RenderFigureSummary(const SuiteUnit& unit,
-                           const ExperimentGraph& graph) const;
+  /// Prints the unit's "summary vs paper" block over the figure nodes of
+  /// `unit_index` only — in a full-suite graph both fig1's and fig2's
+  /// nodes coexist, and mixing them would corrupt the counts.
+  void RenderFigureSummary(const SuiteUnit& unit, const ExperimentGraph& graph,
+                           size_t unit_index) const;
 
   std::string BuildReportJson(const SuiteSpec& spec,
                               const ExperimentGraph& graph,

@@ -23,6 +23,7 @@
 #include "common/fault_injection.h"
 #include "common/hash.h"
 #include "common/safe_io.h"
+#include "common/strings.h"
 #include "exec/study_driver.h"
 #include "sched/suite_runner.h"
 #include "sched/suite_spec.h"
@@ -97,6 +98,61 @@ TEST(SuiteGolden, SequentialBaselineSucceeds) {
   for (const auto& [name, bytes] : baseline.files) {
     EXPECT_FALSE(bytes.empty()) << name;
   }
+  // The report's artifacts block is derived structurally from the graph:
+  // the smoke graph is 1 dataset node + 3 cell nodes — 4 distinct
+  // artifacts, 3 dataset re-reads by the cell producers.
+  EXPECT_NE(
+      baseline.report.find("\"artifacts\":{\"produced\":4,\"reused\":3}"),
+      std::string::npos)
+      << baseline.report;
+}
+
+// The full-suite figure output is byte-identical to the standalone fig1 /
+// fig2 bodies (RunUnit is the figure benches' path): with both figure
+// units in one graph, each unit's rendering — in particular its "summary
+// vs paper" counts — must cover that unit's own figure nodes only.
+TEST(SuiteGolden, FigureUnitsMatchStandaloneUnitRunsByteForByte) {
+  SuiteOptions options;
+  options.study = GoldenStudy();
+  options.cache_dir = "";  // figure units never touch the driver cache
+  options.threads = 1;
+
+  SuiteSpec spec = PaperSuite();
+  std::map<std::string, std::string> standalone;
+  for (const SuiteUnit& unit : spec.units) {
+    if (unit.kind != SuiteUnit::Kind::kFigure) continue;
+    SuiteScheduler scheduler(options);
+    testing::internal::CaptureStdout();
+    Status status = scheduler.RunUnit(unit);
+    standalone[unit.name] = testing::internal::GetCapturedStdout();
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_NE(standalone[unit.name].find("== summary vs paper =="),
+              std::string::npos)
+        << unit.name;
+  }
+  ASSERT_EQ(standalone.size(), 2u);
+
+  SuiteScheduler scheduler(options);
+  testing::internal::CaptureStdout();
+  Status status = scheduler.RunSuite(spec, SuiteFilter::Parse("fig1,fig2"));
+  std::string suite_out = testing::internal::GetCapturedStdout();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  // RunSuite prints heading + body + "\n" per selected unit, RunUnit
+  // prints heading + body; units render in spec order.
+  EXPECT_EQ(suite_out,
+            standalone.at("fig1") + "\n" + standalone.at("fig2") + "\n");
+
+  // On a fresh run the structurally derived artifacts block must agree
+  // with the store's runtime counters, and figure units sharing the five
+  // datasets must actually reuse artifacts.
+  EXPECT_GT(scheduler.artifacts().reused(), 0u);
+  std::string artifacts = StrFormat(
+      "\"artifacts\":{\"produced\":%llu,\"reused\":%llu}",
+      static_cast<unsigned long long>(scheduler.artifacts().produced()),
+      static_cast<unsigned long long>(scheduler.artifacts().reused()));
+  EXPECT_NE(scheduler.report_json().find(artifacts), std::string::npos)
+      << scheduler.report_json();
 }
 
 TEST(SuiteGolden, EnvWidthRunMatchesSequentialByteForByte) {
