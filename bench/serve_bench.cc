@@ -1,0 +1,235 @@
+// Serving benchmark: throughput and client-observed latency percentiles of
+// the cleaning-advisor server at several client concurrencies.
+//
+// Process shape: the bench forks the server into a child process (before
+// any thread exists, so the fork is safe), warms the cell cache with one
+// request, then forks one load-generator child per concurrency level. Each
+// load child times every request around CallWithRetry and reports
+// percentiles over a pipe — the measurements are subprocess-side, so the
+// server's own accounting can't flatter them.
+//
+// Scale: unless already set, the bench pins FAIRCLEAN_SAMPLE=300,
+// FAIRCLEAN_REPEATS=4, FAIRCLEAN_FOLDS=2 (seconds, not minutes) and an
+// isolated cache directory. Override any knob via the environment. Output:
+// a human summary on stdout and a JSON report (default BENCH_serve.json,
+// --out to change).
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/safe_io.h"
+#include "common/strings.h"
+#include "obs/log.h"
+#include "serve/client.h"
+#include "serve/load_gen.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace fairclean;  // NOLINT
+
+constexpr const char* kRequest =
+    "{\"op\":\"analyze\",\"id\":\"bench\",\"dataset\":\"german\","
+    "\"error_type\":\"missing_values\",\"model\":\"log-reg\"}";
+
+void SetDefault(const char* name, const char* value) {
+  ::setenv(name, value, /*overwrite=*/0);
+}
+
+// Child: runs the server until shutdown; reports the bound port over
+// `port_fd` as one decimal line.
+int ServerChild(int port_fd) {
+  Result<serve::ServeOptions> options = serve::ServeOptionsFromEnv();
+  if (!options.ok()) {
+    std::fprintf(stderr, "serve_bench server: %s\n",
+                 options.status().ToString().c_str());
+    return 2;
+  }
+  options->port = 0;  // ephemeral; the parent learns it from the pipe
+  serve::AdvisorServer server(std::move(*options));
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve_bench server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::string line = StrFormat("%u\n", static_cast<unsigned>(server.port()));
+  if (::write(port_fd, line.data(), line.size()) !=
+      static_cast<ssize_t>(line.size())) {
+    return 1;
+  }
+  ::close(port_fd);
+  server.Wait();
+  server.Shutdown();
+  return 0;
+}
+
+// Child: one load run; reports LoadReport::ToJson over `out_fd`.
+int LoadChild(uint16_t port, size_t clients, size_t requests, int out_fd) {
+  serve::LoadOptions options;
+  options.port = port;
+  options.clients = clients;
+  options.requests_per_client = requests;
+  options.request_line = kRequest;
+  options.seed = 42 + clients;
+  Result<serve::LoadReport> report = serve::RunLoad(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "serve_bench load: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::string line = report->ToJson() + "\n";
+  if (::write(out_fd, line.data(), line.size()) !=
+      static_cast<ssize_t>(line.size())) {
+    return 1;
+  }
+  ::close(out_fd);
+  return 0;
+}
+
+Result<std::string> ReadPipeLine(int fd) {
+  std::string text;
+  char chunk[256];
+  while (true) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("pipe read failed");
+    }
+    if (n == 0) break;
+    text.append(chunk, static_cast<size_t>(n));
+  }
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  if (text.empty()) return Status::IoError("child reported nothing");
+  return text;
+}
+
+int Run(int argc, char** argv) {
+  obs::InitLogLevelFromEnv(obs::LogLevel::kInfo);
+
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: serve_bench [--out path]\n");
+      return 1;
+    }
+  }
+
+  SetDefault("FAIRCLEAN_SAMPLE", "300");
+  SetDefault("FAIRCLEAN_REPEATS", "4");
+  SetDefault("FAIRCLEAN_FOLDS", "2");
+  SetDefault("FAIRCLEAN_CACHE_DIR", "serve_bench_cache");
+  SetDefault("FAIRCLEAN_SERVE_QUEUE", "64");
+
+  int port_pipe[2];
+  if (::pipe(port_pipe) != 0) {
+    std::fprintf(stderr, "pipe failed\n");
+    return 1;
+  }
+  pid_t server_pid = ::fork();
+  if (server_pid < 0) {
+    std::fprintf(stderr, "fork failed\n");
+    return 1;
+  }
+  if (server_pid == 0) {
+    ::close(port_pipe[0]);
+    ::_exit(ServerChild(port_pipe[1]));
+  }
+  ::close(port_pipe[1]);
+  Result<std::string> port_text = ReadPipeLine(port_pipe[0]);
+  ::close(port_pipe[0]);
+  if (!port_text.ok()) {
+    std::fprintf(stderr, "server never reported a port\n");
+    ::kill(server_pid, SIGKILL);
+    return 1;
+  }
+  uint16_t port = static_cast<uint16_t>(std::atoi(port_text->c_str()));
+  std::printf("serve_bench: server pid %d on port %u\n",
+              static_cast<int>(server_pid), static_cast<unsigned>(port));
+
+  // Warm pass: the first analyze computes the cell; every measured request
+  // afterwards exercises the serving path against the resident artifact.
+  {
+    serve::AdvisorClient client("127.0.0.1", port, 7);
+    Result<serve::AdvisorResponse> warm = client.CallWithRetry(kRequest);
+    if (!warm.ok() || !warm->ok()) {
+      std::fprintf(stderr, "warm request failed: %s\n",
+                   warm.ok() ? warm->error.c_str()
+                             : warm.status().ToString().c_str());
+      ::kill(server_pid, SIGKILL);
+      return 1;
+    }
+  }
+
+  const size_t kLevels[] = {1, 2, 4, 8};
+  const size_t kRequests = 50;
+  std::vector<std::string> level_reports;
+  for (size_t clients : kLevels) {
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      std::fprintf(stderr, "pipe failed\n");
+      ::kill(server_pid, SIGKILL);
+      return 1;
+    }
+    pid_t load_pid = ::fork();
+    if (load_pid < 0) {
+      std::fprintf(stderr, "fork failed\n");
+      ::kill(server_pid, SIGKILL);
+      return 1;
+    }
+    if (load_pid == 0) {
+      ::close(pipe_fds[0]);
+      ::_exit(LoadChild(port, clients, kRequests, pipe_fds[1]));
+    }
+    ::close(pipe_fds[1]);
+    Result<std::string> report = ReadPipeLine(pipe_fds[0]);
+    ::close(pipe_fds[0]);
+    int wstatus = 0;
+    ::waitpid(load_pid, &wstatus, 0);
+    if (!report.ok() || !WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+      std::fprintf(stderr, "load level %zu failed\n", clients);
+      ::kill(server_pid, SIGKILL);
+      return 1;
+    }
+    std::printf("  clients=%zu %s\n", clients, report->c_str());
+    level_reports.push_back(*report);
+  }
+
+  {
+    serve::AdvisorClient client("127.0.0.1", port, 9);
+    client.CallWithRetry("{\"op\":\"shutdown\",\"id\":\"bench\"}");
+  }
+  int wstatus = 0;
+  ::waitpid(server_pid, &wstatus, 0);
+
+  std::string json = "{\"bench\":\"serve\",\"request\":\"german/"
+                     "missing_values/log-reg\",\"requests_per_client\":" +
+                     StrFormat("%zu", kRequests) + ",\"levels\":[";
+  for (size_t i = 0; i < level_reports.size(); ++i) {
+    if (i > 0) json += ",";
+    json += level_reports[i];
+  }
+  json += "]}\n";
+  Status written = WriteFileAtomic(out_path, json);
+  if (!written.ok()) {
+    std::fprintf(stderr, "write %s: %s\n", out_path.c_str(),
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("serve_bench: wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

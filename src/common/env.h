@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
+
 namespace fairclean {
 
 /// Reads an integer knob from the environment, falling back to
@@ -18,6 +20,20 @@ double GetEnvDouble(const char* name, double default_value);
 
 /// Reads a string knob from the environment.
 std::string GetEnvString(const char* name, const std::string& default_value);
+
+/// Strict variant for count knobs (FAIRCLEAN_MAX_RETRIES, FAIRCLEAN_SAMPLE,
+/// queue depths): unset/empty yields `default_value`, anything else must be
+/// a non-negative decimal integer with no trailing garbage. Unlike
+/// GetEnvInt64, a typo'd knob is a hard InvalidArgument instead of a silent
+/// fallback — a misread scale or retry budget invalidates a run without
+/// anyone noticing.
+Result<int64_t> GetEnvCount(const char* name, int64_t default_value);
+
+/// Strict variant for budget/duration knobs (FAIRCLEAN_TIME_BUDGET_S,
+/// FAIRCLEAN_SERVE_DEADLINE_S): unset/empty yields `default_value`,
+/// anything else must be a finite non-negative double with no trailing
+/// garbage ("3.5x", "nan", "inf" and "-1" are all InvalidArgument).
+Result<double> GetEnvBudgetSeconds(const char* name, double default_value);
 
 }  // namespace fairclean
 

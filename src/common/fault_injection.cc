@@ -1,5 +1,6 @@
 #include "common/fault_injection.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
@@ -30,6 +31,13 @@ FaultInjector& FaultInjector::Global() {
   return *injector;
 }
 
+const std::vector<std::string>& FaultInjector::KnownSites() {
+  static const std::vector<std::string>* sites = new std::vector<std::string>{
+      "cache_read",  "cache_write", "csv_parse",    "interrupt", "numeric",
+      "request_parse", "socket_read", "socket_write", "worker_stall"};
+  return *sites;
+}
+
 Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
   std::map<std::string, Site> sites;
   if (!StripAsciiWhitespace(spec).empty()) {
@@ -45,6 +53,16 @@ Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
       if (fields[0].empty()) {
         return Status::InvalidArgument("empty fault site in spec: " +
                                        std::string(trimmed));
+      }
+      const std::vector<std::string>& known = KnownSites();
+      if (std::find(known.begin(), known.end(), fields[0]) == known.end()) {
+        std::string known_list;
+        for (const std::string& site : known) {
+          if (!known_list.empty()) known_list += ", ";
+          known_list += site;
+        }
+        return Status::InvalidArgument("unknown fault site \"" + fields[0] +
+                                       "\" (known sites: " + known_list + ")");
       }
       char* end = nullptr;
       double probability = std::strtod(fields[1].c_str(), &end);

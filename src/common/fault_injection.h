@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
@@ -13,11 +14,13 @@ namespace fairclean {
 
 /// Deterministic, seeded fault-injection harness.
 ///
-/// Production code declares named injection *sites* (e.g. "cache_write",
-/// "csv_parse", "numeric"); each site is a no-op unless a fault was armed
-/// for it, so the instrumentation is free on the happy path. Faults are
-/// armed from a spec string (usually the FAIRCLEAN_FAULTS environment
-/// variable):
+/// Production code declares named injection *sites* — the driver's storage
+/// and compute boundaries ("cache_write", "cache_read", "csv_parse",
+/// "numeric", "interrupt") and the serving layer's request lifecycle
+/// ("socket_read", "socket_write", "request_parse", "worker_stall"); each
+/// site is a no-op unless a fault was armed for it, so the instrumentation
+/// is free on the happy path. Faults are armed from a spec string (usually
+/// the FAIRCLEAN_FAULTS environment variable):
 ///
 ///   site:probability[:max_fires][,site:probability[:max_fires]...]
 ///
@@ -40,9 +43,14 @@ class FaultInjector {
  public:
   static FaultInjector& Global();
 
+  /// Every site name production code probes, sorted. A spec naming any
+  /// other site is rejected by Configure: a typo'd site ("cache_wirte")
+  /// would arm nothing and silently turn a chaos test into a false green.
+  static const std::vector<std::string>& KnownSites();
+
   /// Arms faults from a spec string (see class comment). An empty spec
   /// disarms everything. InvalidArgument on a malformed spec, a probability
-  /// outside [0, 1], or an empty site name.
+  /// outside [0, 1], an empty site name, or a site not in KnownSites().
   Status Configure(const std::string& spec, uint64_t seed);
 
   /// Arms from FAIRCLEAN_FAULTS / FAIRCLEAN_FAULT_SEED (default seed 42).

@@ -319,8 +319,12 @@ double StudyDriver::ElapsedSeconds() const {
 }
 
 bool StudyDriver::BudgetExhausted() const {
-  return options_.time_budget_s > 0.0 &&
-         ElapsedSeconds() > options_.time_budget_s;
+  if (options_.time_budget_s > 0.0 &&
+      ElapsedSeconds() > options_.time_budget_s) {
+    return true;
+  }
+  return options_.deadline.has_value() &&
+         std::chrono::steady_clock::now() > *options_.deadline;
 }
 
 StudyDriver::SlotOutcome StudyDriver::ComputeSlot(
@@ -509,11 +513,18 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
 
   auto deadline_error = [&](size_t done) {
     metrics_.GetGauge("driver.budget_exhausted")->Set(1.0);
+    const bool budget_tripped =
+        options_.time_budget_s > 0.0 &&
+        ElapsedSeconds() > options_.time_budget_s;
+    std::string limit =
+        budget_tripped
+            ? StrFormat("time budget of %.1fs exhausted after %.1fs",
+                        options_.time_budget_s, ElapsedSeconds())
+            : "request deadline exceeded";
     return Status::DeadlineExceeded(StrFormat(
-        "time budget of %.1fs exhausted after %.1fs; %zu/%zu repeats of "
-        "%s/%s/%s are checkpointed — re-run to resume",
-        options_.time_budget_s, ElapsedSeconds(), done, num_repeats,
-        dataset.spec.name.c_str(), error_type.c_str(), model.c_str()));
+        "%s; %zu/%zu repeats of %s/%s/%s are checkpointed — re-run to resume",
+        limit.c_str(), done, num_repeats, dataset.spec.name.c_str(),
+        error_type.c_str(), model.c_str()));
   };
 
   if (threads <= 1 || resume_from + 1 >= num_repeats) {

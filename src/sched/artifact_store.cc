@@ -7,8 +7,21 @@ ArtifactStore::ArtifactStore(obs::MetricsRegistry* metrics)
     : produced_(metrics->GetCounter("sched.artifacts_produced")),
       reused_(metrics->GetCounter("sched.artifacts_reused")) {}
 
+namespace {
+
+// Failures worth retrying: the producer stopped at a request deadline
+// (checkpointed, resumable) or was shed under overload. Everything else is
+// deterministic given the key and stays memoized.
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kUnavailable;
+}
+
+}  // namespace
+
 Result<std::shared_ptr<const void>> ArtifactStore::GetOrCreate(
-    const std::string& key, const Producer& producer) {
+    const std::string& key, const Producer& producer,
+    const Deadline& deadline) {
   std::shared_ptr<Entry> entry;
   bool owner = false;
   {
@@ -30,6 +43,14 @@ Result<std::shared_ptr<const void>> ArtifactStore::GetOrCreate(
         entry->value = *value;
       } else {
         entry->status = value.status();
+        if (IsTransient(entry->status)) {
+          // Waiters blocked on this entry still observe the transient
+          // status (via their shared_ptr), but the key is vacated so the
+          // next request re-runs the producer — which resumes from the
+          // journal instead of replaying a memoized failure forever.
+          auto it = entries_.find(key);
+          if (it != entries_.end() && it->second == entry) entries_.erase(it);
+        }
       }
       entry->ready = true;
     }
@@ -40,7 +61,15 @@ Result<std::shared_ptr<const void>> ArtifactStore::GetOrCreate(
   }
 
   std::unique_lock<std::mutex> lock(mutex_);
-  ready_cv_.wait(lock, [&entry] { return entry->ready; });
+  if (deadline.has_value()) {
+    if (!ready_cv_.wait_until(lock, *deadline,
+                              [&entry] { return entry->ready; })) {
+      return Status::DeadlineExceeded(
+          "deadline expired waiting for in-flight production of " + key);
+    }
+  } else {
+    ready_cv_.wait(lock, [&entry] { return entry->ready; });
+  }
   reused_->Increment();
   if (!entry->status.ok()) return entry->status;
   return entry->value;

@@ -17,28 +17,38 @@
 namespace fairclean {
 namespace sched {
 
-SuiteOptions SuiteOptionsFromEnv() {
+Result<SuiteOptions> TrySuiteOptionsFromEnv() {
   SuiteOptions options;
-  options.study.sample_size =
-      static_cast<size_t>(GetEnvInt64("FAIRCLEAN_SAMPLE", 3500));
-  options.study.num_repeats =
-      static_cast<size_t>(GetEnvInt64("FAIRCLEAN_REPEATS", 16));
-  options.study.cv_folds =
-      static_cast<size_t>(GetEnvInt64("FAIRCLEAN_FOLDS", 3));
+  FC_ASSIGN_OR_RETURN(int64_t sample, GetEnvCount("FAIRCLEAN_SAMPLE", 3500));
+  options.study.sample_size = static_cast<size_t>(sample);
+  FC_ASSIGN_OR_RETURN(int64_t repeats, GetEnvCount("FAIRCLEAN_REPEATS", 16));
+  options.study.num_repeats = static_cast<size_t>(repeats);
+  FC_ASSIGN_OR_RETURN(int64_t folds, GetEnvCount("FAIRCLEAN_FOLDS", 3));
+  options.study.cv_folds = static_cast<size_t>(folds);
   // A larger holdout than the library default stabilizes the group-wise
   // precision/recall estimates that the fairness metrics compare.
   options.study.test_fraction = 0.3;
   options.study.seed =
       static_cast<uint64_t>(GetEnvInt64("FAIRCLEAN_SEED", 42));
   options.cache_dir = GetEnvString("FAIRCLEAN_CACHE_DIR", "fairclean_cache");
-  options.max_retries = static_cast<size_t>(
-      GetEnvInt64("FAIRCLEAN_MAX_RETRIES",
+  FC_ASSIGN_OR_RETURN(
+      int64_t max_retries,
+      GetEnvCount("FAIRCLEAN_MAX_RETRIES",
                   static_cast<int64_t>(options.max_retries)));
-  options.time_budget_s =
-      GetEnvDouble("FAIRCLEAN_TIME_BUDGET_S", options.time_budget_s);
-  options.threads = static_cast<size_t>(GetEnvInt64("FAIRCLEAN_THREADS", 0));
+  options.max_retries = static_cast<size_t>(max_retries);
+  FC_ASSIGN_OR_RETURN(
+      options.time_budget_s,
+      GetEnvBudgetSeconds("FAIRCLEAN_TIME_BUDGET_S", options.time_budget_s));
+  FC_ASSIGN_OR_RETURN(int64_t threads, GetEnvCount("FAIRCLEAN_THREADS", 0));
+  options.threads = static_cast<size_t>(threads);
   options.report_path = GetEnvString("FAIRCLEAN_SUITE_REPORT", "");
   return options;
+}
+
+SuiteOptions SuiteOptionsFromEnv() {
+  Result<SuiteOptions> options = TrySuiteOptionsFromEnv();
+  // ValueOrDie prints the offending knob and aborts on a parse error.
+  return std::move(options).ValueOrDie();
 }
 
 Result<ImpactTable> AggregateImpactTable(const ScopeResults& results,

@@ -52,7 +52,15 @@ struct SuiteOptions {
 /// 0.3, seed 42) overridable via FAIRCLEAN_SAMPLE / FAIRCLEAN_REPEATS /
 /// FAIRCLEAN_FOLDS / FAIRCLEAN_SEED / FAIRCLEAN_CACHE_DIR /
 /// FAIRCLEAN_MAX_RETRIES / FAIRCLEAN_TIME_BUDGET_S / FAIRCLEAN_THREADS /
-/// FAIRCLEAN_SUITE_REPORT. Reads the environment exactly once, at the call.
+/// FAIRCLEAN_SUITE_REPORT. Reads the environment exactly once, at the
+/// call. Count and budget knobs parse strictly (GetEnvCount /
+/// GetEnvBudgetSeconds): trailing garbage, NaN/inf, or a negative value is
+/// an InvalidArgument instead of a silent fallback to the default.
+Result<SuiteOptions> TrySuiteOptionsFromEnv();
+
+/// TrySuiteOptionsFromEnv for contexts without an error channel (benches,
+/// tests): a malformed knob aborts the process with the parse error, which
+/// beats silently running the whole suite at an unintended scale.
 SuiteOptions SuiteOptionsFromEnv();
 
 /// One produced experiment-cell artifact: the driver result plus the byte

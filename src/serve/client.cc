@@ -1,0 +1,160 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace fairclean {
+namespace serve {
+
+Result<AdvisorResponse> ParseResponse(const std::string& line) {
+  AdvisorResponse response;
+  response.raw = line;
+  std::string error;
+  if (!obs::JsonValue::Parse(line, &response.json, &error)) {
+    return Status::InvalidArgument("bad response JSON: " + error);
+  }
+  if (!response.json.is_object()) {
+    return Status::InvalidArgument("response must be a JSON object");
+  }
+  response.id = response.json.StringOr("id", "");
+  response.status = response.json.StringOr("status", "");
+  if (response.status.empty()) {
+    return Status::InvalidArgument("response carries no status");
+  }
+  response.error = response.json.StringOr("error", "");
+  response.retry_after_ms =
+      static_cast<int>(response.json.NumberOr("retry_after_ms", 0.0));
+  response.resumable = response.json.BoolOr("resumable", false);
+  return response;
+}
+
+AdvisorClient::AdvisorClient(std::string host, uint16_t port, uint64_t seed)
+    : host_(std::move(host)), port_(port), rng_(seed) {}
+
+AdvisorClient::~AdvisorClient() { Close(); }
+
+Status AdvisorClient::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  buffer_.clear();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("socket failed: %s", strerror(errno)));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address \"" + host_ + "\"");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::IoError(
+        StrFormat("connect to %s:%u failed: %s", host_.c_str(),
+                  static_cast<unsigned>(port_), strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+void AdvisorClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status AdvisorClient::SendLine(const std::string& line) {
+  std::string framed = line;
+  if (framed.empty() || framed.back() != '\n') framed += '\n';
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(StrFormat("send failed: %s", strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> AdvisorClient::ReadLine() {
+  char chunk[4096];
+  while (true) {
+    size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      std::string line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      return line;
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return Status::IoError("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(StrFormat("recv failed: %s", strerror(errno)));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<AdvisorResponse> AdvisorClient::Call(const std::string& request_line) {
+  // A server-side socket fault closes the connection without a response;
+  // one reconnect distinguishes "that connection died" from "server down".
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    FC_RETURN_IF_ERROR(Connect());
+    Status sent = SendLine(request_line);
+    if (sent.ok()) {
+      Result<std::string> line = ReadLine();
+      if (line.ok()) return ParseResponse(*line);
+      sent = line.status();
+    }
+    Close();
+    if (attempt == 1) return sent;
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<AdvisorResponse> AdvisorClient::CallWithRetry(
+    const std::string& request_line, const BackoffOptions& backoff) {
+  Result<AdvisorResponse> last = Status::Internal("no attempts made");
+  for (int attempt = 0; attempt < std::max(1, backoff.max_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      int base = std::min(backoff.base_ms << (attempt - 1), backoff.max_ms);
+      if (last.ok() && last->retry_after_ms > base) {
+        base = std::min(last->retry_after_ms, backoff.max_ms);
+      }
+      // Full-interval jitter: synchronized clients shedding at the same
+      // instant must not come back at the same instant.
+      double sleep_ms = rng_.Uniform(0.5, 1.5) * base;
+      ++retries_;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(sleep_ms));
+    }
+    last = Call(request_line);
+    if (!last.ok()) continue;           // transport failure: retryable
+    if (last->ok() || !last->Retryable()) return last;
+  }
+  return last;
+}
+
+}  // namespace serve
+}  // namespace fairclean

@@ -1,0 +1,116 @@
+#include "serve/load_gen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace fairclean {
+namespace serve {
+
+namespace {
+
+// Exact sample percentile (nearest-rank) — the sample sizes here are small
+// enough that there is no reason to bucket.
+double PercentileMs(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::string LoadReport::ToJson() const {
+  return StrFormat(
+      "{\"clients\":%zu,\"requests\":%zu,\"ok\":%zu,\"failed\":%zu,"
+      "\"retries\":%llu,\"wall_s\":%.6f,\"throughput_rps\":%.3f,"
+      "\"mean_ms\":%.3f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,"
+      "\"max_ms\":%.3f}",
+      clients, requests, ok, failed,
+      static_cast<unsigned long long>(retries), wall_s, throughput_rps,
+      mean_ms, p50_ms, p95_ms, p99_ms, max_ms);
+}
+
+Result<LoadReport> RunLoad(const LoadOptions& options) {
+  if (options.clients == 0 || options.requests_per_client == 0) {
+    return Status::InvalidArgument("load needs >= 1 client and >= 1 request");
+  }
+  if (options.request_line.empty()) {
+    return Status::InvalidArgument("load needs a request line");
+  }
+
+  struct ClientOutcome {
+    std::vector<double> latencies_ms;
+    size_t ok = 0;
+    size_t failed = 0;
+    uint64_t retries = 0;
+  };
+  std::vector<ClientOutcome> outcomes(options.clients);
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(options.clients);
+  for (size_t i = 0; i < options.clients; ++i) {
+    threads.emplace_back([&options, &outcomes, i] {
+      ClientOutcome& outcome = outcomes[i];
+      AdvisorClient client(options.host, options.port,
+                           options.seed + static_cast<uint64_t>(i));
+      for (size_t r = 0; r < options.requests_per_client; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        Result<AdvisorResponse> response =
+            client.CallWithRetry(options.request_line, options.backoff);
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        outcome.latencies_ms.push_back(ms);
+        if (response.ok() && response->ok()) {
+          ++outcome.ok;
+        } else {
+          ++outcome.failed;
+        }
+      }
+      outcome.retries = client.retries();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+  LoadReport report;
+  report.clients = options.clients;
+  report.requests = options.clients * options.requests_per_client;
+  report.wall_s = wall_s;
+  std::vector<double> latencies;
+  double sum = 0.0;
+  for (const ClientOutcome& outcome : outcomes) {
+    report.ok += outcome.ok;
+    report.failed += outcome.failed;
+    report.retries += outcome.retries;
+    for (double ms : outcome.latencies_ms) {
+      latencies.push_back(ms);
+      sum += ms;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    report.mean_ms = sum / static_cast<double>(latencies.size());
+    report.p50_ms = PercentileMs(latencies, 50.0);
+    report.p95_ms = PercentileMs(latencies, 95.0);
+    report.p99_ms = PercentileMs(latencies, 99.0);
+    report.max_ms = latencies.back();
+  }
+  if (wall_s > 0.0) {
+    report.throughput_rps = static_cast<double>(report.ok) / wall_s;
+  }
+  return report;
+}
+
+}  // namespace serve
+}  // namespace fairclean

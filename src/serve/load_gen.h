@@ -1,0 +1,58 @@
+#ifndef FAIRCLEAN_SERVE_LOAD_GEN_H_
+#define FAIRCLEAN_SERVE_LOAD_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "serve/client.h"
+
+namespace fairclean {
+namespace serve {
+
+/// One load-generation run: `clients` concurrent connections, each sending
+/// `requests_per_client` copies of `request_line` through CallWithRetry
+/// (jittered exponential backoff honoring the server's shed hints).
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t clients = 1;
+  size_t requests_per_client = 8;
+  /// The request each client repeats (an analyze line, usually).
+  std::string request_line;
+  /// Base seed; client i jitters from seed + i, so a run's whole retry
+  /// schedule is reproducible.
+  uint64_t seed = 42;
+  BackoffOptions backoff;
+};
+
+/// Client-side measurements of one load run. Latencies are measured by the
+/// load generator around each CallWithRetry — wire + queue + compute +
+/// backoff as the client experiences it, not as the server accounts it.
+struct LoadReport {
+  size_t clients = 0;
+  size_t requests = 0;  ///< attempted (clients * requests_per_client)
+  size_t ok = 0;
+  size_t failed = 0;    ///< exhausted retries or non-retryable errors
+  uint64_t retries = 0; ///< backoff sleeps across all clients
+  double wall_s = 0.0;
+  double throughput_rps = 0.0;  ///< ok / wall_s
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+
+  /// One JSON object (no trailing newline) with every field above.
+  std::string ToJson() const;
+};
+
+/// Runs the load synchronously and returns the aggregated report.
+/// InvalidArgument when options are degenerate (no clients, no requests,
+/// empty request line).
+Result<LoadReport> RunLoad(const LoadOptions& options);
+
+}  // namespace serve
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_SERVE_LOAD_GEN_H_

@@ -1,7 +1,9 @@
 #include "common/fault_injection.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -64,19 +66,23 @@ TEST_F(FaultInjectionTest, SameSeedSameFiringSequence) {
 }
 
 TEST_F(FaultInjectionTest, SitesDrawIndependently) {
-  ASSERT_TRUE(
-      FaultInjector::Global().Configure("a:0.5,b:0.5", 7).ok());
-  // Interleaving site B's draws must not change site A's sequence.
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("cache_read:0.5,cache_write:0.5", 7)
+                  .ok());
+  // Interleaving the second site's draws must not change the first's
+  // sequence.
   std::vector<bool> interleaved;
   for (int i = 0; i < 32; ++i) {
-    interleaved.push_back(FaultInjector::Global().ShouldFire("a"));
-    FaultInjector::Global().ShouldFire("b");
+    interleaved.push_back(FaultInjector::Global().ShouldFire("cache_read"));
+    FaultInjector::Global().ShouldFire("cache_write");
   }
   FaultInjector::Global().Reset();
-  ASSERT_TRUE(FaultInjector::Global().Configure("a:0.5,b:0.5", 7).ok());
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("cache_read:0.5,cache_write:0.5", 7)
+                  .ok());
   std::vector<bool> solo;
   for (int i = 0; i < 32; ++i) {
-    solo.push_back(FaultInjector::Global().ShouldFire("a"));
+    solo.push_back(FaultInjector::Global().ShouldFire("cache_read"));
   }
   EXPECT_EQ(interleaved, solo);
 }
@@ -103,6 +109,35 @@ TEST_F(FaultInjectionTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(FaultInjector::Global().Configure("numeric:1.5", 1).ok());
   EXPECT_FALSE(FaultInjector::Global().Configure("numeric:-0.1", 1).ok());
   EXPECT_FALSE(FaultInjector::Global().Configure("numeric:1:xyz", 1).ok());
+}
+
+TEST_F(FaultInjectionTest, RejectsUnknownSites) {
+  // A typo'd site would arm nothing and silently turn a chaos test into a
+  // false green, so Configure must fail fast and name the known sites.
+  Status status = FaultInjector::Global().Configure("cache_wirte:0.5", 1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("unknown fault site \"cache_wirte\""),
+            std::string::npos);
+  EXPECT_NE(status.message().find("cache_write"), std::string::npos);
+  // A bad entry anywhere in the list rejects the whole spec and arms
+  // nothing, including the valid entries before it.
+  EXPECT_FALSE(
+      FaultInjector::Global().Configure("numeric:1,bogus:0.5", 1).ok());
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+}
+
+TEST_F(FaultInjectionTest, KnownSitesCoverServingLifecycle) {
+  const std::vector<std::string>& sites = FaultInjector::KnownSites();
+  for (const char* site : {"socket_read", "socket_write", "request_parse",
+                           "worker_stall", "cache_read", "cache_write"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
+        << site;
+    ASSERT_TRUE(FaultInjector::Global()
+                    .Configure(std::string(site) + ":1", 1)
+                    .ok());
+    EXPECT_TRUE(FaultInjector::Global().ShouldFire(site));
+  }
 }
 
 TEST_F(FaultInjectionTest, EmptySpecDisarms) {

@@ -1,9 +1,11 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -51,6 +53,65 @@ TEST(ThreadPoolTest, DestructorRunsEverySubmittedTask) {
   EXPECT_EQ(executed.load(), 32);
   for (std::future<void>& future : futures) {
     future.get();  // all futures are satisfied, none broken
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsWhileSubmittersRace) {
+  // Shutdown under pressure: four submitter threads race each other (and
+  // the workers) feeding the pool, and the destructor runs the moment the
+  // last submit lands — with a deep backlog still queued, since two
+  // workers can't keep up with four submitters of slow-ish tasks. Every
+  // future handed out must be satisfied; nothing may hang or be dropped.
+  constexpr int kPerSubmitter = 64;
+  std::atomic<int> executed{0};
+  std::vector<std::vector<std::future<int>>> futures(4);
+  {
+    ThreadPool pool(2);
+    std::vector<std::thread> submitters;
+    for (size_t s = 0; s < futures.size(); ++s) {
+      submitters.emplace_back([&pool, &executed, &futures, s] {
+        for (int i = 0; i < kPerSubmitter; ++i) {
+          futures[s].push_back(pool.Submit([&executed] {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+            return ++executed;
+          }));
+        }
+      });
+    }
+    for (std::thread& submitter : submitters) submitter.join();
+    // Destructor runs here, with most of the 256 tasks still queued.
+  }
+  EXPECT_EQ(executed.load(),
+            static_cast<int>(futures.size()) * kPerSubmitter);
+  for (std::vector<std::future<int>>& per_thread : futures) {
+    for (std::future<int>& future : per_thread) {
+      EXPECT_GT(future.get(), 0);  // drain-all destructor: none broken
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotPoisonLaterWork) {
+  // A batch where half the tasks throw: the pool's workers must survive
+  // every throw and the destructor must still drain the rest.
+  std::atomic<int> completed{0};
+  std::vector<std::future<int>> futures;
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 48; ++i) {
+      futures.push_back(pool.Submit([&completed, i]() -> int {
+        if (i % 2 == 0) throw std::runtime_error("boom");
+        ++completed;
+        return i;
+      }));
+    }
+  }
+  EXPECT_EQ(completed.load(), 24);
+  for (int i = 0; i < 48; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_THROW(futures[i].get(), std::runtime_error);
+    } else {
+      EXPECT_EQ(futures[i].get(), i);
+    }
   }
 }
 

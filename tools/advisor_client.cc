@@ -1,0 +1,158 @@
+// Command-line client and load generator for the cleaning-advisor server.
+//
+// Single-request mode (prints the raw response line):
+//   advisor_client --port P --op ping|stats|shutdown
+//   advisor_client --port P --dataset german --error-type missing_values
+//       --model log-reg [--group sex] [--metric PP] [--deadline-s 5]
+//
+// Load mode (prints one JSON report measured client-side):
+//   advisor_client --port P --load --clients 4 --requests 8
+//       --dataset german --error-type missing_values --model log-reg
+//
+// Retries are jittered exponential backoff honoring the server's
+// retry_after_ms shed hints; --seed makes the whole retry schedule
+// reproducible. Exit codes: 0 response ok, 1 transport/parse failure,
+// 3 server answered with an error status (load mode: any request failed
+// after retries).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/strings.h"
+#include "obs/json_lite.h"
+#include "serve/client.h"
+#include "serve/load_gen.h"
+
+namespace {
+
+using namespace fairclean;  // NOLINT
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: advisor_client --port P [--host H] [--seed S]\n"
+      "         (--op ping|stats|shutdown |\n"
+      "          --dataset D --error-type E --model M [--group G]\n"
+      "          [--metric F] [--deadline-s X])\n"
+      "         [--load --clients C --requests N] [--no-retry]\n");
+  return 1;
+}
+
+std::string BuildAnalyzeLine(const std::string& id, const std::string& dataset,
+                             const std::string& error_type,
+                             const std::string& model,
+                             const std::string& group,
+                             const std::string& metric, double deadline_s) {
+  std::string line = "{\"op\":\"analyze\",\"id\":\"" + obs::JsonEscape(id) +
+                     "\",\"dataset\":\"" + obs::JsonEscape(dataset) +
+                     "\",\"error_type\":\"" + obs::JsonEscape(error_type) +
+                     "\",\"model\":\"" + obs::JsonEscape(model) + "\"";
+  if (!group.empty()) {
+    line += ",\"group\":\"" + obs::JsonEscape(group) + "\"";
+  }
+  if (!metric.empty()) {
+    line += ",\"metric\":\"" + obs::JsonEscape(metric) + "\"";
+  }
+  if (deadline_s > 0.0) {
+    line += StrFormat(",\"deadline_s\":%.6f", deadline_s);
+  }
+  line += "}";
+  return line;
+}
+
+int Run(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  uint64_t seed = 42;
+  std::string op;
+  std::string dataset, error_type, model, group, metric;
+  double deadline_s = 0.0;
+  bool load = false;
+  bool no_retry = false;
+  size_t clients = 1, requests = 8;
+
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = value("--host")) {
+      host = v;
+    } else if (const char* v = value("--port")) {
+      port = std::atoi(v);
+    } else if (const char* v = value("--seed")) {
+      seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--op")) {
+      op = v;
+    } else if (const char* v = value("--dataset")) {
+      dataset = v;
+    } else if (const char* v = value("--error-type")) {
+      error_type = v;
+    } else if (const char* v = value("--model")) {
+      model = v;
+    } else if (const char* v = value("--group")) {
+      group = v;
+    } else if (const char* v = value("--metric")) {
+      metric = v;
+    } else if (const char* v = value("--deadline-s")) {
+      deadline_s = std::atof(v);
+    } else if (const char* v = value("--clients")) {
+      clients = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--requests")) {
+      requests = static_cast<size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--load") == 0) {
+      load = true;
+    } else if (std::strcmp(argv[i], "--no-retry") == 0) {
+      no_retry = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (port <= 0 || port > 65535) return Usage();
+
+  std::string line;
+  if (!op.empty()) {
+    line = "{\"op\":\"" + obs::JsonEscape(op) + "\",\"id\":\"cli\"}";
+  } else if (!dataset.empty()) {
+    line = BuildAnalyzeLine("cli", dataset, error_type, model, group, metric,
+                            deadline_s);
+  } else {
+    return Usage();
+  }
+
+  if (load) {
+    serve::LoadOptions options;
+    options.host = host;
+    options.port = static_cast<uint16_t>(port);
+    options.clients = clients;
+    options.requests_per_client = requests;
+    options.request_line = line;
+    options.seed = seed;
+    Result<serve::LoadReport> report = serve::RunLoad(options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", report->ToJson().c_str());
+    return report->failed == 0 ? 0 : 3;
+  }
+
+  serve::AdvisorClient client(host, static_cast<uint16_t>(port), seed);
+  Result<serve::AdvisorResponse> response =
+      no_retry ? client.Call(line) : client.CallWithRetry(line);
+  if (!response.ok()) {
+    std::fprintf(stderr, "request failed: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  // Responses are single lines already; echo verbatim for scripts.
+  std::printf("%s\n", response->raw.c_str());
+  return response->ok() ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,89 @@
+// The cleaning-advisor server binary: keeps the suite stack (generated
+// datasets, experiment-cell cache, study driver) resident and serves
+// analyze requests over a line-delimited JSON protocol on 127.0.0.1.
+//
+// Usage: advisor_server [--port P]
+//
+// Configuration is environment-first, like every other binary here:
+// FAIRCLEAN_SERVE_PORT / FAIRCLEAN_SERVE_QUEUE / FAIRCLEAN_SERVE_DEADLINE_S
+// for the serving layer, the usual FAIRCLEAN_SAMPLE / FAIRCLEAN_REPEATS /
+// FAIRCLEAN_CACHE_DIR / ... for the resident stack, FAIRCLEAN_FAULTS for
+// chaos runs. All knob parsing is strict: a typo'd value aborts startup
+// (exit 2) instead of silently serving with a default.
+//
+// The first stdout line once serving is "listening on port <P>" — scripts
+// (the soak test, CI) scrape it to find an ephemeral port. The server exits
+// cleanly on a {"op":"shutdown"} request; a SIGKILL needs no cooperation
+// because every cache write is atomic and journaled, and a restarted server
+// resumes in-flight cells from their journals.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/fault_injection.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace fairclean;  // NOLINT
+
+int Run(int argc, char** argv) {
+  obs::InitLogLevelFromEnv(obs::LogLevel::kInfo);
+  obs::InitTraceFromEnv();
+
+  int port_override = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port_override = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: advisor_server [--port P]\n");
+      return 1;
+    }
+  }
+
+  Status faults = FaultInjector::Global().ConfigureFromEnv();
+  if (!faults.ok()) {
+    std::fprintf(stderr, "bad FAIRCLEAN_FAULTS: %s\n",
+                 faults.ToString().c_str());
+    return 2;
+  }
+
+  Result<serve::ServeOptions> options = serve::ServeOptionsFromEnv();
+  if (!options.ok()) {
+    std::fprintf(stderr, "bad configuration: %s\n",
+                 options.status().ToString().c_str());
+    return 2;
+  }
+  if (port_override >= 0 && port_override <= 65535) {
+    options->port = static_cast<uint16_t>(port_override);
+  }
+
+  serve::AdvisorServer server(std::move(*options));
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on port %u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  server.Wait();
+  server.Shutdown();
+  serve::ServerStats stats = server.Stats();
+  std::printf(
+      "served: accepted=%llu ok=%llu shed=%llu failed=%llu "
+      "deadline_exceeded=%llu\n",
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.ok),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.deadline_exceeded));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
