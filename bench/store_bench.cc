@@ -1,0 +1,359 @@
+// Storage-engine benchmark: the paged artifact store against the flat
+// one-file-per-key baseline at several cache sizes (10k and 100k entries
+// by default).
+//
+// Process shape: each (backend, entries) combination runs in a forked
+// child so RSS is measured per-process rather than accumulated across
+// combinations. The child bulk-loads deterministic ~1 KB checksummed
+// records, then measures:
+//   - load_s        wall time of the bulk load (flat fsyncs per entry via
+//                   WriteFileAtomic; the paged load runs with fsync off,
+//                   the documented bulk-load mode — load_fsync records
+//                   which),
+//   - cold_open_ms  median of five cold-start rounds: construct a fresh
+//                   store handle, enumerate every key (the suite's resume
+//                   path must learn which cells exist — a full directory
+//                   scan for flat, meta recovery plus a B-tree iterate for
+//                   paged), then serve one record,
+//   - lookup_rps    random point lookups over one warm handle,
+//   - rss_mb        VmRSS after the lookup phase,
+//   - store_bytes   total bytes on disk under the cache directory.
+//
+// Output: a human summary on stdout and a JSON report (default
+// BENCH_store.json, --out to change). --entries takes a comma-separated
+// list so CI can run a scaled-down pass without touching the committed
+// numbers.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/safe_io.h"
+#include "common/strings.h"
+#include "obs/log.h"
+#include "store/blob_store.h"
+#include "store/paged_store.h"
+
+namespace {
+
+using namespace fairclean;  // NOLINT
+
+constexpr size_t kLookups = 20000;
+constexpr size_t kColdOpenRounds = 5;
+constexpr const char* kScratchDir = "store_bench_scratch";
+
+std::string NthKey(size_t i) {
+  return StrFormat("bench_%08zu.json", i);
+}
+
+// ~1.1 KB of deterministic record-shaped bytes, framed with the same
+// checksum footer the real cache files carry.
+std::string MakeValue(size_t i) {
+  std::string body = StrFormat("{\"cell\":\"bench_%08zu\",\"records\":[", i);
+  for (size_t r = 0; r < 24; ++r) {
+    if (r > 0) body += ",";
+    body += StrFormat("{\"repeat\":%zu,\"accuracy\":0.%04zu,\"dd\":0.%04zu}",
+                      r, (i * 31 + r * 7) % 10000, (i * 17 + r * 3) % 10000);
+  }
+  body += "]}\n";
+  return AppendChecksumFooter(body);
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double RssMb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return std::atof(line.c_str() + 6) / 1024.0;  // kB reported
+    }
+  }
+  return 0.0;
+}
+
+uint64_t DirBytes(const std::string& dir) {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec)) total += entry.file_size(ec);
+  }
+  return total;
+}
+
+// One timed cold-start round: fresh store handle, full key enumeration
+// (what a resumed suite does to learn which cells it already holds), one
+// record served. The OS page cache stays warm across rounds for both
+// backends, so this isolates the engine's own open cost (directory scan
+// vs. meta recovery plus index iterate) rather than disk spin-up.
+Result<double> ColdOpenMs(const std::string& backend, const std::string& dir,
+                          size_t entries, const std::string& key) {
+  auto start = std::chrono::steady_clock::now();
+  size_t seen = 0;
+  if (backend == "flat") {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      if (entry.is_regular_file(ec)) ++seen;
+    }
+    store::FlatFileStore flat(dir);
+    Result<std::string> value = flat.Read(key);
+    if (!value.ok()) return value.status();
+  } else {
+    store::PagedStoreOptions options;
+    Result<std::unique_ptr<store::PagedStore>> paged = store::PagedStore::Open(
+        dir + "/" + store::PagedBlobStore::kPagesFileName, options);
+    if (!paged.ok()) return paged.status();
+    Result<std::vector<std::string>> keys = (*paged)->ListKeys();
+    if (!keys.ok()) return keys.status();
+    seen = keys->size();
+    Result<std::string> value = (*paged)->Get(key);
+    if (!value.ok()) return value.status();
+  }
+  if (seen != entries) {
+    return Status::InvalidArgument(
+        StrFormat("cold open saw %zu keys, want %zu", seen, entries));
+  }
+  return SecondsSince(start) * 1000.0;
+}
+
+// Child: benchmarks one (backend, entries) combination and reports one
+// JSON object line over `out_fd`.
+int ComboChild(const std::string& backend, size_t entries, int out_fd) {
+  std::string dir =
+      StrFormat("%s/%s_%zu", kScratchDir, backend.c_str(), entries);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "store_bench: create %s failed\n", dir.c_str());
+    return 1;
+  }
+
+  // Bulk load. The flat path is the production write path (atomic tmp +
+  // fsync + rename per entry); the paged path uses the engine's bulk-load
+  // mode (fsync off) — crash safety is irrelevant for a scratch load.
+  const bool load_fsync = backend == "flat";
+  auto load_start = std::chrono::steady_clock::now();
+  if (backend == "flat") {
+    store::FlatFileStore flat(dir);
+    for (size_t i = 0; i < entries; ++i) {
+      Status written = flat.Write(NthKey(i), MakeValue(i));
+      if (!written.ok()) {
+        std::fprintf(stderr, "store_bench: flat load: %s\n",
+                     written.ToString().c_str());
+        return 1;
+      }
+    }
+  } else {
+    store::PagedStoreOptions options;
+    options.fsync = false;
+    Result<std::unique_ptr<store::PagedStore>> paged = store::PagedStore::Open(
+        dir + "/" + store::PagedBlobStore::kPagesFileName, options);
+    if (!paged.ok()) {
+      std::fprintf(stderr, "store_bench: paged open: %s\n",
+                   paged.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < entries; ++i) {
+      Status put = (*paged)->Put(NthKey(i), MakeValue(i));
+      if (!put.ok()) {
+        std::fprintf(stderr, "store_bench: paged load: %s\n",
+                     put.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  double load_s = SecondsSince(load_start);
+
+  // Cold opens: median over a handful of rounds.
+  std::vector<double> rounds;
+  for (size_t r = 0; r < kColdOpenRounds; ++r) {
+    Result<double> ms = ColdOpenMs(backend, dir, entries, NthKey(entries / 2));
+    if (!ms.ok()) {
+      std::fprintf(stderr, "store_bench: cold open: %s\n",
+                   ms.status().ToString().c_str());
+      return 1;
+    }
+    rounds.push_back(*ms);
+  }
+  std::sort(rounds.begin(), rounds.end());
+  double cold_open_ms = rounds[rounds.size() / 2];
+
+  // Warm point lookups over one handle, uniform random keys.
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<size_t> pick(0, entries - 1);
+  double lookup_s = 0.0;
+  if (backend == "flat") {
+    store::FlatFileStore flat(dir);
+    auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < kLookups; ++i) {
+      Result<std::string> value = flat.Read(NthKey(pick(rng)));
+      if (!value.ok()) {
+        std::fprintf(stderr, "store_bench: flat lookup: %s\n",
+                     value.status().ToString().c_str());
+        return 1;
+      }
+    }
+    lookup_s = SecondsSince(start);
+  } else {
+    store::PagedStoreOptions options;
+    Result<std::unique_ptr<store::PagedStore>> paged = store::PagedStore::Open(
+        dir + "/" + store::PagedBlobStore::kPagesFileName, options);
+    if (!paged.ok()) {
+      std::fprintf(stderr, "store_bench: paged reopen: %s\n",
+                   paged.status().ToString().c_str());
+      return 1;
+    }
+    auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < kLookups; ++i) {
+      Result<std::string> value = (*paged)->Get(NthKey(pick(rng)));
+      if (!value.ok()) {
+        std::fprintf(stderr, "store_bench: paged lookup: %s\n",
+                     value.status().ToString().c_str());
+        return 1;
+      }
+    }
+    lookup_s = SecondsSince(start);
+  }
+  double lookup_rps = lookup_s > 0.0 ? kLookups / lookup_s : 0.0;
+
+  double rss_mb = RssMb();
+  uint64_t store_bytes = DirBytes(dir);
+  std::filesystem::remove_all(dir, ec);
+
+  std::string line = StrFormat(
+      "{\"load_s\":%.3f,\"load_fsync\":%s,\"cold_open_ms\":%.3f,"
+      "\"lookup_rps\":%.0f,\"rss_mb\":%.1f,\"store_bytes\":%llu}\n",
+      load_s, load_fsync ? "true" : "false", cold_open_ms, lookup_rps, rss_mb,
+      static_cast<unsigned long long>(store_bytes));
+  if (::write(out_fd, line.data(), line.size()) !=
+      static_cast<ssize_t>(line.size())) {
+    return 1;
+  }
+  ::close(out_fd);
+  return 0;
+}
+
+Result<std::string> ReadPipeLine(int fd) {
+  std::string text;
+  char chunk[256];
+  while (true) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("pipe read failed");
+    }
+    if (n == 0) break;
+    text.append(chunk, static_cast<size_t>(n));
+  }
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  if (text.empty()) return Status::IoError("child reported nothing");
+  return text;
+}
+
+Result<std::string> RunCombo(const std::string& backend, size_t entries) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return Status::IoError("pipe failed");
+  pid_t pid = ::fork();
+  if (pid < 0) return Status::IoError("fork failed");
+  if (pid == 0) {
+    ::close(pipe_fds[0]);
+    ::_exit(ComboChild(backend, entries, pipe_fds[1]));
+  }
+  ::close(pipe_fds[1]);
+  Result<std::string> report = ReadPipeLine(pipe_fds[0]);
+  ::close(pipe_fds[0]);
+  int wstatus = 0;
+  ::waitpid(pid, &wstatus, 0);
+  if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+    return Status::IoError(
+        StrFormat("%s/%zu child failed", backend.c_str(), entries));
+  }
+  return report;
+}
+
+int Run(int argc, char** argv) {
+  obs::InitLogLevelFromEnv(obs::LogLevel::kInfo);
+
+  std::string out_path = "BENCH_store.json";
+  std::string entries_arg = "10000,100000";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--entries") == 0 && i + 1 < argc) {
+      entries_arg = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: store_bench [--out path] [--entries n1,n2,...]\n");
+      return 1;
+    }
+  }
+
+  std::vector<size_t> levels;
+  for (size_t pos = 0; pos < entries_arg.size();) {
+    size_t comma = entries_arg.find(',', pos);
+    if (comma == std::string::npos) comma = entries_arg.size();
+    long n = std::atol(entries_arg.substr(pos, comma - pos).c_str());
+    if (n <= 0) {
+      std::fprintf(stderr, "store_bench: bad --entries value\n");
+      return 1;
+    }
+    levels.push_back(static_cast<size_t>(n));
+    pos = comma + 1;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(kScratchDir, ec);
+
+  std::string json = StrFormat(
+      "{\"bench\":\"store\",\"value_bytes\":%zu,\"lookups\":%zu,"
+      "\"levels\":[",
+      MakeValue(0).size(), kLookups);
+  for (size_t i = 0; i < levels.size(); ++i) {
+    size_t entries = levels[i];
+    if (i > 0) json += ",";
+    json += StrFormat("{\"entries\":%zu", entries);
+    for (const char* backend : {"flat", "paged"}) {
+      Result<std::string> report = RunCombo(backend, entries);
+      if (!report.ok()) {
+        std::fprintf(stderr, "store_bench: %s\n",
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("  %s n=%zu %s\n", backend, entries, report->c_str());
+      json += StrFormat(",\"%s\":%s", backend, report->c_str());
+    }
+    json += "}";
+  }
+  json += "]}\n";
+
+  std::filesystem::remove_all(kScratchDir, ec);
+  Status written = WriteFileAtomic(out_path, json);
+  if (!written.ok()) {
+    std::fprintf(stderr, "write %s: %s\n", out_path.c_str(),
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("store_bench: wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

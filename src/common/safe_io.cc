@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -170,7 +171,13 @@ Result<std::string> ReadChecksummedFile(const std::string& path) {
 }
 
 Result<std::string> QuarantineFile(const std::string& path) {
+  // Unique suffixes (.corrupt, .corrupt.1, ...): a second corruption of
+  // the same path used to silently overwrite the first quarantine, which
+  // destroyed exactly the evidence quarantining exists to keep.
   std::string quarantined = path + ".corrupt";
+  for (int n = 1; std::filesystem::exists(quarantined); ++n) {
+    quarantined = StrFormat("%s.corrupt.%d", path.c_str(), n);
+  }
   if (std::rename(path.c_str(), quarantined.c_str()) != 0) {
     return Status::IoError(ErrnoMessage("quarantine rename failed", path));
   }

@@ -45,9 +45,11 @@ Status WriteChecksummedFile(const std::string& path, const std::string& body);
 /// wrong. Subject to the "cache_read" fault-injection site.
 Result<std::string> ReadChecksummedFile(const std::string& path);
 
-/// Moves a damaged file aside to `<path>.corrupt` (replacing any previous
-/// quarantine) so the caller can recompute without destroying the evidence.
-/// Returns the quarantine path.
+/// Moves a damaged file aside to `<path>.corrupt` — or, when that name is
+/// already taken, `<path>.corrupt.1`, `<path>.corrupt.2`, ... — so the
+/// caller can recompute without destroying the evidence. Every quarantine
+/// is preserved: repeated corruption of the same path never overwrites an
+/// earlier quarantined file. Returns the quarantine path.
 Result<std::string> QuarantineFile(const std::string& path);
 
 }  // namespace fairclean

@@ -159,14 +159,19 @@ Status ResultStore::SaveToFile(const std::string& path) const {
 
 Result<ResultStore> ResultStore::LoadFromFile(const std::string& path) {
   FC_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  return LoadFromString(content, path);
+}
+
+Result<ResultStore> ResultStore::LoadFromString(const std::string& content,
+                                                const std::string& origin) {
   if (HasChecksumFooter(content)) {
     Result<std::string> body = VerifyChecksumFooter(content);
     if (!body.ok()) {
-      return Status::InvalidArgument(path + ": " + body.status().message());
+      return Status::InvalidArgument(origin + ": " + body.status().message());
     }
     return FromJson(*body);
   }
-  // Legacy file without a footer (pre-checksum cache): parse as-is.
+  // Legacy content without a footer (pre-checksum cache): parse as-is.
   return FromJson(content);
 }
 

@@ -50,6 +50,13 @@ class ResultStore {
   Status SaveToFile(const std::string& path) const;
   static Result<ResultStore> LoadFromFile(const std::string& path);
 
+  /// LoadFromFile's parsing half on bytes already in memory (the blob
+  /// store backends hand the driver raw bytes): verifies the footer when
+  /// present, accepts legacy footer-less content. `origin` prefixes error
+  /// messages the way LoadFromFile uses the path.
+  static Result<ResultStore> LoadFromString(const std::string& content,
+                                            const std::string& origin);
+
   /// Merges another store into this one (other wins on key conflicts).
   void MergeFrom(const ResultStore& other);
 

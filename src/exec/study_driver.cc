@@ -293,16 +293,30 @@ size_t StudyDriver::EffectiveThreads() const {
                               : ThreadPool::DefaultThreadCount();
 }
 
-std::string StudyDriver::CachePath(const StudyDriverOptions& options,
-                                   const std::string& dataset,
-                                   const std::string& error_type,
-                                   const std::string& model) {
-  return StrFormat("%s/%s_%s_%s_s%llu_n%zu_r%zu_f%zu.json",
-                   options.cache_dir.c_str(), dataset.c_str(),
+std::string StudyDriver::CacheKey(const StudyDriverOptions& options,
+                                  const std::string& dataset,
+                                  const std::string& error_type,
+                                  const std::string& model) {
+  return StrFormat("%s_%s_%s_s%llu_n%zu_r%zu_f%zu.json", dataset.c_str(),
                    error_type.c_str(), model.c_str(),
                    static_cast<unsigned long long>(options.study.seed),
                    options.study.sample_size, options.study.num_repeats,
                    options.study.cv_folds);
+}
+
+std::string StudyDriver::JournalKey(const StudyDriverOptions& options,
+                                    const std::string& dataset,
+                                    const std::string& error_type,
+                                    const std::string& model) {
+  return CacheKey(options, dataset, error_type, model) + ".journal";
+}
+
+std::string StudyDriver::CachePath(const StudyDriverOptions& options,
+                                   const std::string& dataset,
+                                   const std::string& error_type,
+                                   const std::string& model) {
+  return options.cache_dir + "/" +
+         CacheKey(options, dataset, error_type, model);
 }
 
 std::string StudyDriver::JournalPath(const StudyDriverOptions& options,
@@ -310,6 +324,17 @@ std::string StudyDriver::JournalPath(const StudyDriverOptions& options,
                                      const std::string& error_type,
                                      const std::string& model) {
   return CachePath(options, dataset, error_type, model) + ".journal";
+}
+
+Status StudyDriver::EnsureStore() {
+  if (store_ != nullptr) return Status::OK();
+  if (options_.blob_store != nullptr) {
+    store_ = options_.blob_store;
+    return Status::OK();
+  }
+  FC_ASSIGN_OR_RETURN(store_,
+                      store::OpenBlobStoreFromEnv(options_.cache_dir));
+  return Status::OK();
 }
 
 double StudyDriver::ElapsedSeconds() const {
@@ -373,7 +398,7 @@ Status StudyDriver::MergeSlot(size_t slot, SlotOutcome outcome,
                               const GeneratedDataset& dataset,
                               const std::string& error_type,
                               const std::string& model,
-                              const std::string& journal_path, bool persist,
+                              const std::string& journal_key, bool persist,
                               CleaningExperimentResult* result,
                               Status* last_failure) {
   Count("driver.retries")->Increment(outcome.retries);
@@ -393,7 +418,8 @@ Status StudyDriver::MergeSlot(size_t slot, SlotOutcome outcome,
 
   if (persist) {
     StageScope stage(StageWall("checkpoint"), "checkpoint");
-    Status journaled = result->records.SaveToFile(journal_path);
+    Status journaled = store_->Write(
+        journal_key, AppendChecksumFooter(result->records.ToJson()));
     if (journaled.ok()) {
       Count("driver.checkpoints")->Increment();
     } else {
@@ -416,29 +442,46 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
   FC_ASSIGN_OR_RETURN(TunedModelFamily family, ModelFamilyByName(model));
 
   const bool persist = !options_.cache_dir.empty();
-  std::string cache_path;
-  std::string journal_path;
+  std::string cache_key;
+  std::string journal_key;
   CleaningExperimentResult result;
   size_t resume_from = 0;
 
   if (persist) {
     std::error_code ec;
     std::filesystem::create_directories(options_.cache_dir, ec);
-    cache_path = CachePath(options_, dataset.spec.name, error_type, model);
-    journal_path = cache_path + ".journal";
+    FC_RETURN_IF_ERROR(EnsureStore());
+    cache_key = CacheKey(options_, dataset.spec.name, error_type, model);
+    journal_key = cache_key + ".journal";
+    auto contains = [&](const std::string& key) {
+      Result<bool> found = store_->Contains(key);
+      if (!found.ok()) {
+        FC_LOG_WARN("driver", "store lookup of %s failed: %s", key.c_str(),
+                    found.status().ToString().c_str());
+        return false;
+      }
+      return *found;
+    };
 
     StageScope stage(StageWall("cache_load"), "cache_load");
     // 1) A completed experiment in the result cache.
-    if (std::filesystem::exists(cache_path, ec)) {
-      Result<ResultStore> store = ResultStore::LoadFromFile(cache_path);
+    if (contains(cache_key)) {
+      Result<ResultStore> store = [&]() -> Result<ResultStore> {
+        FC_ASSIGN_OR_RETURN(std::string bytes, store_->Read(cache_key));
+        return ResultStore::LoadFromString(bytes,
+                                           store_->Describe(cache_key));
+      }();
       if (!store.ok()) {
         // Truncated, bit-flipped, or unparsable: quarantine the evidence
-        // and recompute. Transient read errors just recompute in place.
-        if (store.status().code() != StatusCode::kIoError) {
+        // and recompute. Transient read errors (and a record that vanished
+        // under us) just recompute in place.
+        if (store.status().code() != StatusCode::kIoError &&
+            store.status().code() != StatusCode::kNotFound) {
           Count("driver.corrupt_quarantined")->Increment();
-          Result<std::string> moved = QuarantineFile(cache_path);
+          Result<std::string> moved = store_->Quarantine(cache_key);
           FC_LOG_WARN("driver", "corrupt cache %s (%s) -> %s",
-                      cache_path.c_str(), store.status().ToString().c_str(),
+                      store_->Describe(cache_key).c_str(),
+                      store.status().ToString().c_str(),
                       moved.ok() ? moved->c_str() : "quarantine failed");
         } else {
           FC_LOG_WARN("driver", "cache read failed: %s",
@@ -465,9 +508,21 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
       }
     }
 
-    // 2) A journal from an interrupted run.
-    if (std::filesystem::exists(journal_path, ec)) {
-      Result<std::string> body = ReadChecksummedFile(journal_path);
+    // 2) A journal from an interrupted run. The journal read keeps the
+    // historical "cache_read" fault probe (ReadChecksummedFile carried it
+    // on the flat path) and, unlike the cache, strictly requires a footer.
+    if (contains(journal_key)) {
+      Result<std::string> body = [&]() -> Result<std::string> {
+        FC_RETURN_IF_ERROR(FaultInjector::Global().Inject("cache_read"));
+        FC_ASSIGN_OR_RETURN(std::string bytes, store_->Read(journal_key));
+        Result<std::string> verified = VerifyChecksumFooter(bytes);
+        if (!verified.ok()) {
+          return Status::InvalidArgument(store_->Describe(journal_key) +
+                                         ": " +
+                                         verified.status().message());
+        }
+        return verified;
+      }();
       Result<Reconstructed> resumed =
           body.ok() ? [&]() -> Result<Reconstructed> {
             FC_ASSIGN_OR_RETURN(ResultStore store,
@@ -493,9 +548,9 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
                     model.c_str(), resume_from, options_.study.num_repeats);
       } else {
         Count("driver.corrupt_quarantined")->Increment();
-        Result<std::string> moved = QuarantineFile(journal_path);
+        Result<std::string> moved = store_->Quarantine(journal_key);
         FC_LOG_WARN("driver", "corrupt journal %s (%s) -> %s",
-                    journal_path.c_str(),
+                    store_->Describe(journal_key).c_str(),
                     resumed.status().ToString().c_str(),
                     moved.ok() ? moved->c_str() : "quarantine failed");
       }
@@ -542,7 +597,7 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
         outcome = ComputeSlot(dataset, error_type, family, slot);
       }
       FC_RETURN_IF_ERROR(MergeSlot(slot, std::move(outcome), dataset,
-                                   error_type, model, journal_path, persist,
+                                   error_type, model, journal_key, persist,
                                    &result, &last_failure));
     }
   } else {
@@ -585,7 +640,7 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
       }
       if (outcome.budget_skipped) return deadline_error(slot);
       FC_RETURN_IF_ERROR(MergeSlot(slot, std::move(outcome), dataset,
-                                   error_type, model, journal_path, persist,
+                                   error_type, model, journal_key, persist,
                                    &result, &last_failure));
     }
     if (scheduled_end < num_repeats) return deadline_error(scheduled_end);
@@ -604,13 +659,17 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
 
   if (persist) {
     StageScope stage(StageWall("finalize"), "finalize");
-    Status saved = result.records.SaveToFile(cache_path);
+    Status saved = store_->Write(
+        cache_key, AppendChecksumFooter(result.records.ToJson()));
     if (!saved.ok()) {
       FC_LOG_WARN("driver", "cache write failed: %s",
                   saved.ToString().c_str());
     } else {
-      std::error_code ec;
-      std::filesystem::remove(journal_path, ec);
+      Status removed = store_->Remove(journal_key);
+      if (!removed.ok()) {
+        FC_LOG_WARN("driver", "journal removal failed: %s",
+                    removed.ToString().c_str());
+      }
     }
   }
   return result;

@@ -11,6 +11,7 @@
 #include "core/runner.h"
 #include "datasets/generator.h"
 #include "obs/metrics.h"
+#include "store/blob_store.h"
 
 namespace fairclean {
 namespace exec {
@@ -43,6 +44,14 @@ struct StudyDriverOptions {
   /// the historical strictly-sequential path. Results are byte-identical
   /// across thread counts (see DESIGN.md, threading model).
   size_t threads = 0;
+  /// Byte store backing the result cache and repeat journals. When null
+  /// and cache_dir is non-empty, the driver opens the backend selected by
+  /// FAIRCLEAN_STORE / FAIRCLEAN_STORE_CACHE_PAGES /
+  /// FAIRCLEAN_STORE_COMPRESS on first use. Callers running several
+  /// drivers against one cache_dir (the suite scheduler, the advisor
+  /// service) must share one instance: the paged backend's single pages
+  /// file has exactly one writer per process.
+  std::shared_ptr<store::BlobStore> blob_store;
 };
 
 /// Structured counters describing how a driver run degraded (or didn't):
@@ -117,14 +126,27 @@ class StudyDriver {
   /// registry, so a FAIRCLEAN_METRICS export sees the same numbers.
   RunDiagnostics diagnostics() const;
 
-  /// Cache file for one configuration (same layout the benches always
-  /// used, so pre-existing caches keep working).
+  /// Store key (cache-file basename) for one configuration — the unit of
+  /// addressing shared by every backend.
+  static std::string CacheKey(const StudyDriverOptions& options,
+                              const std::string& dataset,
+                              const std::string& error_type,
+                              const std::string& model);
+
+  /// Journal key used while a configuration is in flight.
+  static std::string JournalKey(const StudyDriverOptions& options,
+                                const std::string& dataset,
+                                const std::string& error_type,
+                                const std::string& model);
+
+  /// Cache file for one configuration under the flat backend (same layout
+  /// the benches always used, so pre-existing caches keep working).
   static std::string CachePath(const StudyDriverOptions& options,
                                const std::string& dataset,
                                const std::string& error_type,
                                const std::string& model);
 
-  /// Journal file used while a configuration is in flight.
+  /// Journal file used while a configuration is in flight (flat backend).
   static std::string JournalPath(const StudyDriverOptions& options,
                                  const std::string& dataset,
                                  const std::string& error_type,
@@ -159,8 +181,12 @@ class StudyDriver {
   Status MergeSlot(size_t slot, SlotOutcome outcome,
                    const GeneratedDataset& dataset,
                    const std::string& error_type, const std::string& model,
-                   const std::string& journal_path, bool persist,
+                   const std::string& journal_key, bool persist,
                    CleaningExperimentResult* result, Status* last_failure);
+
+  /// Resolves the blob store (options_.blob_store, else the env-selected
+  /// backend over cache_dir) on first persistent RunOrLoad.
+  Status EnsureStore();
 
   /// Effective worker count (resolves options_.threads == 0 via
   /// FAIRCLEAN_THREADS / hardware_concurrency).
@@ -172,6 +198,8 @@ class StudyDriver {
   obs::Histogram* StageCpu(const char* stage);
 
   StudyDriverOptions options_;
+  /// Backend serving cache/journal bytes (see StudyDriverOptions::blob_store).
+  std::shared_ptr<store::BlobStore> store_;
   /// Scoped registry: every value recorded here forwards to the same-named
   /// instrument in MetricsRegistry::Global(), so one driver's diagnostics
   /// stay separable while the process-wide export aggregates all of them.

@@ -42,6 +42,24 @@ Result<SuiteOptions> TrySuiteOptionsFromEnv() {
   FC_ASSIGN_OR_RETURN(int64_t threads, GetEnvCount("FAIRCLEAN_THREADS", 0));
   options.threads = static_cast<size_t>(threads);
   options.report_path = GetEnvString("FAIRCLEAN_SUITE_REPORT", "");
+  options.store_backend = GetEnvString("FAIRCLEAN_STORE", "flat");
+  if (options.store_backend != "flat" && options.store_backend != "paged") {
+    return Status::InvalidArgument(
+        "FAIRCLEAN_STORE must be \"flat\" or \"paged\", got \"" +
+        options.store_backend + "\"");
+  }
+  FC_ASSIGN_OR_RETURN(
+      int64_t store_cache_pages,
+      GetEnvCount("FAIRCLEAN_STORE_CACHE_PAGES",
+                  static_cast<int64_t>(options.store_cache_pages)));
+  options.store_cache_pages = static_cast<size_t>(store_cache_pages);
+  std::string compress = GetEnvString("FAIRCLEAN_STORE_COMPRESS", "0");
+  if (compress != "0" && compress != "1") {
+    return Status::InvalidArgument(
+        "FAIRCLEAN_STORE_COMPRESS must be \"0\" or \"1\", got \"" +
+        compress + "\"");
+  }
+  options.store_compress = compress == "1";
   return options;
 }
 
@@ -158,11 +176,29 @@ double SuiteScheduler::ElapsedSeconds() const {
       .count();
 }
 
+Result<std::shared_ptr<store::BlobStore>> SuiteScheduler::SharedStore()
+    const {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  if (blob_store_ == nullptr) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.cache_dir, ec);
+    FC_ASSIGN_OR_RETURN(
+        blob_store_,
+        store::OpenBlobStore(options_.cache_dir, options_.store_backend,
+                             options_.store_cache_pages,
+                             options_.store_compress));
+  }
+  return blob_store_;
+}
+
 Result<exec::StudyDriverOptions> SuiteScheduler::CellDriverOptions() const {
   exec::StudyDriverOptions driver_options;
   driver_options.study = options_.study;
   driver_options.cache_dir = options_.cache_dir;
   driver_options.max_retries = options_.max_retries;
+  if (!options_.cache_dir.empty()) {
+    FC_ASSIGN_OR_RETURN(driver_options.blob_store, SharedStore());
+  }
   // Parallelism lives at the suite level; each cell driver runs the
   // strictly-sequential path (also keeps pool-in-pool nesting impossible).
   driver_options.threads = 1;
@@ -250,10 +286,10 @@ Result<CellArtifact> SuiteScheduler::ProduceCell(const CellKey& cell) {
   artifact.result = std::move(*result);
   std::string bytes;
   if (!options_.cache_dir.empty()) {
-    std::string path = exec::StudyDriver::CachePath(
+    std::string key = exec::StudyDriver::CacheKey(
         driver_options, cell.dataset, cell.error_type, cell.model);
-    FC_ASSIGN_OR_RETURN(bytes, ReadFileToString(path));
-    artifact.cache_file = std::filesystem::path(path).filename().string();
+    FC_ASSIGN_OR_RETURN(bytes, driver_options.blob_store->Read(key));
+    artifact.cache_file = key;
   } else {
     // In-memory runs: digest the exact bytes SaveToFile would persist, so
     // the identity is comparable either way.

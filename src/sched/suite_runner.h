@@ -46,13 +46,23 @@ struct SuiteOptions {
   /// Where RunSuite writes the merged JSON report ("" keeps it in memory
   /// only; see SuiteScheduler::report_json()).
   std::string report_path;
+  /// Artifact-store backend under cache_dir: "flat" (one file per record,
+  /// the historical layout) or "paged" (single crash-safe pages file, see
+  /// DESIGN.md Section 11). Reports and cache-record fingerprints are
+  /// byte-identical across backends.
+  std::string store_backend = "flat";
+  /// Page-cache capacity of the paged backend (FAIRCLEAN_STORE_CACHE_PAGES).
+  size_t store_cache_pages = 256;
+  /// Per-record compression in the paged backend (FAIRCLEAN_STORE_COMPRESS).
+  bool store_compress = false;
 };
 
 /// The bench-scale defaults (sample 3500, 16 repeats, 3 folds, holdout
 /// 0.3, seed 42) overridable via FAIRCLEAN_SAMPLE / FAIRCLEAN_REPEATS /
 /// FAIRCLEAN_FOLDS / FAIRCLEAN_SEED / FAIRCLEAN_CACHE_DIR /
 /// FAIRCLEAN_MAX_RETRIES / FAIRCLEAN_TIME_BUDGET_S / FAIRCLEAN_THREADS /
-/// FAIRCLEAN_SUITE_REPORT. Reads the environment exactly once, at the
+/// FAIRCLEAN_SUITE_REPORT / FAIRCLEAN_STORE / FAIRCLEAN_STORE_CACHE_PAGES /
+/// FAIRCLEAN_STORE_COMPRESS. Reads the environment exactly once, at the
 /// call. Count and budget knobs parse strictly (GetEnvCount /
 /// GetEnvBudgetSeconds): trailing garbage, NaN/inf, or a negative value is
 /// an InvalidArgument instead of a silent fallback to the default.
@@ -192,9 +202,15 @@ class SuiteScheduler {
   };
 
   /// Driver options for one cell: the suite options with threads pinned to
-  /// 1 and the time budget reduced to what remains of the suite budget.
-  /// DeadlineExceeded when the suite budget is already exhausted.
+  /// 1, the time budget reduced to what remains of the suite budget, and
+  /// the shared blob store attached. DeadlineExceeded when the suite
+  /// budget is already exhausted.
   Result<exec::StudyDriverOptions> CellDriverOptions() const;
+
+  /// The one blob store every cell driver of this suite shares (opened on
+  /// first use; the paged backend's pages file has a single writer per
+  /// process). Thread-safe: cells fan out across the pool.
+  Result<std::shared_ptr<store::BlobStore>> SharedStore() const;
 
   Result<CellArtifact> ProduceCell(const CellKey& cell);
   void Accumulate(const exec::RunDiagnostics& diagnostics);
@@ -237,6 +253,9 @@ class SuiteScheduler {
 
   mutable std::mutex diag_mutex_;
   exec::RunDiagnostics total_;
+
+  mutable std::mutex store_mutex_;
+  mutable std::shared_ptr<store::BlobStore> blob_store_;
 
   /// Node results of the last ExecuteGraph, indexed by node id. Holds
   /// CellArtifact / GeneratedDataset / FigureValue / TableValue /

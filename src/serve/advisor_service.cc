@@ -20,6 +20,20 @@ AdvisorService::AdvisorService(sched::SuiteOptions options)
       metrics_(&obs::MetricsRegistry::Global()),
       artifacts_(&metrics_) {}
 
+Result<std::shared_ptr<store::BlobStore>> AdvisorService::SharedStore() {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  if (blob_store_ == nullptr) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.cache_dir, ec);
+    FC_ASSIGN_OR_RETURN(
+        blob_store_,
+        store::OpenBlobStore(options_.cache_dir, options_.store_backend,
+                             options_.store_cache_pages,
+                             options_.store_compress));
+  }
+  return blob_store_;
+}
+
 Result<std::shared_ptr<const GeneratedDataset>> AdvisorService::Dataset(
     const std::string& name,
     const sched::ArtifactStore::Deadline& deadline) {
@@ -42,6 +56,9 @@ Result<sched::CellArtifact> AdvisorService::ProduceCell(
   driver_options.study = options_.study;
   driver_options.cache_dir = options_.cache_dir;
   driver_options.max_retries = options_.max_retries;
+  if (!options_.cache_dir.empty()) {
+    FC_ASSIGN_OR_RETURN(driver_options.blob_store, SharedStore());
+  }
   // Per-request parallelism stays at 1: the server's worker pool is the
   // fan-out, and sequential drivers keep cache bytes identical to the
   // batch suite at any width.
@@ -67,10 +84,10 @@ Result<sched::CellArtifact> AdvisorService::ProduceCell(
   artifact.result = std::move(*result);
   std::string bytes;
   if (!options_.cache_dir.empty()) {
-    std::string path = exec::StudyDriver::CachePath(
+    std::string key = exec::StudyDriver::CacheKey(
         driver_options, cell.dataset, cell.error_type, cell.model);
-    FC_ASSIGN_OR_RETURN(bytes, ReadFileToString(path));
-    artifact.cache_file = std::filesystem::path(path).filename().string();
+    FC_ASSIGN_OR_RETURN(bytes, driver_options.blob_store->Read(key));
+    artifact.cache_file = key;
   } else {
     bytes = AppendChecksumFooter(artifact.result.records.ToJson());
   }

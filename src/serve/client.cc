@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <thread>
 #include <utility>
@@ -33,10 +34,30 @@ Result<AdvisorResponse> ParseResponse(const std::string& line) {
     return Status::InvalidArgument("response carries no status");
   }
   response.error = response.json.StringOr("error", "");
-  response.retry_after_ms =
-      static_cast<int>(response.json.NumberOr("retry_after_ms", 0.0));
+  // The wire value is a double from an untrusted peer: NaN, negative, and
+  // beyond-int hints must all land safely in [0, kMaxRetryAfterMs] — the
+  // bare int cast was undefined behavior for all three.
+  double hint = response.json.NumberOr("retry_after_ms", 0.0);
+  if (!std::isfinite(hint) || hint < 0.0) hint = 0.0;
+  response.retry_after_ms = static_cast<int>(
+      std::min(hint, static_cast<double>(kMaxRetryAfterMs)));
   response.resumable = response.json.BoolOr("resumable", false);
   return response;
+}
+
+int BackoffDelayMs(const BackoffOptions& backoff, int attempt,
+                   int retry_after_ms) {
+  const int64_t cap = std::max(0, backoff.max_ms);
+  int64_t delay = std::max(0, backoff.base_ms);
+  // Saturating doubling instead of `base_ms << (attempt - 1)`: the shift
+  // was undefined behavior past ~30 attempts (and overflowed earlier for
+  // large bases), flipping the longest waits into negative sleeps.
+  for (int i = 1; i < attempt && delay < cap; ++i) delay *= 2;
+  delay = std::min(delay, cap);
+  if (retry_after_ms > delay) {
+    delay = std::min<int64_t>(retry_after_ms, cap);
+  }
+  return static_cast<int>(delay);
 }
 
 AdvisorClient::AdvisorClient(std::string host, uint16_t port, uint64_t seed)
@@ -138,10 +159,8 @@ Result<AdvisorResponse> AdvisorClient::CallWithRetry(
   for (int attempt = 0; attempt < std::max(1, backoff.max_attempts);
        ++attempt) {
     if (attempt > 0) {
-      int base = std::min(backoff.base_ms << (attempt - 1), backoff.max_ms);
-      if (last.ok() && last->retry_after_ms > base) {
-        base = std::min(last->retry_after_ms, backoff.max_ms);
-      }
+      int base = BackoffDelayMs(backoff, attempt,
+                                last.ok() ? last->retry_after_ms : 0);
       // Full-interval jitter: synchronized clients shedding at the same
       // instant must not come back at the same instant.
       double sleep_ms = rng_.Uniform(0.5, 1.5) * base;

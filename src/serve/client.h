@@ -33,8 +33,16 @@ struct AdvisorResponse {
   }
 };
 
+/// Largest server backoff hint ParseResponse will honor (10 minutes).
+/// A buggy or hostile server must not be able to park a client forever —
+/// or crash it: the raw JSON number is a double, and without the clamp a
+/// NaN, negative, or out-of-int-range hint is undefined behavior in the
+/// int conversion.
+constexpr int kMaxRetryAfterMs = 600000;
+
 /// Parses one response line; InvalidArgument when it is not a JSON object
-/// or carries no status.
+/// or carries no status. retry_after_ms is sanitized to
+/// [0, kMaxRetryAfterMs]; a non-finite or negative hint reads as 0.
 Result<AdvisorResponse> ParseResponse(const std::string& line);
 
 /// Retry policy of CallWithRetry.
@@ -43,6 +51,14 @@ struct BackoffOptions {
   int base_ms = 50;      ///< first backoff before jitter
   int max_ms = 2000;     ///< cap per sleep
 };
+
+/// Deterministic pre-jitter delay before retry `attempt` (1-based):
+/// exponential base_ms * 2^(attempt-1) saturating at max_ms — computed by
+/// repeated doubling, so arbitrarily high attempt counts cannot overflow
+/// the shift the way `base_ms << (attempt - 1)` did — raised to the
+/// server's retry_after hint when that is larger (still capped at max_ms).
+int BackoffDelayMs(const BackoffOptions& backoff, int attempt,
+                   int retry_after_ms);
 
 /// Blocking line-protocol client with reconnect and jittered exponential
 /// backoff — the well-behaved citizen the server's load shedding assumes.

@@ -1,0 +1,355 @@
+#include "store/btree.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace fairclean {
+namespace store {
+
+namespace {
+
+// Decoded node. For a leaf, values[i] is the data value of keys[i]. For an
+// internal node, values has keys.size() + 1 child page ids with values[0]
+// the leftmost child.
+struct Node {
+  bool is_leaf = true;
+  std::vector<std::string> keys;
+  std::vector<uint64_t> values;
+};
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+size_t EntryBytes(const std::string& key) { return 2 + key.size() + 8; }
+
+size_t NodeBytes(const Node& node) {
+  size_t total = 3 + (node.is_leaf ? 0 : 8);
+  for (const std::string& key : node.keys) total += EntryBytes(key);
+  return total;
+}
+
+std::string EncodeNode(const Node& node) {
+  std::string out;
+  out.reserve(NodeBytes(node));
+  out.push_back(node.is_leaf ? '\1' : '\0');
+  AppendU16(&out, static_cast<uint16_t>(node.keys.size()));
+  size_t value_at = 0;
+  if (!node.is_leaf) AppendU64(&out, node.values[value_at++]);
+  for (size_t i = 0; i < node.keys.size(); ++i) {
+    AppendU16(&out, static_cast<uint16_t>(node.keys[i].size()));
+    out += node.keys[i];
+    AppendU64(&out, node.values[value_at++]);
+  }
+  return out;
+}
+
+Result<Node> DecodeNode(const Page& page, uint64_t page_id) {
+  auto corrupt = [&](const char* what) {
+    return Status::InvalidArgument(
+        StrFormat("corrupt index node at page %llu: %s",
+                  static_cast<unsigned long long>(page_id), what));
+  };
+  if (page.type != PageType::kIndex) return corrupt("not an index page");
+  const std::string& in = page.payload;
+  size_t pos = 0;
+  auto read_u16 = [&](uint16_t* v) {
+    if (pos + 2 > in.size()) return false;
+    *v = static_cast<uint16_t>(
+        static_cast<unsigned char>(in[pos]) |
+        (static_cast<unsigned char>(in[pos + 1]) << 8));
+    pos += 2;
+    return true;
+  };
+  auto read_u64 = [&](uint64_t* v) {
+    if (pos + 8 > in.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<unsigned char>(in[pos + i]))
+            << (8 * i);
+    }
+    pos += 8;
+    return true;
+  };
+  if (in.empty()) return corrupt("empty payload");
+  Node node;
+  node.is_leaf = in[pos++] != '\0';
+  uint16_t count = 0;
+  if (!read_u16(&count)) return corrupt("truncated count");
+  if (!node.is_leaf) {
+    uint64_t child0 = 0;
+    if (!read_u64(&child0)) return corrupt("truncated child0");
+    node.values.push_back(child0);
+  }
+  for (uint16_t i = 0; i < count; ++i) {
+    uint16_t klen = 0;
+    if (!read_u16(&klen)) return corrupt("truncated key length");
+    if (klen > kMaxKeyLen || pos + klen > in.size()) {
+      return corrupt("key overruns payload");
+    }
+    node.keys.emplace_back(in, pos, klen);
+    pos += klen;
+    uint64_t value = 0;
+    if (!read_u64(&value)) return corrupt("truncated value");
+    node.values.push_back(value);
+  }
+  if (pos != in.size()) return corrupt("trailing bytes");
+  return node;
+}
+
+Result<Node> LoadNode(NodeIo& io, uint64_t page_id) {
+  FC_ASSIGN_OR_RETURN(Page page, io.ReadNode(page_id));
+  return DecodeNode(page, page_id);
+}
+
+// Index of the child subtree that covers `key`: values[i] where i is the
+// number of separator keys <= key.
+size_t ChildIndex(const Node& node, std::string_view key) {
+  return static_cast<size_t>(
+      std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+      node.keys.begin());
+}
+
+// Splits an overflowing node at a byte-balanced boundary so both halves
+// fit a page regardless of how key lengths are distributed. Returns the
+// separator key to install in the parent; `right` receives the upper half.
+std::string SplitNode(Node* node, Node* right) {
+  const size_t n = node->keys.size();
+  size_t total = 0;
+  for (const std::string& key : node->keys) total += EntryBytes(key);
+  size_t acc = 0;
+  size_t split = 1;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    acc += EntryBytes(node->keys[i]);
+    if (acc * 2 >= total) {
+      split = i + 1;
+      break;
+    }
+    split = i + 2;
+  }
+  // Both sides must be non-empty: a run of tiny keys before one huge tail
+  // entry can push the byte-balanced boundary past the end.
+  split = std::min(split, n - 1);
+  right->is_leaf = node->is_leaf;
+  std::string separator;
+  if (node->is_leaf) {
+    separator = node->keys[split];
+    right->keys.assign(node->keys.begin() + split, node->keys.end());
+    right->values.assign(node->values.begin() + split, node->values.end());
+    node->keys.resize(split);
+    node->values.resize(split);
+  } else {
+    // Internal split promotes the separator instead of copying it: the
+    // right half's leftmost child is the child to the separator's right.
+    separator = node->keys[split];
+    right->keys.assign(node->keys.begin() + split + 1, node->keys.end());
+    right->values.assign(node->values.begin() + split + 1,
+                         node->values.end());
+    node->keys.resize(split);
+    node->values.resize(split + 1);
+  }
+  return separator;
+}
+
+struct InsertOutcome {
+  uint64_t page = 0;  ///< the rewritten subtree root
+  bool split = false;
+  std::string separator;
+  uint64_t right_page = 0;
+};
+
+Result<InsertOutcome> InsertRec(NodeIo& io, uint64_t page_id,
+                                std::string_view key, uint64_t value) {
+  FC_ASSIGN_OR_RETURN(Node node, LoadNode(io, page_id));
+  if (node.is_leaf) {
+    auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    size_t at = static_cast<size_t>(it - node.keys.begin());
+    if (it != node.keys.end() && *it == key) {
+      node.values[at] = value;
+    } else {
+      node.keys.insert(it, std::string(key));
+      node.values.insert(node.values.begin() + at, value);
+    }
+  } else {
+    size_t child = ChildIndex(node, key);
+    FC_ASSIGN_OR_RETURN(InsertOutcome sub,
+                        InsertRec(io, node.values[child], key, value));
+    node.values[child] = sub.page;
+    if (sub.split) {
+      node.keys.insert(node.keys.begin() + child, sub.separator);
+      node.values.insert(node.values.begin() + child + 1, sub.right_page);
+    }
+  }
+
+  InsertOutcome out;
+  if (NodeBytes(node) > kMaxPayload) {
+    Node right;
+    out.separator = SplitNode(&node, &right);
+    out.split = true;
+    FC_ASSIGN_OR_RETURN(out.right_page, io.WriteNode(EncodeNode(right)));
+  }
+  FC_ASSIGN_OR_RETURN(out.page, io.WriteNode(EncodeNode(node)));
+  io.FreeNode(page_id);
+  return out;
+}
+
+struct DeleteRecOutcome {
+  uint64_t page = 0;   ///< rewritten subtree root (0: subtree vanished)
+  bool found = false;
+  bool changed = false;
+};
+
+Result<DeleteRecOutcome> DeleteRec(NodeIo& io, uint64_t page_id,
+                                   std::string_view key) {
+  FC_ASSIGN_OR_RETURN(Node node, LoadNode(io, page_id));
+  DeleteRecOutcome out;
+  if (node.is_leaf) {
+    auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    if (it == node.keys.end() || *it != key) {
+      out.page = page_id;
+      return out;
+    }
+    size_t at = static_cast<size_t>(it - node.keys.begin());
+    node.keys.erase(it);
+    node.values.erase(node.values.begin() + at);
+    out.found = true;
+    out.changed = true;
+    if (node.keys.empty()) {
+      io.FreeNode(page_id);
+      out.page = 0;
+      return out;
+    }
+  } else {
+    size_t child = ChildIndex(node, key);
+    FC_ASSIGN_OR_RETURN(DeleteRecOutcome sub,
+                        DeleteRec(io, node.values[child], key));
+    out.found = sub.found;
+    if (!sub.changed) {
+      out.page = page_id;
+      return out;
+    }
+    out.changed = true;
+    if (sub.page == 0) {
+      // The child emptied out: drop it together with its separator (the
+      // one to its left, or the first separator for child0).
+      node.values.erase(node.values.begin() + child);
+      node.keys.erase(node.keys.begin() + (child == 0 ? 0 : child - 1));
+      if (node.keys.empty()) {
+        // Only child0 left: collapse into it.
+        io.FreeNode(page_id);
+        out.page = node.values[0];
+        return out;
+      }
+    } else {
+      node.values[child] = sub.page;
+    }
+  }
+  FC_ASSIGN_OR_RETURN(out.page, io.WriteNode(EncodeNode(node)));
+  io.FreeNode(page_id);
+  return out;
+}
+
+}  // namespace
+
+Result<std::optional<uint64_t>> BTreeLookup(NodeIo& io, uint64_t root,
+                                            std::string_view key) {
+  if (key.empty() || key.size() > kMaxKeyLen) {
+    return Status::InvalidArgument(
+        StrFormat("store key length %zu out of range [1, %zu]", key.size(),
+                  kMaxKeyLen));
+  }
+  uint64_t page_id = root;
+  while (page_id != 0) {
+    FC_ASSIGN_OR_RETURN(Node node, LoadNode(io, page_id));
+    if (node.is_leaf) {
+      auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+      if (it != node.keys.end() && *it == key) {
+        return std::optional<uint64_t>(
+            node.values[static_cast<size_t>(it - node.keys.begin())]);
+      }
+      return std::optional<uint64_t>(std::nullopt);
+    }
+    page_id = node.values[ChildIndex(node, key)];
+  }
+  return std::optional<uint64_t>(std::nullopt);
+}
+
+Result<uint64_t> BTreeInsert(NodeIo& io, uint64_t root, std::string_view key,
+                             uint64_t value) {
+  if (key.empty() || key.size() > kMaxKeyLen) {
+    return Status::InvalidArgument(
+        StrFormat("store key length %zu out of range [1, %zu]", key.size(),
+                  kMaxKeyLen));
+  }
+  if (root == 0) {
+    Node leaf;
+    leaf.keys.emplace_back(key);
+    leaf.values.push_back(value);
+    return io.WriteNode(EncodeNode(leaf));
+  }
+  FC_ASSIGN_OR_RETURN(InsertOutcome out, InsertRec(io, root, key, value));
+  if (!out.split) return out.page;
+  Node new_root;
+  new_root.is_leaf = false;
+  new_root.keys.push_back(out.separator);
+  new_root.values.push_back(out.page);
+  new_root.values.push_back(out.right_page);
+  return io.WriteNode(EncodeNode(new_root));
+}
+
+Result<BTreeDeleteOutcome> BTreeDelete(NodeIo& io, uint64_t root,
+                                       std::string_view key) {
+  BTreeDeleteOutcome outcome;
+  outcome.root = root;
+  if (root == 0) return outcome;
+  if (key.empty() || key.size() > kMaxKeyLen) {
+    return Status::InvalidArgument(
+        StrFormat("store key length %zu out of range [1, %zu]", key.size(),
+                  kMaxKeyLen));
+  }
+  FC_ASSIGN_OR_RETURN(DeleteRecOutcome out, DeleteRec(io, root, key));
+  outcome.found = out.found;
+  if (out.changed) outcome.root = out.page;
+  return outcome;
+}
+
+Status BTreeIterate(
+    NodeIo& io, uint64_t root,
+    const std::function<Status(std::string_view key, uint64_t value)>& fn) {
+  if (root == 0) return Status::OK();
+  FC_ASSIGN_OR_RETURN(Node node, LoadNode(io, root));
+  if (node.is_leaf) {
+    for (size_t i = 0; i < node.keys.size(); ++i) {
+      FC_RETURN_IF_ERROR(fn(node.keys[i], node.values[i]));
+    }
+    return Status::OK();
+  }
+  for (uint64_t child : node.values) {
+    FC_RETURN_IF_ERROR(BTreeIterate(io, child, fn));
+  }
+  return Status::OK();
+}
+
+Status BTreeCollectPages(NodeIo& io, uint64_t root,
+                         std::vector<uint64_t>* pages) {
+  if (root == 0) return Status::OK();
+  pages->push_back(root);
+  FC_ASSIGN_OR_RETURN(Node node, LoadNode(io, root));
+  if (node.is_leaf) return Status::OK();
+  for (uint64_t child : node.values) {
+    FC_RETURN_IF_ERROR(BTreeCollectPages(io, child, pages));
+  }
+  return Status::OK();
+}
+
+}  // namespace store
+}  // namespace fairclean

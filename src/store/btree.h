@@ -1,0 +1,87 @@
+#ifndef FAIRCLEAN_STORE_BTREE_H_
+#define FAIRCLEAN_STORE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "store/page.h"
+
+namespace fairclean {
+namespace store {
+
+/// Longest key the index accepts. Store keys are cache-file basenames
+/// (tens of bytes); the bound guarantees a node split always makes
+/// progress (any two entries fit one page).
+constexpr size_t kMaxKeyLen = 512;
+
+/// Page IO the B-tree runs against. PagedStore implements it with
+/// copy-on-write semantics: WriteNode always allocates a fresh page and
+/// FreeNode defers the old one to the pending free list, so an in-flight
+/// transaction never touches a page the last committed tree references.
+/// A trivial in-memory implementation makes the tree unit-testable without
+/// a file.
+class NodeIo {
+ public:
+  virtual ~NodeIo() = default;
+  /// A previously written kIndex page.
+  virtual Result<Page> ReadNode(uint64_t page_id) = 0;
+  /// Writes `payload` as a fresh kIndex page and returns its id.
+  virtual Result<uint64_t> WriteNode(const std::string& payload) = 0;
+  /// Releases a superseded node page.
+  virtual void FreeNode(uint64_t page_id) = 0;
+};
+
+/// The functions below implement a copy-on-write B-tree mapping string
+/// keys to u64 values (data-chain head page ids). A tree is identified by
+/// its root page id; 0 means the empty tree (page 0 is a meta slot, so the
+/// sentinel can never collide with a real node). Mutations return the NEW
+/// root — the old tree remains intact and readable, which is what makes
+/// the dual-meta commit protocol crash-safe.
+///
+/// Node payload layout (little-endian):
+///   u8  is_leaf
+///   u16 entry count n
+///   leaf:     n x (u16 key_len, key bytes, u64 value)
+///   internal: u64 child0, then n x (u16 key_len, key bytes, u64 child)
+/// Internal separator semantics: child0 holds keys < key[0]; child[i]
+/// holds keys in [key[i], key[i+1]).
+
+/// The value stored under `key`, or nullopt.
+Result<std::optional<uint64_t>> BTreeLookup(NodeIo& io, uint64_t root,
+                                            std::string_view key);
+
+/// Inserts or replaces `key` -> `value`; returns the new root.
+Result<uint64_t> BTreeInsert(NodeIo& io, uint64_t root, std::string_view key,
+                             uint64_t value);
+
+struct BTreeDeleteOutcome {
+  uint64_t root = 0;   ///< new root (may equal the old one if not found)
+  bool found = false;  ///< whether the key existed
+};
+
+/// Removes `key` if present. Simple structural delete: emptied leaves are
+/// unlinked from their parent and an internal node left with only child0
+/// collapses into that child; no rebalancing (deletes are rare — journal
+/// retirement and quarantine renames).
+Result<BTreeDeleteOutcome> BTreeDelete(NodeIo& io, uint64_t root,
+                                       std::string_view key);
+
+/// In-order traversal; `fn`'s first non-OK status stops the walk and is
+/// returned.
+Status BTreeIterate(
+    NodeIo& io, uint64_t root,
+    const std::function<Status(std::string_view key, uint64_t value)>& fn);
+
+/// Appends every node page id of the tree (integrity walks).
+Status BTreeCollectPages(NodeIo& io, uint64_t root,
+                         std::vector<uint64_t>* pages);
+
+}  // namespace store
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_STORE_BTREE_H_

@@ -1,0 +1,147 @@
+#include "store/compress.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fairclean {
+namespace store {
+
+namespace {
+
+constexpr size_t kWindow = 4096;       // 12-bit distance
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = kMinMatch + 15;  // 4-bit length field
+
+inline uint32_t Hash3(const unsigned char* p) {
+  // Multiplicative hash of a 3-byte prefix into 13 bits.
+  uint32_t v = static_cast<uint32_t>(p[0]) |
+               (static_cast<uint32_t>(p[1]) << 8) |
+               (static_cast<uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> 19;
+}
+
+}  // namespace
+
+std::string LzssCompress(std::string_view raw) {
+  const unsigned char* data =
+      reinterpret_cast<const unsigned char*>(raw.data());
+  const size_t n = raw.size();
+  std::string out;
+  out.reserve(n / 2 + 16);
+
+  // head[h] = most recent position with hash h; chain[pos % kWindow] = the
+  // previous position sharing that hash. Single chain walk bounded to keep
+  // compression O(n) in the worst case.
+  std::vector<int64_t> head(1u << 13, -1);
+  std::vector<int64_t> chain(kWindow, -1);
+
+  size_t flag_at = 0;  // position of the current group's flag byte
+  int flag_bit = 8;    // 8 = need a fresh flag byte
+  unsigned char flag = 0;
+
+  auto begin_item = [&](bool literal) {
+    if (flag_bit == 8) {
+      flag_at = out.size();
+      out.push_back('\0');
+      flag = 0;
+      flag_bit = 0;
+    }
+    if (literal) flag = static_cast<unsigned char>(flag | (1u << flag_bit));
+    out[flag_at] = static_cast<char>(flag);
+    ++flag_bit;
+  };
+
+  size_t pos = 0;
+  while (pos < n) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    if (pos + kMinMatch <= n) {
+      uint32_t h = Hash3(data + pos);
+      int64_t candidate = head[h];
+      for (int probes = 0; probes < 16 && candidate >= 0; ++probes) {
+        size_t dist = pos - static_cast<size_t>(candidate);
+        if (dist == 0 || dist > kWindow) break;
+        size_t len = 0;
+        size_t limit = n - pos < kMaxMatch ? n - pos : kMaxMatch;
+        const unsigned char* a = data + candidate;
+        const unsigned char* b = data + pos;
+        while (len < limit && a[len] == b[len]) ++len;
+        if (len >= kMinMatch && len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len == kMaxMatch) break;
+        }
+        candidate = chain[static_cast<size_t>(candidate) % kWindow];
+      }
+    }
+
+    auto index_pos = [&](size_t p) {
+      if (p + kMinMatch <= n) {
+        uint32_t h = Hash3(data + p);
+        chain[p % kWindow] = head[h];
+        head[h] = static_cast<int64_t>(p);
+      }
+    };
+
+    if (best_len >= kMinMatch) {
+      begin_item(false);
+      // token: dddddddd ddddllll (12-bit distance - 1, 4-bit len - min).
+      uint16_t token = static_cast<uint16_t>(((best_dist - 1) << 4) |
+                                             (best_len - kMinMatch));
+      out.push_back(static_cast<char>(token >> 8));
+      out.push_back(static_cast<char>(token & 0xff));
+      for (size_t i = 0; i < best_len; ++i) index_pos(pos + i);
+      pos += best_len;
+    } else {
+      begin_item(true);
+      out.push_back(static_cast<char>(data[pos]));
+      index_pos(pos);
+      ++pos;
+    }
+    if (flag_bit == 8) flag_bit = 8;  // next item starts a new group
+  }
+  return out;
+}
+
+Result<std::string> LzssDecompress(std::string_view compressed,
+                                   size_t raw_size) {
+  std::string out;
+  out.reserve(raw_size);
+  size_t pos = 0;
+  const size_t n = compressed.size();
+  while (pos < n && out.size() < raw_size) {
+    unsigned char flag = static_cast<unsigned char>(compressed[pos++]);
+    for (int bit = 0; bit < 8 && out.size() < raw_size; ++bit) {
+      if (pos >= n) {
+        return Status::InvalidArgument("lzss stream truncated mid-group");
+      }
+      if (flag & (1u << bit)) {
+        out.push_back(compressed[pos++]);
+      } else {
+        if (pos + 2 > n) {
+          return Status::InvalidArgument("lzss stream truncated mid-token");
+        }
+        uint16_t token = static_cast<uint16_t>(
+            (static_cast<unsigned char>(compressed[pos]) << 8) |
+            static_cast<unsigned char>(compressed[pos + 1]));
+        pos += 2;
+        size_t dist = (token >> 4) + 1;
+        size_t len = (token & 0xf) + kMinMatch;
+        if (dist > out.size()) {
+          return Status::InvalidArgument("lzss match before stream start");
+        }
+        size_t from = out.size() - dist;
+        for (size_t i = 0; i < len; ++i) out.push_back(out[from + i]);
+      }
+    }
+  }
+  if (out.size() != raw_size) {
+    return Status::InvalidArgument(
+        "lzss decompressed size mismatch: expected " +
+        std::to_string(raw_size) + ", got " + std::to_string(out.size()));
+  }
+  return out;
+}
+
+}  // namespace store
+}  // namespace fairclean

@@ -1,0 +1,33 @@
+#ifndef FAIRCLEAN_STORE_COMPRESS_H_
+#define FAIRCLEAN_STORE_COMPRESS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace fairclean {
+namespace store {
+
+/// Deterministic LZSS byte compressor for store pages. Self-contained (no
+/// external codec dependency): 4 KiB sliding window, 3-byte minimum match,
+/// greedy longest-match via a rolling 3-byte hash. The exact output bytes
+/// are a pure function of the input, which keeps compressed stores
+/// reproducible across runs and platforms.
+///
+/// Format: groups of up to 8 items, each group led by a flag byte (bit i
+/// set = item i is a literal byte; clear = a 2-byte match token). A match
+/// token packs a 12-bit backward distance (1-based) and a 4-bit length
+/// (kMinMatch..kMinMatch+15).
+std::string LzssCompress(std::string_view raw);
+
+/// Inverse of LzssCompress. `raw_size` is the expected decompressed size
+/// (recorded alongside the payload); a mismatch or malformed stream is
+/// InvalidArgument, never a crash — torn pages must fail loudly.
+Result<std::string> LzssDecompress(std::string_view compressed,
+                                   size_t raw_size);
+
+}  // namespace store
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_STORE_COMPRESS_H_

@@ -1,0 +1,119 @@
+#include "store/page.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/safe_io.h"
+#include "common/strings.h"
+
+namespace fairclean {
+namespace store {
+
+namespace {
+
+void PutU16(std::string* out, size_t at, uint16_t v) {
+  (*out)[at] = static_cast<char>(v & 0xff);
+  (*out)[at + 1] = static_cast<char>((v >> 8) & 0xff);
+}
+
+void PutU32(std::string* out, size_t at, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*out)[at + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void PutU64(std::string* out, size_t at, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    (*out)[at + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+uint32_t GetU32(std::string_view in, size_t at) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(in[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(std::string_view in, size_t at) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(in[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string EncodePage(const Page& page) {
+  if (page.payload.size() > kMaxPayload) {
+    std::fprintf(stderr,
+                 "fatal: store page payload %zu exceeds %zu bytes\n",
+                 page.payload.size(), kMaxPayload);
+    std::abort();
+  }
+  std::string out(kPageSize, '\0');
+  out[4] = static_cast<char>(page.type);
+  out[5] = static_cast<char>(page.flags);
+  PutU16(&out, 6, 0);
+  PutU32(&out, 8, static_cast<uint32_t>(page.payload.size()));
+  PutU32(&out, 12, 0);
+  PutU64(&out, 16, page.next_page);
+  PutU64(&out, 24, page.page_id);
+  std::memcpy(&out[kPageHeaderSize], page.payload.data(),
+              page.payload.size());
+  PutU32(&out, 0, Crc32(std::string_view(out).substr(4)));
+  return out;
+}
+
+Result<Page> DecodePage(std::string_view bytes, uint64_t expected_page_id) {
+  if (bytes.size() != kPageSize) {
+    return Status::InvalidArgument(
+        StrFormat("short page read at page %llu: %zu of %zu bytes",
+                  static_cast<unsigned long long>(expected_page_id),
+                  bytes.size(), kPageSize));
+  }
+  uint32_t stored_crc = GetU32(bytes, 0);
+  uint32_t actual_crc = Crc32(bytes.substr(4));
+  if (stored_crc != actual_crc) {
+    return Status::InvalidArgument(
+        StrFormat("page %llu crc mismatch: stored %08x, computed %08x",
+                  static_cast<unsigned long long>(expected_page_id),
+                  stored_crc, actual_crc));
+  }
+  Page page;
+  uint8_t raw_type = static_cast<uint8_t>(bytes[4]);
+  if (raw_type < static_cast<uint8_t>(PageType::kMeta) ||
+      raw_type > static_cast<uint8_t>(PageType::kFreeList)) {
+    return Status::InvalidArgument(
+        StrFormat("page %llu has unknown type %u",
+                  static_cast<unsigned long long>(expected_page_id),
+                  static_cast<unsigned>(raw_type)));
+  }
+  page.type = static_cast<PageType>(raw_type);
+  page.flags = static_cast<uint8_t>(bytes[5]);
+  uint32_t payload_len = GetU32(bytes, 8);
+  if (payload_len > kMaxPayload) {
+    return Status::InvalidArgument(
+        StrFormat("page %llu payload length %u exceeds %zu",
+                  static_cast<unsigned long long>(expected_page_id),
+                  payload_len, kMaxPayload));
+  }
+  page.next_page = GetU64(bytes, 16);
+  page.page_id = GetU64(bytes, 24);
+  if (page.page_id != expected_page_id) {
+    return Status::InvalidArgument(StrFormat(
+        "misdirected write: page %llu carries id %llu",
+        static_cast<unsigned long long>(expected_page_id),
+        static_cast<unsigned long long>(page.page_id)));
+  }
+  page.payload.assign(bytes.data() + kPageHeaderSize, payload_len);
+  return page;
+}
+
+}  // namespace store
+}  // namespace fairclean

@@ -1,0 +1,66 @@
+#ifndef FAIRCLEAN_STORE_PAGE_H_
+#define FAIRCLEAN_STORE_PAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace fairclean {
+namespace store {
+
+/// Fixed page size of the store file. Every on-disk structure (meta slots,
+/// index nodes, data chains, free-list spill) is exactly one page, so a
+/// torn write can damage at most one CRC unit.
+constexpr size_t kPageSize = 4096;
+
+/// Bytes of page header preceding the payload.
+constexpr size_t kPageHeaderSize = 32;
+
+/// Usable payload bytes per page.
+constexpr size_t kMaxPayload = kPageSize - kPageHeaderSize;
+
+/// On-disk page kinds.
+enum class PageType : uint8_t {
+  kMeta = 1,      ///< store header, one of the two alternating slots
+  kIndex = 2,     ///< B-tree node
+  kData = 3,      ///< value-record chain link
+  kFreeList = 4,  ///< free-page-id spill chain link
+};
+
+/// Decoded page: header fields plus payload bytes (<= kMaxPayload).
+///
+/// Wire layout (little-endian, 32-byte header then payload, zero-padded to
+/// kPageSize):
+///   [0..4)   crc32 of bytes [4..kPageSize) — covers the rest of the
+///            header, the payload, and the zero padding, so any torn or
+///            bit-rotted byte anywhere in the page is detected
+///   [4]      type (PageType)
+///   [5]      flags (record compression etc.; 0 for non-data pages)
+///   [6..8)   reserved, written 0
+///   [8..12)  payload_len
+///   [12..16) reserved, written 0
+///   [16..24) next_page (chain link; 0 terminates)
+///   [24..32) page_id echo — a page read back whose echo differs from the
+///            id it was read at is a misdirected write, not just bit rot
+struct Page {
+  PageType type = PageType::kData;
+  uint8_t flags = 0;
+  uint64_t next_page = 0;
+  uint64_t page_id = 0;
+  std::string payload;
+};
+
+/// Serializes `page` into exactly kPageSize bytes (computes the CRC).
+/// Payloads longer than kMaxPayload are a programming error and abort.
+std::string EncodePage(const Page& page);
+
+/// Parses one kPageSize buffer read at `expected_page_id`. InvalidArgument
+/// on a short buffer, CRC mismatch, unknown type, out-of-range payload
+/// length, or a page-id echo mismatch.
+Result<Page> DecodePage(std::string_view bytes, uint64_t expected_page_id);
+
+}  // namespace store
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_STORE_PAGE_H_

@@ -1,0 +1,71 @@
+#include "store/page_cache.h"
+
+namespace fairclean {
+namespace store {
+
+PageCache::PageCache(size_t capacity)
+    : capacity_(capacity),
+      hits_counter_(
+          obs::MetricsRegistry::Global().GetCounter("store.cache_hits")),
+      misses_counter_(
+          obs::MetricsRegistry::Global().GetCounter("store.cache_misses")),
+      evicted_counter_(
+          obs::MetricsRegistry::Global().GetCounter("store.pages_evicted")),
+      hit_ratio_gauge_(
+          obs::MetricsRegistry::Global().GetGauge("store.cache_hit_ratio")) {}
+
+void PageCache::RecordLookup(bool hit) {
+  if (hit) {
+    ++hit_count_;
+    hits_counter_->Increment();
+  } else {
+    ++miss_count_;
+    misses_counter_->Increment();
+  }
+  hit_ratio_gauge_->Set(static_cast<double>(hit_count_) /
+                        static_cast<double>(hit_count_ + miss_count_));
+}
+
+std::optional<Page> PageCache::Get(uint64_t page_id) {
+  auto it = entries_.find(page_id);
+  if (it == entries_.end()) {
+    RecordLookup(false);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  RecordLookup(true);
+  return it->second->second;
+}
+
+void PageCache::Put(uint64_t page_id, Page page) {
+  if (capacity_ == 0) return;
+  auto it = entries_.find(page_id);
+  if (it != entries_.end()) {
+    it->second->second = std::move(page);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(page_id, std::move(page));
+  entries_[page_id] = lru_.begin();
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++eviction_count_;
+    evicted_counter_->Increment();
+  }
+}
+
+void PageCache::Erase(uint64_t page_id) {
+  auto it = entries_.find(page_id);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second);
+  entries_.erase(it);
+}
+
+void PageCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace store
+}  // namespace fairclean

@@ -1,0 +1,71 @@
+#ifndef FAIRCLEAN_STORE_PAGE_CACHE_H_
+#define FAIRCLEAN_STORE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "store/page.h"
+
+namespace fairclean {
+namespace store {
+
+/// Bounded LRU cache of decoded pages, keyed by page id. Bounds the
+/// store's RSS: without it every B-tree descent and data-chain walk would
+/// either re-read from disk or grow an unbounded map.
+///
+/// Get bumps the entry to most-recently-used; Put inserts (or refreshes)
+/// and evicts the least-recently-used entry past `capacity`. Not
+/// internally synchronized — PagedStore serializes access under its mutex.
+///
+/// Instruments (global metrics registry): "store.pages_evicted",
+/// "store.cache_hits", "store.cache_misses", and the
+/// "store.cache_hit_ratio" gauge (hits / lookups so far).
+class PageCache {
+ public:
+  /// `capacity` == 0 disables caching entirely (every Get misses).
+  explicit PageCache(size_t capacity);
+
+  /// The cached page, bumped to MRU; nullopt on miss.
+  std::optional<Page> Get(uint64_t page_id);
+
+  /// Inserts or refreshes; evicts LRU entries beyond capacity.
+  void Put(uint64_t page_id, Page page);
+
+  void Erase(uint64_t page_id);
+
+  /// Drops everything (transaction rollback: pages written by the failed
+  /// transaction must not be served from memory).
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hit_count_; }
+  uint64_t misses() const { return miss_count_; }
+  uint64_t evictions() const { return eviction_count_; }
+
+ private:
+  void RecordLookup(bool hit);
+
+  size_t capacity_;
+  /// MRU at front; pairs of (page id, page).
+  std::list<std::pair<uint64_t, Page>> lru_;
+  std::unordered_map<uint64_t,
+                     std::list<std::pair<uint64_t, Page>>::iterator>
+      entries_;
+  uint64_t hit_count_ = 0;
+  uint64_t miss_count_ = 0;
+  uint64_t eviction_count_ = 0;
+  obs::Counter* hits_counter_;
+  obs::Counter* misses_counter_;
+  obs::Counter* evicted_counter_;
+  obs::Gauge* hit_ratio_gauge_;
+};
+
+}  // namespace store
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_STORE_PAGE_CACHE_H_

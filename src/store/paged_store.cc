@@ -1,0 +1,641 @@
+#include "store/paged_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/safe_io.h"
+#include "common/strings.h"
+#include "store/compress.h"
+
+namespace fairclean {
+namespace store {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'C', 'P', 'A', 'G', 'E', 'S', '1'};
+
+// Meta payload: magic(8) txn(8) root(8) page_count(8) entry_count(8)
+// spill_head(8) free_count(4) free ids(8 each).
+constexpr size_t kMetaFixedBytes = 8 * 6 + 4;
+constexpr size_t kMetaInlineFreeCap = (kMaxPayload - kMetaFixedBytes) / 8;
+// Spill page payload: count(4) + ids.
+constexpr size_t kSpillFreeCap = (kMaxPayload - 4) / 8;
+
+// Record header at the front of a data chain's byte stream: the exact raw
+// size and CRC pin byte-verbatim reads through compression and chunking.
+constexpr size_t kRecordHeaderBytes = 16;
+constexpr uint8_t kRecordCompressed = 1;
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(std::string_view in, size_t at) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(in[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(std::string_view in, size_t at) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(in[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+/// NodeIo over the store's allocator and page cache: every node write is
+/// copy-on-write into a fresh page, every superseded node lands on the
+/// pending free list (reusable only after the next commit).
+class StoreNodeIo : public NodeIo {
+ public:
+  explicit StoreNodeIo(PagedStore* store) : store_(store) {}
+
+  Result<Page> ReadNode(uint64_t page_id) override {
+    return store_->FetchPage(page_id);
+  }
+
+  Result<uint64_t> WriteNode(const std::string& payload) override {
+    Page page;
+    page.type = PageType::kIndex;
+    page.page_id = store_->AllocatePage();
+    page.payload = payload;
+    uint64_t id = page.page_id;
+    FC_RETURN_IF_ERROR(store_->WriteNewPage(std::move(page)));
+    return id;
+  }
+
+  void FreeNode(uint64_t page_id) override {
+    store_->pending_free_.push_back(page_id);
+  }
+
+ private:
+  PagedStore* store_;
+};
+
+PagedStore::PagedStore(std::unique_ptr<Pager> pager,
+                       PagedStoreOptions options)
+    : pager_(std::move(pager)),
+      options_(options),
+      cache_(options.cache_pages),
+      txns_committed_(
+          obs::MetricsRegistry::Global().GetCounter("store.txns_committed")),
+      txns_rolled_back_(obs::MetricsRegistry::Global().GetCounter(
+          "store.txns_rolled_back")) {}
+
+Result<std::unique_ptr<PagedStore>> PagedStore::Open(
+    const std::string& path, const PagedStoreOptions& options) {
+  FC_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager, Pager::Open(path));
+  std::unique_ptr<PagedStore> store(
+      new PagedStore(std::move(pager), options));
+  FC_RETURN_IF_ERROR(store->LoadState());
+  return store;
+}
+
+std::string PagedStore::EncodeMetaPayload(const Meta& meta,
+                                          size_t inline_count) {
+  std::string out;
+  out.reserve(kMetaFixedBytes + 8 * inline_count);
+  out.append(kMagic, sizeof(kMagic));
+  AppendU64(&out, meta.txn_id);
+  AppendU64(&out, meta.root);
+  AppendU64(&out, meta.page_count);
+  AppendU64(&out, meta.entry_count);
+  AppendU64(&out, meta.spill_head);
+  AppendU32(&out, static_cast<uint32_t>(inline_count));
+  for (size_t i = 0; i < inline_count; ++i) {
+    AppendU64(&out, meta.free_pages[i]);
+  }
+  return out;
+}
+
+Result<PagedStore::Meta> PagedStore::DecodeMeta(const Page& page,
+                                                uint64_t slot) {
+  auto invalid = [&](const char* what) {
+    return Status::InvalidArgument(
+        StrFormat("meta slot %llu: %s",
+                  static_cast<unsigned long long>(slot), what));
+  };
+  if (page.type != PageType::kMeta) return invalid("not a meta page");
+  const std::string& in = page.payload;
+  if (in.size() < kMetaFixedBytes) return invalid("truncated payload");
+  if (std::string_view(in.data(), 8) != std::string_view(kMagic, 8)) {
+    return invalid("bad magic");
+  }
+  Meta meta;
+  meta.txn_id = GetU64(in, 8);
+  meta.root = GetU64(in, 16);
+  meta.page_count = GetU64(in, 24);
+  meta.entry_count = GetU64(in, 32);
+  meta.spill_head = GetU64(in, 40);
+  uint32_t inline_count = GetU32(in, 48);
+  if (in.size() != kMetaFixedBytes + 8ull * inline_count) {
+    return invalid("free list overruns payload");
+  }
+  meta.free_pages.reserve(inline_count);
+  for (uint32_t i = 0; i < inline_count; ++i) {
+    meta.free_pages.push_back(GetU64(in, kMetaFixedBytes + 8ull * i));
+  }
+  return meta;
+}
+
+Result<PagedStore::Meta> PagedStore::ReadMetaSlot(uint64_t slot,
+                                                  bool* torn) {
+  *torn = false;
+  Result<Page> page = pager_->Read(slot);
+  if (!page.ok()) {
+    if (page.status().code() == StatusCode::kIoError) return page.status();
+    *torn = true;
+    return page.status();
+  }
+  Result<Meta> meta = DecodeMeta(*page, slot);
+  if (!meta.ok()) *torn = true;
+  return meta;
+}
+
+Status PagedStore::Initialize() {
+  Meta meta;  // txn 0, empty tree, pages 0..1 only
+  std::string payload = EncodeMetaPayload(meta, 0);
+  for (uint64_t slot = 0; slot < 2; ++slot) {
+    Page page;
+    page.type = PageType::kMeta;
+    page.page_id = slot;
+    page.payload = payload;
+    FC_RETURN_IF_ERROR(pager_->Write(page));
+  }
+  if (options_.fsync) FC_RETURN_IF_ERROR(pager_->Sync());
+  return Status::OK();
+}
+
+Status PagedStore::LoadState() {
+  if (pager_->PageCount() == 0) {
+    FC_RETURN_IF_ERROR(Initialize());
+  }
+  std::optional<Meta> best;
+  for (uint64_t slot = 0; slot < 2; ++slot) {
+    bool torn = false;
+    Result<Meta> meta = ReadMetaSlot(slot, &torn);
+    if (!meta.ok()) {
+      if (torn) continue;  // torn slot: the other one recovers
+      return meta.status();
+    }
+    if (!best.has_value() || meta->txn_id > best->txn_id) {
+      best = std::move(*meta);
+    }
+  }
+  if (!best.has_value()) {
+    return Status::IoError("store file " + pager_->path() +
+                           " has no valid meta page; both slots are torn");
+  }
+
+  txn_id_ = best->txn_id;
+  root_ = best->root;
+  page_count_ = std::max<uint64_t>(best->page_count, 2);
+  entry_count_ = best->entry_count;
+  free_ = best->free_pages;
+  spill_pages_.clear();
+  pending_free_.clear();
+
+  // Follow the free-list spill chain.
+  uint64_t spill = best->spill_head;
+  while (spill != 0) {
+    if (spill_pages_.size() > page_count_) {
+      return Status::InvalidArgument("free-list spill chain loops");
+    }
+    FC_ASSIGN_OR_RETURN(Page page, pager_->Read(spill));
+    if (page.type != PageType::kFreeList) {
+      return Status::InvalidArgument(
+          StrFormat("page %llu is not a free-list page",
+                    static_cast<unsigned long long>(spill)));
+    }
+    if (page.payload.size() < 4) {
+      return Status::InvalidArgument("truncated free-list page");
+    }
+    uint32_t count = GetU32(page.payload, 0);
+    if (page.payload.size() != 4 + 8ull * count) {
+      return Status::InvalidArgument("malformed free-list page");
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      free_.push_back(GetU64(page.payload, 4 + 8ull * i));
+    }
+    spill_pages_.push_back(spill);
+    spill = page.next_page;
+  }
+  // Descending order: pop_back hands out the smallest id first, which
+  // keeps allocation deterministic.
+  std::sort(free_.begin(), free_.end(), std::greater<uint64_t>());
+  return Status::OK();
+}
+
+Result<Page> PagedStore::FetchPage(uint64_t page_id) {
+  std::optional<Page> cached = cache_.Get(page_id);
+  if (cached.has_value()) return std::move(*cached);
+  FC_ASSIGN_OR_RETURN(Page page, pager_->Read(page_id));
+  cache_.Put(page_id, page);
+  return page;
+}
+
+uint64_t PagedStore::AllocatePage() {
+  if (!free_.empty()) {
+    uint64_t id = free_.back();
+    free_.pop_back();
+    return id;
+  }
+  return page_count_++;
+}
+
+Status PagedStore::WriteNewPage(Page page) {
+  FC_RETURN_IF_ERROR(pager_->Write(page));
+  uint64_t id = page.page_id;
+  cache_.Put(id, std::move(page));
+  return Status::OK();
+}
+
+Status PagedStore::CommitTxn() {
+  const uint64_t next_txn = txn_id_ + 1;
+
+  // Everything freed so far plus the previous meta's spill chain becomes
+  // allocatable once this commit lands (the only fallback meta from here
+  // on is the one this commit writes... or its predecessor, neither of
+  // which references these pages).
+  std::vector<uint64_t> free_ids = free_;
+  free_ids.insert(free_ids.end(), pending_free_.begin(),
+                  pending_free_.end());
+  free_ids.insert(free_ids.end(), spill_pages_.begin(), spill_pages_.end());
+  std::sort(free_ids.begin(), free_ids.end());
+  free_ids.erase(std::unique(free_ids.begin(), free_ids.end()),
+                 free_ids.end());
+
+  // Spill the overflow beyond the meta's inline capacity into chain pages
+  // allocated strictly at the end of the file: a page from the free list
+  // could still be referenced as the OTHER meta slot's spill chain.
+  std::vector<uint64_t> new_spill;
+  Meta meta;
+  meta.txn_id = next_txn;
+  meta.root = root_;
+  meta.entry_count = entry_count_;
+  meta.free_pages = free_ids;
+  size_t inline_count = std::min(free_ids.size(), kMetaInlineFreeCap);
+  size_t spilled = free_ids.size() - inline_count;
+  if (spilled > 0) {
+    size_t chain_pages = (spilled + kSpillFreeCap - 1) / kSpillFreeCap;
+    std::vector<uint64_t> ids;
+    ids.reserve(chain_pages);
+    for (size_t i = 0; i < chain_pages; ++i) ids.push_back(page_count_++);
+    size_t at = inline_count;
+    for (size_t i = 0; i < chain_pages; ++i) {
+      size_t take = std::min(kSpillFreeCap, free_ids.size() - at);
+      Page page;
+      page.type = PageType::kFreeList;
+      page.page_id = ids[i];
+      page.next_page = i + 1 < chain_pages ? ids[i + 1] : 0;
+      AppendU32(&page.payload, static_cast<uint32_t>(take));
+      for (size_t j = 0; j < take; ++j) {
+        AppendU64(&page.payload, free_ids[at + j]);
+      }
+      at += take;
+      FC_RETURN_IF_ERROR(WriteNewPage(std::move(page)));
+    }
+    meta.spill_head = ids[0];
+    new_spill = std::move(ids);
+  }
+  meta.page_count = page_count_;
+
+  // Barrier 1: all copy-on-write pages of this transaction are durable
+  // before any meta references them.
+  if (options_.fsync) FC_RETURN_IF_ERROR(pager_->Sync());
+
+  Page meta_page;
+  meta_page.type = PageType::kMeta;
+  meta_page.page_id = next_txn % 2;
+  meta_page.payload = EncodeMetaPayload(meta, inline_count);
+  FC_RETURN_IF_ERROR(pager_->Write(meta_page));
+
+  // Barrier 2: the commit point. A crash before this leaves the previous
+  // meta as the recovered state; after it, the new one.
+  if (options_.fsync) FC_RETURN_IF_ERROR(pager_->Sync());
+
+  txn_id_ = next_txn;
+  free_ = std::move(free_ids);
+  std::sort(free_.begin(), free_.end(), std::greater<uint64_t>());
+  pending_free_.clear();
+  spill_pages_ = std::move(new_spill);
+  txns_committed_->Increment();
+  return Status::OK();
+}
+
+void PagedStore::RollbackTxn() {
+  root_ = snapshot_.root;
+  page_count_ = snapshot_.page_count;
+  entry_count_ = snapshot_.entry_count;
+  free_ = snapshot_.free_pages;
+  pending_free_ = snapshot_.pending_free;
+  spill_pages_ = snapshot_.spill_pages;
+  // Pages written by the failed transaction may be cached; none of them
+  // are reachable from the committed state, but dropping everything is
+  // the simple way to guarantee it.
+  cache_.Clear();
+  txns_rolled_back_->Increment();
+}
+
+Result<uint64_t> PagedStore::WriteRecordChain(const std::string& value) {
+  if (value.size() > UINT32_MAX) {
+    return Status::InvalidArgument("store record exceeds 4 GiB");
+  }
+  uint8_t flags = 0;
+  const std::string* stored = &value;
+  std::string compressed;
+  if (options_.compress && value.size() > 64) {
+    compressed = LzssCompress(value);
+    if (compressed.size() < value.size()) {
+      stored = &compressed;
+      flags = kRecordCompressed;
+    }
+  }
+  std::string record;
+  record.reserve(kRecordHeaderBytes + stored->size());
+  AppendU32(&record, static_cast<uint32_t>(value.size()));
+  AppendU32(&record, static_cast<uint32_t>(stored->size()));
+  AppendU32(&record, Crc32(value));
+  record.push_back(static_cast<char>(flags));
+  record.append(3, '\0');
+  record += *stored;
+
+  size_t chunks = (record.size() + kMaxPayload - 1) / kMaxPayload;
+  if (chunks == 0) chunks = 1;
+  std::vector<uint64_t> ids;
+  ids.reserve(chunks);
+  for (size_t i = 0; i < chunks; ++i) ids.push_back(AllocatePage());
+  for (size_t i = 0; i < chunks; ++i) {
+    Page page;
+    page.type = PageType::kData;
+    page.page_id = ids[i];
+    page.next_page = i + 1 < chunks ? ids[i + 1] : 0;
+    size_t offset = i * kMaxPayload;
+    page.payload = record.substr(offset,
+                                 std::min(kMaxPayload,
+                                          record.size() - offset));
+    FC_RETURN_IF_ERROR(WriteNewPage(std::move(page)));
+  }
+  return ids[0];
+}
+
+Result<std::string> PagedStore::ReadRecordChain(uint64_t head_page) {
+  std::string record;
+  uint64_t page_id = head_page;
+  uint64_t hops = 0;
+  while (page_id != 0) {
+    if (++hops > page_count_) {
+      return Status::InvalidArgument(
+          StrFormat("data chain at page %llu loops",
+                    static_cast<unsigned long long>(head_page)));
+    }
+    FC_ASSIGN_OR_RETURN(Page page, FetchPage(page_id));
+    if (page.type != PageType::kData) {
+      return Status::InvalidArgument(
+          StrFormat("page %llu is not a data page",
+                    static_cast<unsigned long long>(page_id)));
+    }
+    record += page.payload;
+    page_id = page.next_page;
+  }
+  if (record.size() < kRecordHeaderBytes) {
+    return Status::InvalidArgument("record shorter than its header");
+  }
+  uint32_t raw_len = GetU32(record, 0);
+  uint32_t stored_len = GetU32(record, 4);
+  uint32_t raw_crc = GetU32(record, 8);
+  uint8_t flags = static_cast<uint8_t>(record[12]);
+  if (record.size() != kRecordHeaderBytes + stored_len) {
+    return Status::InvalidArgument(
+        StrFormat("record payload is %zu bytes, header says %u",
+                  record.size() - kRecordHeaderBytes, stored_len));
+  }
+  std::string raw;
+  if ((flags & kRecordCompressed) != 0) {
+    FC_ASSIGN_OR_RETURN(
+        raw, LzssDecompress(
+                 std::string_view(record).substr(kRecordHeaderBytes),
+                 raw_len));
+  } else {
+    raw = record.substr(kRecordHeaderBytes);
+  }
+  if (raw.size() != raw_len) {
+    return Status::InvalidArgument(
+        StrFormat("record is %zu bytes, header says %u", raw.size(),
+                  raw_len));
+  }
+  uint32_t actual_crc = Crc32(raw);
+  if (actual_crc != raw_crc) {
+    return Status::InvalidArgument(
+        StrFormat("record crc mismatch: stored %08x, computed %08x",
+                  raw_crc, actual_crc));
+  }
+  return raw;
+}
+
+Status PagedStore::FreeRecordChain(uint64_t head_page) {
+  uint64_t page_id = head_page;
+  uint64_t hops = 0;
+  while (page_id != 0 && ++hops <= page_count_) {
+    pending_free_.push_back(page_id);
+    Result<Page> page = FetchPage(page_id);
+    // An unreadable link orphans the chain's tail: wasted space, not
+    // corruption — integrity counts it as garbage, never as torn.
+    if (!page.ok()) break;
+    page_id = page->next_page;
+  }
+  return Status::OK();
+}
+
+Status PagedStore::PutLocked(const std::string& key,
+                             const std::string& value) {
+  snapshot_ = {root_, page_count_, entry_count_, free_, pending_free_,
+               spill_pages_};
+  Status status = [&]() -> Status {
+    StoreNodeIo io(this);
+    FC_ASSIGN_OR_RETURN(std::optional<uint64_t> old_head,
+                        BTreeLookup(io, root_, key));
+    FC_ASSIGN_OR_RETURN(uint64_t head, WriteRecordChain(value));
+    FC_ASSIGN_OR_RETURN(root_, BTreeInsert(io, root_, key, head));
+    if (old_head.has_value()) {
+      FC_RETURN_IF_ERROR(FreeRecordChain(*old_head));
+    } else {
+      ++entry_count_;
+    }
+    return CommitTxn();
+  }();
+  if (!status.ok()) RollbackTxn();
+  return status;
+}
+
+Status PagedStore::Put(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return PutLocked(key, value);
+}
+
+Result<std::string> PagedStore::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StoreNodeIo io(this);
+  FC_ASSIGN_OR_RETURN(std::optional<uint64_t> head,
+                      BTreeLookup(io, root_, key));
+  if (!head.has_value()) {
+    return Status::NotFound("store has no record \"" + key + "\"");
+  }
+  return ReadRecordChain(*head);
+}
+
+Status PagedStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot_ = {root_, page_count_, entry_count_, free_, pending_free_,
+               spill_pages_};
+  Status status = [&]() -> Status {
+    StoreNodeIo io(this);
+    FC_ASSIGN_OR_RETURN(std::optional<uint64_t> head,
+                        BTreeLookup(io, root_, key));
+    if (!head.has_value()) {
+      return Status::NotFound("store has no record \"" + key + "\"");
+    }
+    FC_ASSIGN_OR_RETURN(BTreeDeleteOutcome outcome,
+                        BTreeDelete(io, root_, key));
+    root_ = outcome.root;
+    FC_RETURN_IF_ERROR(FreeRecordChain(*head));
+    --entry_count_;
+    return CommitTxn();
+  }();
+  if (!status.ok() && status.code() != StatusCode::kNotFound) RollbackTxn();
+  return status;
+}
+
+Status PagedStore::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot_ = {root_, page_count_, entry_count_, free_, pending_free_,
+               spill_pages_};
+  Status status = [&]() -> Status {
+    StoreNodeIo io(this);
+    FC_ASSIGN_OR_RETURN(std::optional<uint64_t> head,
+                        BTreeLookup(io, root_, from));
+    if (!head.has_value()) {
+      return Status::NotFound("store has no record \"" + from + "\"");
+    }
+    FC_ASSIGN_OR_RETURN(std::optional<uint64_t> taken,
+                        BTreeLookup(io, root_, to));
+    if (taken.has_value()) {
+      return Status::AlreadyExists("store already has \"" + to + "\"");
+    }
+    FC_ASSIGN_OR_RETURN(root_, BTreeInsert(io, root_, to, *head));
+    FC_ASSIGN_OR_RETURN(BTreeDeleteOutcome outcome,
+                        BTreeDelete(io, root_, from));
+    root_ = outcome.root;
+    return CommitTxn();
+  }();
+  if (!status.ok() && status.code() != StatusCode::kNotFound &&
+      status.code() != StatusCode::kAlreadyExists) {
+    RollbackTxn();
+  }
+  return status;
+}
+
+Result<bool> PagedStore::Contains(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StoreNodeIo io(this);
+  FC_ASSIGN_OR_RETURN(std::optional<uint64_t> head,
+                      BTreeLookup(io, root_, key));
+  return head.has_value();
+}
+
+Result<std::vector<std::string>> PagedStore::ListKeys() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StoreNodeIo io(this);
+  std::vector<std::string> keys;
+  FC_RETURN_IF_ERROR(
+      BTreeIterate(io, root_, [&](std::string_view key, uint64_t) {
+        keys.emplace_back(key);
+        return Status::OK();
+      }));
+  return keys;
+}
+
+uint64_t PagedStore::txn_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return txn_id_;
+}
+
+uint64_t PagedStore::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entry_count_;
+}
+
+Result<PagedStore::IntegrityReport> PagedStore::CheckIntegrity() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  IntegrityReport report;
+  report.txn_id = txn_id_;
+  report.pages_total = pager_->PageCount();
+  report.pages_reachable = 2;  // the meta slots
+  report.pages_free = free_.size() + pending_free_.size();
+  StoreNodeIo io(this);
+
+  auto record_error = [&](const Status& status) {
+    ++report.torn_pages;
+    report.errors.push_back(status.ToString());
+  };
+
+  std::vector<uint64_t> index_pages;
+  Status walked = BTreeCollectPages(io, root_, &index_pages);
+  report.pages_reachable += index_pages.size();
+  if (!walked.ok()) {
+    record_error(walked);
+    return report;
+  }
+
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  Status iterated =
+      BTreeIterate(io, root_, [&](std::string_view key, uint64_t head) {
+        entries.emplace_back(std::string(key), head);
+        return Status::OK();
+      });
+  if (!iterated.ok()) record_error(iterated);
+  report.entries = entries.size();
+
+  for (const auto& [key, head] : entries) {
+    // Count the chain's pages, then verify the record end to end
+    // (page CRCs, chunk reassembly, decompression, raw CRC).
+    uint64_t page_id = head;
+    uint64_t hops = 0;
+    while (page_id != 0 && ++hops <= report.pages_total) {
+      ++report.pages_reachable;
+      Result<Page> page = FetchPage(page_id);
+      if (!page.ok()) break;
+      page_id = page->next_page;
+    }
+    Result<std::string> value = ReadRecordChain(head);
+    if (!value.ok()) {
+      record_error(Status::InvalidArgument(
+          "record \"" + key + "\": " + value.status().ToString()));
+    }
+  }
+
+  report.pages_reachable += spill_pages_.size();
+  for (uint64_t spill : spill_pages_) {
+    Result<Page> page = FetchPage(spill);
+    if (!page.ok()) record_error(page.status());
+  }
+  return report;
+}
+
+}  // namespace store
+}  // namespace fairclean

@@ -1,0 +1,175 @@
+#ifndef FAIRCLEAN_STORE_PAGED_STORE_H_
+#define FAIRCLEAN_STORE_PAGED_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "store/btree.h"
+#include "store/page_cache.h"
+#include "store/pager.h"
+
+namespace fairclean {
+namespace store {
+
+struct PagedStoreOptions {
+  /// PageCache capacity in pages (FAIRCLEAN_STORE_CACHE_PAGES). 0 disables
+  /// the cache (every access re-reads from disk).
+  size_t cache_pages = 256;
+  /// Compress record payloads (LZSS) when it shrinks them
+  /// (FAIRCLEAN_STORE_COMPRESS). Read-side transparent: stored records
+  /// carry a flag and the raw CRC, so Get returns the exact original bytes
+  /// either way.
+  bool compress = false;
+  /// fsync at the two commit barriers. Disable only for bulk loads whose
+  /// durability doesn't matter (benchmarks); crash safety requires it.
+  bool fsync = true;
+};
+
+/// Single-file paged key/value store with copy-on-write crash safety —
+/// the engine behind the paged artifact/result cache backend.
+///
+/// File layout: pages 0 and 1 are alternating meta slots (txn N writes
+/// slot N%2); everything else is B-tree index nodes, value-record data
+/// chains, and free-list spill pages. A mutation is one transaction:
+///   1. write all new data/index/free-list pages (copy-on-write — never a
+///      page the last committed state references),
+///   2. fsync,
+///   3. write the ONE meta page of the new transaction,
+///   4. fsync.
+/// A crash anywhere leaves at least one intact meta slot; Open picks the
+/// valid slot with the highest txn id, so the store atomically holds
+/// either the old or the new state. Pages freed by txn N (referenced only
+/// by tree N-1) become allocatable at txn N+1: a crash during N+1 recovers
+/// to tree N, which doesn't reference them — tree N-1 is never a fallback
+/// for txn N+1 because its meta slot is the very one N+1 overwrites.
+/// Free-list spill pages are always allocated at the end of the file,
+/// never from the free list, so a meta's own spill chain can't be handed
+/// out while that meta is live.
+///
+/// Thread-safe: all operations serialize on an internal mutex (single
+/// process, single writer). Values are returned byte-verbatim (raw CRC
+/// verified on read), so sha256 fingerprints of stored records are
+/// identical to the flat-file backend's.
+class PagedStore {
+ public:
+  static Result<std::unique_ptr<PagedStore>> Open(
+      const std::string& path, const PagedStoreOptions& options);
+
+  /// Inserts or replaces one record (one committed transaction).
+  Status Put(const std::string& key, const std::string& value);
+
+  /// The exact bytes last Put under `key`. NotFound when absent;
+  /// InvalidArgument when the stored record is torn/corrupt.
+  Result<std::string> Get(const std::string& key);
+
+  /// Removes a record. NotFound when absent.
+  Status Delete(const std::string& key);
+
+  /// Re-keys a record without touching its data chain — quarantine uses
+  /// this so even a record whose payload no longer passes CRC keeps its
+  /// evidence bytes on disk. NotFound when `from` is absent;
+  /// AlreadyExists when `to` is taken.
+  Status Rename(const std::string& from, const std::string& to);
+
+  /// Whether `key` exists (index lookup only).
+  Result<bool> Contains(const std::string& key);
+
+  /// All keys, sorted.
+  Result<std::vector<std::string>> ListKeys();
+
+  struct IntegrityReport {
+    uint64_t txn_id = 0;          ///< recovered transaction
+    uint64_t pages_total = 0;     ///< pages in the file
+    uint64_t pages_reachable = 0; ///< metas + live tree + chains + spill
+    uint64_t pages_free = 0;      ///< on the recovered free list
+    uint64_t torn_pages = 0;      ///< reachable pages that fail to read
+    uint64_t entries = 0;         ///< records reachable through the index
+    std::vector<std::string> errors;  ///< one line per torn page
+  };
+
+  /// Full reachability walk of the recovered state: every index node,
+  /// data-chain page, and free-list spill page must decode. torn_pages is
+  /// 0 after any crash if the commit protocol held. (Pages that are
+  /// neither reachable nor free are garbage from an uncommitted
+  /// transaction — wasted space, not corruption.)
+  Result<IntegrityReport> CheckIntegrity();
+
+  uint64_t txn_id() const;
+  uint64_t entry_count() const;
+  const std::string& path() const { return pager_->path(); }
+
+ private:
+  friend class StoreNodeIo;
+
+  PagedStore(std::unique_ptr<Pager> pager, PagedStoreOptions options);
+
+  struct Meta {
+    uint64_t txn_id = 0;
+    uint64_t root = 0;
+    uint64_t page_count = 2;
+    uint64_t entry_count = 0;
+    std::vector<uint64_t> free_pages;
+    uint64_t spill_head = 0;  ///< first free-list spill page (0: none)
+  };
+
+  Status Initialize();
+  Status LoadState();
+  Result<Meta> ReadMetaSlot(uint64_t slot, bool* torn);
+  static std::string EncodeMetaPayload(const Meta& meta, size_t inline_count);
+  Result<Meta> DecodeMeta(const Page& page, uint64_t slot);
+
+  /// Cached, CRC-checked page read.
+  Result<Page> FetchPage(uint64_t page_id);
+  /// Allocates from the free list (smallest id first) or extends the file.
+  uint64_t AllocatePage();
+  /// Writes one freshly allocated page and caches it.
+  Status WriteNewPage(Page page);
+
+  /// Commits the in-flight mutation: free-list spill, sync, meta, sync.
+  Status CommitTxn();
+  /// Restores committed in-memory state after a failed transaction.
+  void RollbackTxn();
+
+  Result<uint64_t> WriteRecordChain(const std::string& value);
+  Result<std::string> ReadRecordChain(uint64_t head_page);
+  Status FreeRecordChain(uint64_t head_page);
+
+  Status PutLocked(const std::string& key, const std::string& value);
+
+  mutable std::mutex mutex_;
+  std::unique_ptr<Pager> pager_;
+  PagedStoreOptions options_;
+  PageCache cache_;
+
+  // Committed state (snapshotted at txn start for rollback).
+  uint64_t txn_id_ = 0;
+  uint64_t root_ = 0;
+  uint64_t page_count_ = 2;
+  uint64_t entry_count_ = 0;
+  std::vector<uint64_t> free_;          ///< allocatable now (sorted)
+  std::vector<uint64_t> pending_free_;  ///< freed this txn; usable next txn
+  std::vector<uint64_t> spill_pages_;   ///< current meta's spill chain
+
+  struct TxnSnapshot {
+    uint64_t root;
+    uint64_t page_count;
+    uint64_t entry_count;
+    std::vector<uint64_t> free_pages;
+    std::vector<uint64_t> pending_free;
+    std::vector<uint64_t> spill_pages;
+  };
+  TxnSnapshot snapshot_;
+
+  obs::Counter* txns_committed_;
+  obs::Counter* txns_rolled_back_;
+};
+
+}  // namespace store
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_STORE_PAGED_STORE_H_

@@ -1,0 +1,108 @@
+#include "store/pager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault_injection.h"
+#include "common/strings.h"
+
+namespace fairclean {
+namespace store {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Pager::Pager(std::string path, int fd, uint64_t page_count)
+    : path_(std::move(path)),
+      fd_(fd),
+      page_count_(page_count),
+      pages_read_(
+          obs::MetricsRegistry::Global().GetCounter("store.pages_read")),
+      pages_written_(
+          obs::MetricsRegistry::Global().GetCounter("store.pages_written")) {}
+
+Pager::~Pager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open store file", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status = Status::IoError(ErrnoMessage("fstat failed", path));
+    ::close(fd);
+    return status;
+  }
+  uint64_t size = static_cast<uint64_t>(st.st_size);
+  uint64_t page_count = (size + kPageSize - 1) / kPageSize;
+  return std::unique_ptr<Pager>(new Pager(path, fd, page_count));
+}
+
+Result<Page> Pager::Read(uint64_t page_id) {
+  FC_RETURN_IF_ERROR(FaultInjector::Global().Inject("page_read"));
+  std::string buffer(kPageSize, '\0');
+  size_t got = 0;
+  while (got < kPageSize) {
+    ssize_t n = ::pread(fd_, &buffer[got], kPageSize - got,
+                        static_cast<off_t>(page_id * kPageSize + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage(
+          StrFormat("pread of page %llu failed in",
+                    static_cast<unsigned long long>(page_id)),
+          path_));
+    }
+    if (n == 0) break;  // EOF: short read, reported by DecodePage
+    got += static_cast<size_t>(n);
+  }
+  pages_read_->Increment();
+  return DecodePage(std::string_view(buffer).substr(0, got), page_id);
+}
+
+Status Pager::Write(const Page& page) {
+  FC_RETURN_IF_ERROR(FaultInjector::Global().Inject("page_write"));
+  std::string bytes = EncodePage(page);
+  size_t written = 0;
+  while (written < kPageSize) {
+    ssize_t n =
+        ::pwrite(fd_, bytes.data() + written, kPageSize - written,
+                 static_cast<off_t>(page.page_id * kPageSize + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage(
+          StrFormat("pwrite of page %llu failed in",
+                    static_cast<unsigned long long>(page.page_id)),
+          path_));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (page.page_id >= page_count_) page_count_ = page.page_id + 1;
+  pages_written_->Increment();
+  return Status::OK();
+}
+
+Status Pager::Sync() {
+#if defined(__APPLE__)
+  if (::fsync(fd_) != 0) {
+#else
+  if (::fdatasync(fd_) != 0) {
+#endif
+    return Status::IoError(ErrnoMessage("fdatasync failed", path_));
+  }
+  return Status::OK();
+}
+
+}  // namespace store
+}  // namespace fairclean

@@ -1,0 +1,67 @@
+#ifndef FAIRCLEAN_STORE_PAGER_H_
+#define FAIRCLEAN_STORE_PAGER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "store/page.h"
+
+namespace fairclean {
+namespace store {
+
+/// Raw page IO over one store file: pread/pwrite of kPageSize units with
+/// CRC verification on read and a page-id echo check against misdirected
+/// writes. Probes the "page_read"/"page_write" fault-injection sites, so
+/// chaos tests can tear an individual page flush the way kill -9 would.
+///
+/// Error taxonomy (PagedStore's recovery depends on it):
+///   - IoError: the syscall failed or an injected fault fired — the page's
+///     on-disk state is unknown; callers retry or roll back.
+///   - InvalidArgument: the page was read but is not trustworthy (short
+///     read at EOF, CRC mismatch, wrong id echo) — a torn or stale page;
+///     meta recovery falls back to the other slot on this.
+///
+/// Not internally synchronized: PagedStore serializes all access under its
+/// own mutex. Counters "store.pages_read"/"store.pages_written" land in
+/// the global metrics registry.
+class Pager {
+ public:
+  /// Opens (creating if absent) the store file. The file grows lazily as
+  /// pages beyond the current end are written.
+  static Result<std::unique_ptr<Pager>> Open(const std::string& path);
+
+  ~Pager();
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Reads and verifies one page.
+  Result<Page> Read(uint64_t page_id);
+
+  /// Serializes and writes one page at page.page_id.
+  Status Write(const Page& page);
+
+  /// Flushes written pages to stable storage (fdatasync).
+  Status Sync();
+
+  /// Pages the file currently holds (file size / kPageSize, rounding a
+  /// torn partial tail page up so it stays addressable for inspection).
+  uint64_t PageCount() const { return page_count_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Pager(std::string path, int fd, uint64_t page_count);
+
+  std::string path_;
+  int fd_;
+  uint64_t page_count_;
+  obs::Counter* pages_read_;
+  obs::Counter* pages_written_;
+};
+
+}  // namespace store
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_STORE_PAGER_H_

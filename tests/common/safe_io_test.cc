@@ -104,6 +104,40 @@ TEST(QuarantineTest, MovesFileAside) {
   std::filesystem::remove(*moved);
 }
 
+TEST(QuarantineTest, RepeatedQuarantinesKeepEveryCopy) {
+  // Recompute-after-corruption can corrupt again; each quarantine must
+  // pick a fresh name instead of clobbering the earlier evidence.
+  std::string path = TempPath("repeat.json");
+  ASSERT_TRUE(WriteFileAtomic(path, "damage one").ok());
+  Result<std::string> first = QuarantineFile(path);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, path + ".corrupt");
+
+  ASSERT_TRUE(WriteFileAtomic(path, "damage two").ok());
+  Result<std::string> second = QuarantineFile(path);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, path + ".corrupt.1");
+
+  ASSERT_TRUE(WriteFileAtomic(path, "damage three").ok());
+  Result<std::string> third = QuarantineFile(path);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(*third, path + ".corrupt.2");
+
+  EXPECT_EQ(*ReadFileToString(*first), "damage one");
+  EXPECT_EQ(*ReadFileToString(*second), "damage two");
+  EXPECT_EQ(*ReadFileToString(*third), "damage three");
+  EXPECT_FALSE(std::filesystem::exists(path));
+  std::filesystem::remove(*first);
+  std::filesystem::remove(*second);
+  std::filesystem::remove(*third);
+}
+
+TEST(QuarantineTest, MissingFileIsIoError) {
+  Result<std::string> moved = QuarantineFile(TempPath("never_existed"));
+  ASSERT_FALSE(moved.ok());
+  EXPECT_EQ(moved.status().code(), StatusCode::kIoError);
+}
+
 TEST(SafeIoFaultTest, CacheWriteSiteFails) {
   ASSERT_TRUE(
       FaultInjector::Global().Configure("cache_write:1", 1).ok());

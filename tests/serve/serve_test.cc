@@ -16,6 +16,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <climits>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -240,6 +241,75 @@ TEST(ServeProtocolTest, ParseResponseReadsErrorShape) {
 
   EXPECT_FALSE(ParseResponse("garbage").ok());
   EXPECT_FALSE(ParseResponse("{\"id\":\"x\"}").ok());  // no status
+}
+
+TEST(ServeProtocolTest, ParseResponseSanitizesHostileRetryHints) {
+  // The hint crosses the wire as an untrusted double; every malformed
+  // shape must land in [0, kMaxRetryAfterMs] instead of hitting the
+  // undefined double->int conversion the old bare cast performed.
+  auto hint_of = [](const std::string& raw) {
+    Result<AdvisorResponse> response = ParseResponse(
+        "{\"id\":\"h\",\"status\":\"unavailable\",\"retry_after_ms\":" +
+        raw + "}");
+    EXPECT_TRUE(response.ok()) << raw;
+    return response.ok() ? response->retry_after_ms : -1;
+  };
+  EXPECT_EQ(hint_of("250"), 250);
+  EXPECT_EQ(hint_of("0"), 0);
+  EXPECT_EQ(hint_of("-1"), 0);
+  EXPECT_EQ(hint_of("-1e300"), 0);
+  EXPECT_EQ(hint_of("1e300"), kMaxRetryAfterMs);  // beyond-int magnitude
+  EXPECT_EQ(hint_of("99999999999"), kMaxRetryAfterMs);
+  EXPECT_EQ(hint_of(std::to_string(kMaxRetryAfterMs + 1)), kMaxRetryAfterMs);
+  EXPECT_EQ(hint_of("\"soon\""), 0);  // non-number -> NumberOr default
+
+  // A non-finite hint parsed from a malformed-but-accepted payload also
+  // reads as 0 (JSON has no NaN literal; NumberOr's default covers it).
+  Result<AdvisorResponse> missing = ParseResponse(
+      "{\"id\":\"h\",\"status\":\"unavailable\"}");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->retry_after_ms, 0);
+}
+
+TEST(ServeProtocolTest, BackoffDelaySaturatesAtHighAttempts) {
+  BackoffOptions backoff;
+  backoff.base_ms = 50;
+  backoff.max_ms = 2000;
+  // The doubling ramp, then the cap.
+  EXPECT_EQ(BackoffDelayMs(backoff, 1, 0), 50);
+  EXPECT_EQ(BackoffDelayMs(backoff, 2, 0), 100);
+  EXPECT_EQ(BackoffDelayMs(backoff, 3, 0), 200);
+  EXPECT_EQ(BackoffDelayMs(backoff, 6, 0), 1600);
+  EXPECT_EQ(BackoffDelayMs(backoff, 7, 0), 2000);
+  // Attempts far past where `base_ms << (attempt - 1)` was undefined
+  // behavior: the delay pins at max_ms, never wraps negative.
+  for (int attempt : {31, 32, 63, 64, 100, 1000, INT_MAX}) {
+    EXPECT_EQ(BackoffDelayMs(backoff, attempt, 0), 2000) << attempt;
+  }
+}
+
+TEST(ServeProtocolTest, BackoffDelayHonorsServerHintWithinCap) {
+  BackoffOptions backoff;
+  backoff.base_ms = 50;
+  backoff.max_ms = 2000;
+  // A larger server hint replaces the computed delay...
+  EXPECT_EQ(BackoffDelayMs(backoff, 1, 300), 300);
+  // ...a smaller one does not...
+  EXPECT_EQ(BackoffDelayMs(backoff, 4, 100), 400);
+  // ...and the cap binds the hint too (the hint is already sanitized to
+  // kMaxRetryAfterMs upstream, but the cap must hold regardless).
+  EXPECT_EQ(BackoffDelayMs(backoff, 1, 1000000), 2000);
+  EXPECT_EQ(BackoffDelayMs(backoff, 1000, 1000000), 2000);
+
+  // Degenerate configurations stay non-negative.
+  BackoffOptions zero;
+  zero.base_ms = 0;
+  zero.max_ms = 0;
+  EXPECT_EQ(BackoffDelayMs(zero, 100, 0), 0);
+  BackoffOptions negative;
+  negative.base_ms = -5;
+  negative.max_ms = -1;
+  EXPECT_EQ(BackoffDelayMs(negative, 100, 50), 0);
 }
 
 TEST(ServeOptionsTest, EnvParsingIsStrict) {

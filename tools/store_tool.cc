@@ -1,0 +1,190 @@
+// Operator CLI for the paged artifact store (DESIGN.md §11).
+//
+//   store_tool check <pages-file>        full reachability walk; exit 1 on
+//                                        torn pages, 2 when the file won't
+//                                        open (both meta slots torn)
+//   store_tool stats <pages-file>        one JSON line: txn, entries, pages
+//   store_tool ls <pages-file>           all keys, sorted, one per line
+//   store_tool get <pages-file> <key>    record bytes to stdout
+//   store_tool migrate <cache-dir>       absorb every flat cache file in
+//                                        the directory into the pages file
+//
+// `check` is the CI store-soak gate: after a kill -9 the recovered store
+// must report zero torn pages and hold no quarantined (".corrupt") keys.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/strings.h"
+#include "obs/log.h"
+#include "store/blob_store.h"
+#include "store/paged_store.h"
+
+namespace {
+
+using namespace fairclean;  // NOLINT
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: store_tool check|stats|ls <pages-file>\n"
+               "       store_tool get <pages-file> <key>\n"
+               "       store_tool migrate <cache-dir>\n");
+  return 64;
+}
+
+Result<std::unique_ptr<store::PagedStore>> OpenStore(const std::string& path) {
+  store::PagedStoreOptions options;
+  return store::PagedStore::Open(path, options);
+}
+
+int Check(const std::string& path) {
+  Result<std::unique_ptr<store::PagedStore>> opened = OpenStore(path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "store_tool check: open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 2;
+  }
+  Result<store::PagedStore::IntegrityReport> report =
+      (*opened)->CheckIntegrity();
+  if (!report.ok()) {
+    std::fprintf(stderr, "store_tool check: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  Result<std::vector<std::string>> keys = (*opened)->ListKeys();
+  if (!keys.ok()) {
+    std::fprintf(stderr, "store_tool check: %s\n",
+                 keys.status().ToString().c_str());
+    return 2;
+  }
+  size_t quarantined = 0;
+  for (const std::string& key : *keys) {
+    if (key.find(".corrupt") != std::string::npos) ++quarantined;
+  }
+  std::printf(
+      "txn=%llu entries=%llu pages_total=%llu pages_reachable=%llu "
+      "pages_free=%llu torn_pages=%llu quarantined_keys=%zu\n",
+      static_cast<unsigned long long>(report->txn_id),
+      static_cast<unsigned long long>(report->entries),
+      static_cast<unsigned long long>(report->pages_total),
+      static_cast<unsigned long long>(report->pages_reachable),
+      static_cast<unsigned long long>(report->pages_free),
+      static_cast<unsigned long long>(report->torn_pages), quarantined);
+  for (const std::string& error : report->errors) {
+    std::fprintf(stderr, "  torn: %s\n", error.c_str());
+  }
+  return report->torn_pages == 0 ? 0 : 1;
+}
+
+int Stats(const std::string& path) {
+  Result<std::unique_ptr<store::PagedStore>> opened = OpenStore(path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "store_tool stats: %s\n",
+                 opened.status().ToString().c_str());
+    return 2;
+  }
+  std::error_code ec;
+  uint64_t bytes = std::filesystem::file_size(path, ec);
+  std::printf("{\"txn\":%llu,\"entries\":%llu,\"file_bytes\":%llu}\n",
+              static_cast<unsigned long long>((*opened)->txn_id()),
+              static_cast<unsigned long long>((*opened)->entry_count()),
+              static_cast<unsigned long long>(ec ? 0 : bytes));
+  return 0;
+}
+
+int Ls(const std::string& path) {
+  Result<std::unique_ptr<store::PagedStore>> opened = OpenStore(path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "store_tool ls: %s\n",
+                 opened.status().ToString().c_str());
+    return 2;
+  }
+  Result<std::vector<std::string>> keys = (*opened)->ListKeys();
+  if (!keys.ok()) {
+    std::fprintf(stderr, "store_tool ls: %s\n",
+                 keys.status().ToString().c_str());
+    return 2;
+  }
+  for (const std::string& key : *keys) std::printf("%s\n", key.c_str());
+  return 0;
+}
+
+int Get(const std::string& path, const std::string& key) {
+  Result<std::unique_ptr<store::PagedStore>> opened = OpenStore(path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "store_tool get: %s\n",
+                 opened.status().ToString().c_str());
+    return 2;
+  }
+  Result<std::string> value = (*opened)->Get(key);
+  if (!value.ok()) {
+    std::fprintf(stderr, "store_tool get: %s\n",
+                 value.status().ToString().c_str());
+    return 1;
+  }
+  std::fwrite(value->data(), 1, value->size(), stdout);
+  return 0;
+}
+
+// Eager flat -> paged migration: every regular file in the cache directory
+// (except the pages file itself) is read through the paged blob store,
+// whose lazy-migration path absorbs it byte for byte; the flat originals
+// stay in place as fallback copies.
+int Migrate(const std::string& dir) {
+  if (!std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "store_tool migrate: %s is not a directory\n",
+                 dir.c_str());
+    return 2;
+  }
+  store::PagedStoreOptions options;
+  Result<std::shared_ptr<store::PagedBlobStore>> blob =
+      store::PagedBlobStore::Open(dir, options);
+  if (!blob.ok()) {
+    std::fprintf(stderr, "store_tool migrate: %s\n",
+                 blob.status().ToString().c_str());
+    return 2;
+  }
+  size_t absorbed = 0, failed = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    std::string key = entry.path().filename().string();
+    if (key == store::PagedBlobStore::kPagesFileName) continue;
+    Result<std::string> value = (*blob)->Read(key);
+    if (value.ok()) {
+      ++absorbed;
+    } else {
+      ++failed;
+      std::fprintf(stderr, "store_tool migrate: %s: %s\n", key.c_str(),
+                   value.status().ToString().c_str());
+    }
+  }
+  std::printf("migrated %zu keys into %s/%s (%zu unreadable), %llu total\n",
+              absorbed, dir.c_str(), store::PagedBlobStore::kPagesFileName,
+              failed,
+              static_cast<unsigned long long>(
+                  (*blob)->paged_store().entry_count()));
+  return failed == 0 ? 0 : 1;
+}
+
+int Run(int argc, char** argv) {
+  obs::InitLogLevelFromEnv(obs::LogLevel::kWarn);
+  if (argc < 3) return Usage();
+  std::string command = argv[1];
+  std::string target = argv[2];
+  if (command == "check" && argc == 3) return Check(target);
+  if (command == "stats" && argc == 3) return Stats(target);
+  if (command == "ls" && argc == 3) return Ls(target);
+  if (command == "get" && argc == 4) return Get(target, argv[3]);
+  if (command == "migrate" && argc == 3) return Migrate(target);
+  return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
