@@ -12,6 +12,7 @@
 #include "common/safe_io.h"
 #include "common/strings.h"
 #include "core/cleaning.h"
+#include "obs/flight.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 
@@ -422,6 +423,12 @@ Status StudyDriver::MergeSlot(size_t slot, SlotOutcome outcome,
         journal_key, AppendChecksumFooter(result->records.ToJson()));
     if (journaled.ok()) {
       Count("driver.checkpoints")->Increment();
+      if (obs::FlightEnabled()) {
+        obs::FlightRecorder::Record(
+            obs::FlightEventType::kCheckpoint,
+            obs::FlightRecorder::SiteForCategory("driver.checkpoint"),
+            static_cast<uint32_t>(slot));
+      }
     } else {
       // Non-fatal: worst case a later resume redoes this repeat.
       FC_LOG_WARN("driver", "journal write failed: %s",

@@ -9,11 +9,22 @@
 #include <string>
 #include <vector>
 
+#include "obs/window.h"
+
 namespace fairclean {
 namespace obs {
 
+class Counter;
+
 namespace internal {
 extern std::atomic<bool> g_metrics_export_enabled;
+
+/// Process-wide obs.dropped_samples counter (non-finite observations,
+/// observations older than a sliding window). Lives in the global
+/// registry; created on first drop.
+Counter* DroppedSamplesCounter();
+
+struct PeriodicExporter;
 }  // namespace internal
 
 /// True when the global registry will be exported at exit
@@ -103,6 +114,9 @@ struct MetricSnapshot {
   double max = 0.0;       // histogram (0 when count == 0)
   double p50 = 0.0;       // histogram
   double p95 = 0.0;       // histogram
+  double p99 = 0.0;       // histogram
+  bool windowed = false;  // true for sliding-window histograms
+  double window_s = 0.0;  // seconds the snapshot covers (windowed only)
   std::vector<double> bounds;          // histogram
   std::vector<uint64_t> bucket_counts; // histogram, bounds.size() + 1
 };
@@ -119,8 +133,10 @@ struct MetricSnapshot {
 class MetricsRegistry {
  public:
   explicit MetricsRegistry(MetricsRegistry* parent = nullptr);
+  ~MetricsRegistry();
 
-  /// Process-wide sink (reads FAIRCLEAN_METRICS on first use).
+  /// Process-wide sink (reads FAIRCLEAN_METRICS on first use, and
+  /// FAIRCLEAN_METRICS_INTERVAL_S to start the periodic exporter).
   static MetricsRegistry& Global();
 
   Counter* GetCounter(const std::string& name);
@@ -128,11 +144,29 @@ class MetricsRegistry {
   /// `bounds` are ascending upper bounds; used only on first creation.
   Histogram* GetHistogram(const std::string& name,
                           const std::vector<double>& bounds);
+  /// Sliding-window histogram covering the last `window_s` seconds
+  /// (<= 0 picks the FAIRCLEAN_METRICS_WINDOW_S default). Window
+  /// instruments do not forward to a parent registry: they live where
+  /// scrapes happen (the serving layer uses Global()).
+  SlidingWindowHistogram* GetWindowHistogram(
+      const std::string& name, const std::vector<double>& bounds,
+      double window_s = 0.0);
 
   /// Starts exporting this registry as JSONL to `path` at process exit.
   void EnableExport(const std::string& path);
   void DisableExport();
   std::string export_path() const;
+
+  /// Spawns a background thread rewriting the export file every
+  /// `interval_s` seconds (atomically, via temp file + rename), so a
+  /// resident server leaves fresh snapshots behind even when it is later
+  /// killed. Replaces nothing: the at-exit export still runs.
+  void StartPeriodicExport(double interval_s);
+  void StopPeriodicExport();
+
+  /// Writes the export file immediately (SIGTERM / server shutdown path).
+  /// Returns false when no export path is configured or the write fails.
+  bool FlushExport();
 
   /// All instruments, sorted by name.
   std::vector<MetricSnapshot> Snapshot() const;
@@ -140,6 +174,16 @@ class MetricsRegistry {
   /// One JSON object per line, e.g.
   ///   {"metric":"driver.retries","type":"counter","value":2}
   std::string ToJsonl() const;
+
+  /// The same objects as ToJsonl, as one JSON array (the server's
+  /// `metrics` op payload).
+  std::string ToJsonArray() const;
+
+  /// Prometheus-style text exposition: counters/gauges as single samples,
+  /// histograms as cumulative le-labelled buckets + _sum/_count, windowed
+  /// histograms as quantile-labelled summaries. Metric names are
+  /// sanitized (non-alphanumerics become '_').
+  std::string ToPrometheus() const;
 
   /// Writes ToJsonl() to `path`. Returns false on IO failure.
   bool WriteJsonlFile(const std::string& path) const;
@@ -157,8 +201,10 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<SlidingWindowHistogram>> windows_;
   std::string export_path_;
   bool atexit_registered_ = false;
+  std::unique_ptr<internal::PeriodicExporter> exporter_;
 };
 
 }  // namespace obs

@@ -1,0 +1,157 @@
+#include "obs/trace_context.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace fairclean {
+namespace obs {
+
+namespace {
+
+thread_local uint64_t t_trace_id = 0;
+
+/// Bounded most-recent-traces store. A single mutex is fine here: the
+/// store only receives spans while a request context is active, and a
+/// request produces tens of spans, not millions.
+struct TraceStore {
+  std::mutex mutex;
+  size_t max_traces = 256;
+  size_t max_spans = 512;
+  std::map<uint64_t, std::vector<StoredSpan>> traces;
+  std::deque<uint64_t> order;  ///< insertion order for eviction
+};
+
+TraceStore& Store() {
+  static TraceStore* store = new TraceStore();  // leaked like the tracer
+  return *store;
+}
+
+}  // namespace
+
+uint64_t CurrentTraceId() { return t_trace_id; }
+
+uint64_t SwapCurrentTraceId(uint64_t trace_id) {
+  uint64_t previous = t_trace_id;
+  t_trace_id = trace_id;
+  return previous;
+}
+
+uint64_t MintTraceId() {
+  // Salt the counter with startup time and pid so two server incarnations
+  // never mint the same sequence; the low bits stay monotonic for easy
+  // "newest request" reading in dumps.
+  static const uint64_t salt = [] {
+    uint64_t now = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    return ((now ^ (static_cast<uint64_t>(::getpid()) << 40)) &
+            0xffffffffff000000ULL);
+  }();
+  static std::atomic<uint64_t> next{1};
+  uint64_t id = salt | (next.fetch_add(1, std::memory_order_relaxed) &
+                        0x0000000000ffffffULL);
+  return id == 0 ? 1 : id;
+}
+
+std::string TraceIdHex(uint64_t trace_id) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return buffer;
+}
+
+uint64_t ParseTraceIdHex(const std::string& text) {
+  if (text.empty() || text.size() > 16) return 0;
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return 0;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  return value;
+}
+
+void EnableTraceStore(size_t max_traces, size_t max_spans) {
+  TraceStore& store = Store();
+  {
+    std::lock_guard<std::mutex> lock(store.mutex);
+    store.max_traces = max_traces == 0 ? 1 : max_traces;
+    store.max_spans = max_spans == 0 ? 1 : max_spans;
+  }
+  internal::SetCaptureBit(internal::kCaptureStore, true);
+}
+
+void DisableTraceStore() {
+  internal::SetCaptureBit(internal::kCaptureStore, false);
+  TraceStore& store = Store();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  store.traces.clear();
+  store.order.clear();
+}
+
+bool TraceStoreEnabled() {
+  return (internal::g_capture_mask.load(std::memory_order_relaxed) &
+          internal::kCaptureStore) != 0;
+}
+
+std::optional<std::vector<StoredSpan>> TraceStoreGet(uint64_t trace_id) {
+  TraceStore& store = Store();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  auto it = store.traces.find(trace_id);
+  if (it == store.traces.end()) return std::nullopt;
+  std::vector<StoredSpan> spans = it->second;
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const StoredSpan& a, const StoredSpan& b) {
+                     return a.ts_us != b.ts_us ? a.ts_us < b.ts_us
+                                               : a.depth < b.depth;
+                   });
+  return spans;
+}
+
+std::vector<uint64_t> TraceStoreIds() {
+  TraceStore& store = Store();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  return std::vector<uint64_t>(store.order.begin(), store.order.end());
+}
+
+namespace internal {
+
+void TraceStoreRecord(uint64_t trace_id, StoredSpan span) {
+  TraceStore& store = Store();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  auto it = store.traces.find(trace_id);
+  if (it == store.traces.end()) {
+    while (store.order.size() >= store.max_traces) {
+      store.traces.erase(store.order.front());
+      store.order.pop_front();
+    }
+    store.order.push_back(trace_id);
+    it = store.traces.emplace(trace_id, std::vector<StoredSpan>()).first;
+  }
+  if (it->second.size() >= store.max_spans) return;  // cap, keep counting
+  it->second.push_back(std::move(span));
+}
+
+}  // namespace internal
+
+}  // namespace obs
+}  // namespace fairclean

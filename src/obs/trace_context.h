@@ -1,0 +1,97 @@
+#ifndef FAIRCLEAN_OBS_TRACE_CONTEXT_H_
+#define FAIRCLEAN_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fairclean {
+namespace obs {
+
+/// Request-scoped trace propagation (DESIGN.md §14). A trace id is minted
+/// once per request at admission time (serving layer) and travels through
+/// the stack as an ambient thread-local, not as a function argument: every
+/// span or instant event recorded while a TraceContextScope is alive is
+/// tagged with the scope's id, and ThreadPool::Submit captures the
+/// submitter's id so work fanned out across workers stays attributed to
+/// the request that caused it.
+///
+/// Id 0 means "no request context" (batch runs, tests); it is never minted
+/// and never tagged.
+
+/// The trace id active on the calling thread (0 = none).
+uint64_t CurrentTraceId();
+
+/// Sets the calling thread's trace id, returning the previous one. The
+/// building block ThreadPool uses to propagate context into workers;
+/// everything else should prefer the RAII scope below.
+uint64_t SwapCurrentTraceId(uint64_t trace_id);
+
+/// Process-unique, never-zero trace id. Ids are a startup-salted counter:
+/// monotonic within a process and overwhelmingly unlikely to collide
+/// across server restarts sharing one trace store consumer.
+uint64_t MintTraceId();
+
+/// Canonical wire form: 16 lowercase hex digits.
+std::string TraceIdHex(uint64_t trace_id);
+
+/// Parses TraceIdHex output (any-case hex, 1..16 digits). Returns 0 on
+/// malformed input — which no minted id ever is.
+uint64_t ParseTraceIdHex(const std::string& text);
+
+/// RAII trace scope: spans recorded on this thread inside the scope carry
+/// `trace_id`. Nesting restores the outer id on exit.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(uint64_t trace_id)
+      : previous_(SwapCurrentTraceId(trace_id)) {}
+  ~TraceContextScope() { SwapCurrentTraceId(previous_); }
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
+/// One retained span of a completed (or in-flight) request, kept by the
+/// in-memory trace store so the serving layer can answer "why was this
+/// request slow" from the trace id alone.
+struct StoredSpan {
+  std::string name;
+  std::string category;
+  char phase = 'X';    ///< 'X' complete span, 'i' instant event
+  uint32_t tid = 0;    ///< tracer thread id (matches the trace file)
+  uint32_t depth = 0;  ///< span-nesting depth on its thread (root = 0)
+  int64_t ts_us = 0;   ///< start, microseconds since the trace epoch
+  int64_t dur_us = 0;  ///< 0 for instants
+};
+
+/// Turns on per-trace span retention: spans recorded under a non-zero
+/// trace id are kept in a bounded in-memory store (`max_traces` most
+/// recent ids, each capped at `max_spans` spans — beyond the cap a trace
+/// counts but drops further spans). Independent of FAIRCLEAN_TRACE file
+/// tracing; the advisor server enables it at startup to serve the `trace`
+/// op. Idempotent; new limits apply to traces recorded afterwards.
+void EnableTraceStore(size_t max_traces = 256, size_t max_spans = 512);
+void DisableTraceStore();
+bool TraceStoreEnabled();
+
+/// Spans retained for `trace_id`, sorted by (ts_us, depth); nullopt when
+/// the id was never recorded or has been evicted.
+std::optional<std::vector<StoredSpan>> TraceStoreGet(uint64_t trace_id);
+
+/// Retained trace ids, most recent last.
+std::vector<uint64_t> TraceStoreIds();
+
+namespace internal {
+/// Records one span into the trace store; called by the tracer when the
+/// store is enabled and a trace id is active. Not for direct use.
+void TraceStoreRecord(uint64_t trace_id, StoredSpan span);
+}  // namespace internal
+
+}  // namespace obs
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_OBS_TRACE_CONTEXT_H_

@@ -1,0 +1,221 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace fairclean {
+namespace obs {
+
+namespace {
+
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+struct SlidingWindowHistogram::Slice {
+  std::atomic<int64_t> epoch{-1};  ///< time slot this slice covers
+  std::atomic<uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min{0.0};
+  std::atomic<double> max{0.0};
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets;
+};
+
+SlidingWindowHistogram::SlidingWindowHistogram(std::vector<double> bounds,
+                                               double window_s, int slices)
+    : bounds_(std::move(bounds)),
+      window_s_(window_s > 0.0 ? window_s : 1.0),
+      slice_count_(slices < 2 ? 2 : slices) {
+  slice_span_s_ = window_s_ / static_cast<double>(slice_count_);
+  slices_.reset(new Slice[slice_count_]);
+  for (int i = 0; i < slice_count_; ++i) {
+    slices_[i].buckets.reset(
+        new std::atomic<uint64_t>[bounds_.size() + 1]);
+    for (size_t j = 0; j <= bounds_.size(); ++j) {
+      slices_[i].buckets[j].store(0, std::memory_order_relaxed);
+    }
+    slices_[i].min.store(std::numeric_limits<double>::infinity(),
+                         std::memory_order_relaxed);
+    slices_[i].max.store(-std::numeric_limits<double>::infinity(),
+                         std::memory_order_relaxed);
+  }
+}
+
+SlidingWindowHistogram::~SlidingWindowHistogram() = default;
+
+double SlidingWindowHistogram::NowSeconds() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+SlidingWindowHistogram::Slice* SlidingWindowHistogram::SliceForSlot(
+    int64_t slot) {
+  Slice& slice =
+      slices_[static_cast<size_t>(slot) % static_cast<size_t>(slice_count_)];
+  const int64_t current = slice.epoch.load(std::memory_order_acquire);
+  if (current == slot) return &slice;
+  if (current > slot) return nullptr;  // the slot already rotated away
+  {
+    std::lock_guard<std::mutex> lock(rotate_mutex_);
+    const int64_t rechecked = slice.epoch.load(std::memory_order_relaxed);
+    if (rechecked > slot) return nullptr;
+    if (rechecked < slot) {
+      slice.count.store(0, std::memory_order_relaxed);
+      slice.sum.store(0.0, std::memory_order_relaxed);
+      slice.min.store(std::numeric_limits<double>::infinity(),
+                      std::memory_order_relaxed);
+      slice.max.store(-std::numeric_limits<double>::infinity(),
+                      std::memory_order_relaxed);
+      for (size_t j = 0; j <= bounds_.size(); ++j) {
+        slice.buckets[j].store(0, std::memory_order_relaxed);
+      }
+      slice.epoch.store(slot, std::memory_order_release);
+    }
+  }
+  return &slice;
+}
+
+void SlidingWindowHistogram::Observe(double value) {
+  ObserveAt(value, NowSeconds());
+}
+
+void SlidingWindowHistogram::ObserveAt(double value, double t_s) {
+  if (!std::isfinite(value)) {
+    internal::DroppedSamplesCounter()->Increment();
+    return;
+  }
+  if (t_s < 0.0) t_s = 0.0;
+  const int64_t slot = static_cast<int64_t>(t_s / slice_span_s_);
+  Slice* slice = SliceForSlot(slot);
+  if (slice == nullptr) {
+    // The observation predates every live slice; its window is gone.
+    internal::DroppedSamplesCounter()->Increment();
+    return;
+  }
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  slice->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  slice->count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&slice->sum, value);
+  AtomicMinDouble(&slice->min, value);
+  AtomicMaxDouble(&slice->max, value);
+}
+
+SlidingWindowHistogram::WindowSnapshot SlidingWindowHistogram::Snapshot()
+    const {
+  return SnapshotAt(NowSeconds());
+}
+
+SlidingWindowHistogram::WindowSnapshot SlidingWindowHistogram::SnapshotAt(
+    double t_s) const {
+  WindowSnapshot snapshot;
+  snapshot.window_s = window_s_;
+  snapshot.bucket_counts.assign(bounds_.size() + 1, 0);
+  if (t_s < 0.0) t_s = 0.0;
+  const int64_t newest = static_cast<int64_t>(t_s / slice_span_s_);
+  const int64_t oldest = newest - slice_count_ + 1;
+  double merged_min = std::numeric_limits<double>::infinity();
+  double merged_max = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < slice_count_; ++i) {
+    const Slice& slice = slices_[i];
+    const int64_t epoch = slice.epoch.load(std::memory_order_acquire);
+    if (epoch < oldest || epoch > newest) continue;
+    const uint64_t slice_count =
+        slice.count.load(std::memory_order_relaxed);
+    if (slice_count == 0) continue;
+    snapshot.count += slice_count;
+    snapshot.sum += slice.sum.load(std::memory_order_relaxed);
+    merged_min =
+        std::min(merged_min, slice.min.load(std::memory_order_relaxed));
+    merged_max =
+        std::max(merged_max, slice.max.load(std::memory_order_relaxed));
+    for (size_t j = 0; j <= bounds_.size(); ++j) {
+      snapshot.bucket_counts[j] +=
+          slice.buckets[j].load(std::memory_order_relaxed);
+    }
+  }
+  if (snapshot.count > 0) {
+    snapshot.min = merged_min;
+    snapshot.max = merged_max;
+    snapshot.p50 = PercentileFromBuckets(bounds_, snapshot.bucket_counts,
+                                         snapshot.count, snapshot.min,
+                                         snapshot.max, 50.0);
+    snapshot.p95 = PercentileFromBuckets(bounds_, snapshot.bucket_counts,
+                                         snapshot.count, snapshot.min,
+                                         snapshot.max, 95.0);
+    snapshot.p99 = PercentileFromBuckets(bounds_, snapshot.bucket_counts,
+                                         snapshot.count, snapshot.min,
+                                         snapshot.max, 99.0);
+  }
+  return snapshot;
+}
+
+double DefaultMetricsWindowSeconds() {
+  static const double window = [] {
+    const char* text = std::getenv("FAIRCLEAN_METRICS_WINDOW_S");
+    double value = 60.0;
+    if (text != nullptr && text[0] != '\0') {
+      char* end = nullptr;
+      const double parsed = std::strtod(text, &end);
+      if (end != text && std::isfinite(parsed) && parsed > 0.0) {
+        value = parsed;
+      }
+    }
+    return std::clamp(value, 1.0, 3600.0);
+  }();
+  return window;
+}
+
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<uint64_t>& bucket_counts,
+                             uint64_t count, double min, double max,
+                             double p) {
+  if (count == 0) return 0.0;
+  if (p <= 0.0) return min;
+  if (p >= 100.0) return max;
+  // Rank of the target observation (1-based, ceil).
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * count);
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    cumulative += bucket_counts[i];
+    if (cumulative >= rank) {
+      const double upper = i < bounds.size() ? bounds[i] : max;
+      return std::clamp(upper, min, max);
+    }
+  }
+  return max;
+}
+
+}  // namespace obs
+}  // namespace fairclean

@@ -1,0 +1,102 @@
+#ifndef FAIRCLEAN_OBS_WINDOW_H_
+#define FAIRCLEAN_OBS_WINDOW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace fairclean {
+namespace obs {
+
+/// Sliding-window histogram (DESIGN.md §14): a rotating ring of
+/// fixed-bound histogram slices, each covering window_s / slices seconds.
+/// An observation lands in the slice its timestamp maps to; a scrape
+/// merges the slices still inside the window, so p50/p95/p99, rates and
+/// min/max reflect the last window_s seconds instead of the whole process
+/// lifetime. Rotation is driven by observation/scrape timestamps — there
+/// is no background thread — and reuses a slice in place: the first
+/// writer to reach a new time slot resets the slice (mutex + epoch
+/// compare, so exactly one reset per slot) before observations land.
+///
+/// Timestamps are seconds on the caller's clock; the convenience Observe()
+/// uses a process-steady clock. The explicit-timestamp ObserveAt /
+/// SnapshotAt pair exists so rotation is testable deterministically.
+class SlidingWindowHistogram {
+ public:
+  /// `bounds` are ascending bucket upper bounds (values above the last
+  /// bound land in an implicit overflow bucket). `window_s` is the span a
+  /// scrape covers; `slices` trades rotation granularity for memory.
+  SlidingWindowHistogram(std::vector<double> bounds, double window_s,
+                         int slices = 6);
+  ~SlidingWindowHistogram();  // out-of-line: Slice is private to the .cc
+
+  /// Records `value` now. Non-finite values are dropped into the global
+  /// obs.dropped_samples counter, like Histogram::Observe.
+  void Observe(double value);
+
+  /// Records `value` as of `t_s` (seconds). Observations older than the
+  /// slice ring (more than window_s behind the newest slot ever observed)
+  /// are dropped — the window they belonged to has already rotated away.
+  void ObserveAt(double value, double t_s);
+
+  /// Merged view of the slices within the window ending at the newest
+  /// rotated slot.
+  struct WindowSnapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when count == 0
+    double max = 0.0;  ///< 0 when count == 0
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double window_s = 0.0;
+    std::vector<uint64_t> bucket_counts;  ///< bounds.size() + 1
+  };
+
+  /// Snapshot of the window ending now.
+  WindowSnapshot Snapshot() const;
+
+  /// Snapshot of the window ending at `t_s` (deterministic for tests).
+  WindowSnapshot SnapshotAt(double t_s) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  double window_s() const { return window_s_; }
+
+  SlidingWindowHistogram(const SlidingWindowHistogram&) = delete;
+  SlidingWindowHistogram& operator=(const SlidingWindowHistogram&) = delete;
+
+ private:
+  struct Slice;
+
+  /// Seconds on the process-steady clock (shared with Observe/Snapshot).
+  static double NowSeconds();
+
+  Slice* SliceForSlot(int64_t slot);
+
+  std::vector<double> bounds_;
+  double window_s_;
+  double slice_span_s_;
+  int slice_count_;
+  std::unique_ptr<Slice[]> slices_;
+  std::mutex rotate_mutex_;  ///< serializes slice resets, nothing else
+};
+
+/// FAIRCLEAN_METRICS_WINDOW_S (seconds the scrape window covers), default
+/// 60, clamped to [1, 3600]. Lenient parsing: obs sits below common, so
+/// this is std::getenv, not env.h.
+double DefaultMetricsWindowSeconds();
+
+/// Percentile estimate from a merged bucket distribution: the upper bound
+/// of the bucket holding the p-th observation, clamped to [min, max].
+/// Shared by Histogram and window snapshots.
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<uint64_t>& bucket_counts,
+                             uint64_t count, double min, double max,
+                             double p);
+
+}  // namespace obs
+}  // namespace fairclean
+
+#endif  // FAIRCLEAN_OBS_WINDOW_H_

@@ -28,6 +28,9 @@ Result<AdvisorRequest::Op> OpByName(const std::string& name) {
   if (name == "pause") return AdvisorRequest::Op::kPause;
   if (name == "resume") return AdvisorRequest::Op::kResume;
   if (name == "shutdown") return AdvisorRequest::Op::kShutdown;
+  if (name == "metrics") return AdvisorRequest::Op::kMetrics;
+  if (name == "trace") return AdvisorRequest::Op::kTrace;
+  if (name == "flight") return AdvisorRequest::Op::kFlight;
   return Status::InvalidArgument("unknown op \"" + name + "\"");
 }
 
@@ -62,6 +65,23 @@ Result<AdvisorRequest> ParseRequest(const std::string& line) {
   AdvisorRequest request;
   request.id = value.StringOr("id", "");
   FC_ASSIGN_OR_RETURN(request.op, OpByName(value.StringOr("op", "analyze")));
+  if (request.op == AdvisorRequest::Op::kMetrics) {
+    request.format = value.StringOr("format", "json");
+    if (request.format != "json" && request.format != "prometheus") {
+      return Status::InvalidArgument(
+          "metrics format must be \"json\" or \"prometheus\", got \"" +
+          request.format + "\"");
+    }
+    return request;
+  }
+  if (request.op == AdvisorRequest::Op::kTrace) {
+    request.trace_id = value.StringOr("trace_id", "");
+    return request;
+  }
+  if (request.op == AdvisorRequest::Op::kFlight) {
+    request.path = value.StringOr("path", "");
+    return request;
+  }
   if (request.op != AdvisorRequest::Op::kAnalyze) return request;
 
   request.dataset = value.StringOr("dataset", "");
@@ -120,6 +140,9 @@ std::string RenderAnalysis(const std::string& id,
   std::string out = "{";
   out += "\"id\":" + JsonString(id);
   out += ",\"status\":\"ok\"";
+  if (!analysis.trace_id.empty()) {
+    out += ",\"trace\":" + JsonString(analysis.trace_id);
+  }
   out += ",\"cell\":" + JsonString(analysis.cell_id);
   out += ",\"cache_file\":" + JsonString(analysis.cache_file);
   out += ",\"sha256\":" + JsonString(analysis.sha256);
@@ -189,6 +212,57 @@ std::string RenderStats(const std::string& id, const ServerStats& stats) {
 std::string RenderAck(const std::string& id, const char* op) {
   return "{\"id\":" + JsonString(id) + ",\"status\":\"ok\",\"op\":\"" + op +
          "\"}\n";
+}
+
+std::string RenderMetrics(const std::string& id, const std::string& format,
+                          const std::string& payload) {
+  std::string out = "{\"id\":" + JsonString(id) + ",\"status\":\"ok\"";
+  out += ",\"format\":" + JsonString(format);
+  if (format == "prometheus") {
+    out += ",\"exposition\":" + JsonString(payload);
+  } else {
+    // The payload is the registry's ToJsonArray output: already JSON.
+    out += ",\"metrics\":" + payload;
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string RenderTrace(const std::string& id, const std::string& trace_id,
+                        const std::vector<TraceSpanView>& spans) {
+  std::string out = "{\"id\":" + JsonString(id) + ",\"status\":\"ok\"";
+  out += ",\"trace\":" + JsonString(trace_id);
+  out += ",\"spans\":[";
+  bool first = true;
+  for (const TraceSpanView& span : spans) {
+    out += StrFormat(
+        "%s{\"name\":%s,\"cat\":%s,\"ph\":\"%c\",\"tid\":%u,"
+        "\"depth\":%u,\"ts_us\":%lld,\"dur_us\":%lld}",
+        first ? "" : ",", JsonString(span.name).c_str(),
+        JsonString(span.category).c_str(), span.phase,
+        static_cast<unsigned>(span.tid), static_cast<unsigned>(span.depth),
+        static_cast<long long>(span.ts_us),
+        static_cast<long long>(span.dur_us));
+    first = false;
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string RenderTraceList(const std::string& id,
+                            const std::vector<std::string>& trace_ids) {
+  std::string out = "{\"id\":" + JsonString(id) + ",\"status\":\"ok\"";
+  out += ",\"traces\":[";
+  for (size_t i = 0; i < trace_ids.size(); ++i) {
+    out += (i == 0 ? "" : ",") + JsonString(trace_ids[i]);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string RenderFlight(const std::string& id, const std::string& path) {
+  return "{\"id\":" + JsonString(id) +
+         ",\"status\":\"ok\",\"flight\":" + JsonString(path) + "}\n";
 }
 
 }  // namespace serve

@@ -14,9 +14,11 @@
 #include "common/fault_injection.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "obs/flight.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace fairclean {
 namespace serve {
@@ -40,6 +42,42 @@ obs::Histogram* LatencyHistogram() {
 
 obs::Counter* LifecycleCounter(const char* name) {
   return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+// Sliding-window twins of the lifetime instruments, so a scrape reflects
+// the last FAIRCLEAN_METRICS_WINDOW_S seconds instead of the whole
+// process (DESIGN.md §14). Counting instruments observe 1.0 per event:
+// count / window_s is the rate.
+obs::SlidingWindowHistogram* WindowLatency() {
+  static obs::SlidingWindowHistogram* window =
+      obs::MetricsRegistry::Global().GetWindowHistogram(
+          "serve.window.request_latency_s",
+          obs::MetricsRegistry::DefaultLatencyBounds());
+  return window;
+}
+
+obs::SlidingWindowHistogram* WindowRequests() {
+  static obs::SlidingWindowHistogram* window =
+      obs::MetricsRegistry::Global().GetWindowHistogram(
+          "serve.window.requests", {1.0});
+  return window;
+}
+
+obs::SlidingWindowHistogram* WindowSheds() {
+  static obs::SlidingWindowHistogram* window =
+      obs::MetricsRegistry::Global().GetWindowHistogram(
+          "serve.window.sheds", {1.0});
+  return window;
+}
+
+void RecordShed() {
+  LifecycleCounter("serve.requests_shed")->Increment();
+  WindowSheds()->Observe(1.0);
+  if (obs::FlightEnabled()) {
+    static const uint16_t site =
+        obs::FlightRecorder::Site(std::string("serve.shed"));
+    obs::FlightRecorder::Record(obs::FlightEventType::kShed, site);
+  }
 }
 
 // Writes every byte or fails; MSG_NOSIGNAL turns a dead peer into EPIPE
@@ -111,6 +149,11 @@ Status AdvisorServer::Start() {
   // A peer that vanishes mid-write must surface as an error on that
   // connection, not kill the process.
   std::signal(SIGPIPE, SIG_IGN);
+
+  // Arm the telemetry plane: the flight recorder (via the tracer's env
+  // read) and per-trace span retention backing the `trace` op.
+  obs::InitTraceFromEnv();
+  obs::EnableTraceStore();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -185,7 +228,7 @@ void AdvisorServer::AcceptLoop() {
       // Connection-level load shedding: answer before the client sends
       // anything, so it backs off instead of timing out.
       ++shed_;
-      LifecycleCounter("serve.requests_shed")->Increment();
+      RecordShed();
       SendAll(fd, RenderError("", Status::Unavailable(StrFormat(
                                       "connection limit %zu reached",
                                       options_.max_connections)),
@@ -285,6 +328,68 @@ void AdvisorServer::Dispatch(const AdvisorRequest& request,
       wait_cv_.notify_all();
       return;
     }
+    case AdvisorRequest::Op::kMetrics: {
+      // Scrapes answer inline from the reader thread: they must work even
+      // when every worker is wedged — that is when you need them.
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      const std::string format =
+          request.format.empty() ? "json" : request.format;
+      const std::string payload = format == "prometheus"
+                                      ? registry.ToPrometheus()
+                                      : registry.ToJsonArray();
+      WriteResponse(conn, RenderMetrics(request.id, format, payload));
+      return;
+    }
+    case AdvisorRequest::Op::kTrace: {
+      if (request.trace_id.empty()) {
+        std::vector<std::string> hex_ids;
+        for (uint64_t trace_id : obs::TraceStoreIds()) {
+          hex_ids.push_back(obs::TraceIdHex(trace_id));
+        }
+        WriteResponse(conn, RenderTraceList(request.id, hex_ids));
+        return;
+      }
+      const uint64_t trace_id = obs::ParseTraceIdHex(request.trace_id);
+      std::optional<std::vector<obs::StoredSpan>> spans =
+          trace_id != 0 ? obs::TraceStoreGet(trace_id) : std::nullopt;
+      if (!spans.has_value()) {
+        WriteResponse(conn,
+                      RenderError(request.id,
+                                  Status::NotFound(StrFormat(
+                                      "trace \"%s\" not retained (evicted, "
+                                      "malformed, or never recorded)",
+                                      request.trace_id.c_str()))));
+        return;
+      }
+      std::vector<TraceSpanView> views;
+      views.reserve(spans->size());
+      for (obs::StoredSpan& span : *spans) {
+        TraceSpanView view;
+        view.name = std::move(span.name);
+        view.category = std::move(span.category);
+        view.phase = span.phase;
+        view.tid = span.tid;
+        view.depth = span.depth;
+        view.ts_us = span.ts_us;
+        view.dur_us = span.dur_us;
+        views.push_back(std::move(view));
+      }
+      WriteResponse(conn, RenderTrace(request.id, request.trace_id, views));
+      return;
+    }
+    case AdvisorRequest::Op::kFlight: {
+      const std::string path = request.path.empty()
+                                   ? obs::FlightRecorder::DefaultPath()
+                                   : request.path;
+      std::string error;
+      if (!obs::FlightRecorder::Dump(path, obs::kFlightReasonExplicit,
+                                     &error)) {
+        WriteResponse(conn, RenderError(request.id, Status::IoError(error)));
+        return;
+      }
+      WriteResponse(conn, RenderFlight(request.id, path));
+      return;
+    }
     case AdvisorRequest::Op::kAnalyze:
       Admit(request, conn);
       return;
@@ -297,6 +402,9 @@ void AdvisorServer::Admit(const AdvisorRequest& request,
   pending.request = request;
   pending.conn = conn;
   pending.admitted = std::chrono::steady_clock::now();
+  // Minted at admission so queue wait, execution, and every store span
+  // below share one id — the `trace` op keys on it.
+  pending.trace_id = obs::MintTraceId();
   double deadline_s = request.deadline_s > 0.0 ? request.deadline_s
                                                : options_.default_deadline_s;
   if (deadline_s > 0.0) {
@@ -321,12 +429,13 @@ void AdvisorServer::Admit(const AdvisorRequest& request,
   if (admitted) {
     ++accepted_;
     LifecycleCounter("serve.requests_accepted")->Increment();
+    WindowRequests()->Observe(1.0);
     QueueDepthGauge()->Set(static_cast<double>(depth));
     queue_cv_.notify_one();
     return;
   }
   ++shed_;
-  LifecycleCounter("serve.requests_shed")->Increment();
+  RecordShed();
   obs::TraceInstant("serve", "shed");
   const char* reason = stopping_.load() ? "server shutting down"
                                         : "admission queue full";
@@ -365,11 +474,16 @@ void AdvisorServer::WorkerLoop(size_t index) {
 
 void AdvisorServer::Execute(PendingRequest pending) {
   const std::string& id = pending.request.id;
+  // Every span and fault instant below this frame inherits the request's
+  // trace id (the worker thread's ambient context).
+  obs::TraceContextScope trace_scope(pending.trace_id);
   auto observe_latency = [&pending] {
-    LatencyHistogram()->Observe(
+    const double latency_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       pending.admitted)
-            .count());
+            .count();
+    LatencyHistogram()->Observe(latency_s);
+    WindowLatency()->Observe(latency_s);
   };
 
   if (pending.deadline.has_value() &&
@@ -398,6 +512,7 @@ void AdvisorServer::Execute(PendingRequest pending) {
   if (analysis.ok()) {
     ++ok_;
     LifecycleCounter("serve.requests_ok")->Increment();
+    analysis->trace_id = obs::TraceIdHex(pending.trace_id);
     WriteResponse(pending.conn, RenderAnalysis(id, *analysis));
   } else if (analysis.status().code() == StatusCode::kDeadlineExceeded) {
     ++deadline_exceeded_;
@@ -461,6 +576,14 @@ void AdvisorServer::Wait() {
   });
 }
 
+bool AdvisorServer::WaitFor(double seconds) {
+  std::unique_lock<std::mutex> lock(wait_mutex_);
+  return wait_cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                           [this] {
+                             return shutdown_requested_ || stopping_.load();
+                           });
+}
+
 void AdvisorServer::Shutdown() {
   if (stopping_.exchange(true)) return;
   {
@@ -480,7 +603,7 @@ void AdvisorServer::Shutdown() {
   }
   for (PendingRequest& pending : leftovers) {
     ++shed_;
-    LifecycleCounter("serve.requests_shed")->Increment();
+    RecordShed();
     WriteResponse(pending.conn,
                   RenderError(pending.request.id,
                               Status::Unavailable("server shutting down"),
@@ -512,6 +635,10 @@ void AdvisorServer::Shutdown() {
     std::lock_guard<std::mutex> lock(wait_mutex_);
     wait_cv_.notify_all();
   }
+
+  // Final export so the last window of metrics survives a graceful stop
+  // (the periodic exporter only runs between intervals).
+  obs::MetricsRegistry::Global().FlushExport();
 }
 
 }  // namespace serve

@@ -92,6 +92,11 @@ class AdvisorServer {
   /// Blocks until Shutdown() is called or a client sends {"op":"shutdown"}.
   void Wait();
 
+  /// Wait with a timeout: returns true when shutdown was requested (by a
+  /// client op or Shutdown()), false on timeout. Lets a main loop poll a
+  /// SIGTERM flag between waits without busy-spinning.
+  bool WaitFor(double seconds);
+
   /// Graceful stop; idempotent. Safe to call from any non-server thread.
   void Shutdown();
 
@@ -112,6 +117,7 @@ class AdvisorServer {
     std::shared_ptr<Connection> conn;
     std::chrono::steady_clock::time_point admitted;
     std::optional<std::chrono::steady_clock::time_point> deadline;
+    uint64_t trace_id = 0;  ///< minted at admission; tags every span below
   };
 
   void AcceptLoop();

@@ -24,6 +24,13 @@ void PageCache::RecordLookup(bool hit) {
   }
   hit_ratio_gauge_->Set(static_cast<double>(hit_count_) /
                         static_cast<double>(hit_count_ + miss_count_));
+  // Windowed twin: each lookup observes 1 (hit) or 0 (miss), so the
+  // scrape's sum/count is the hit ratio over the last window only —
+  // the lifetime gauge above goes inert once the process warms up.
+  static obs::SlidingWindowHistogram* const window =
+      obs::MetricsRegistry::Global().GetWindowHistogram(
+          "store.window.cache_hits", {0.5});
+  window->Observe(hit ? 1.0 : 0.0);
 }
 
 std::optional<Page> PageCache::Get(uint64_t page_id) {

@@ -5,6 +5,7 @@
 
 #include "common/safe_io.h"
 #include "common/strings.h"
+#include "obs/flight.h"
 #include "store/compress.h"
 
 namespace fairclean {
@@ -335,6 +336,12 @@ Status PagedStore::CommitTxn() {
   pending_free_.clear();
   spill_pages_ = std::move(new_spill);
   txns_committed_->Increment();
+  if (obs::FlightEnabled()) {
+    obs::FlightRecorder::Record(
+        obs::FlightEventType::kTxnCommit,
+        obs::FlightRecorder::SiteForCategory("store.txn"),
+        static_cast<uint32_t>(next_txn));
+  }
   return Status::OK();
 }
 
@@ -350,6 +357,12 @@ void PagedStore::RollbackTxn() {
   // the simple way to guarantee it.
   cache_.Clear();
   txns_rolled_back_->Increment();
+  if (obs::FlightEnabled()) {
+    obs::FlightRecorder::Record(
+        obs::FlightEventType::kTxnRollback,
+        obs::FlightRecorder::SiteForCategory("store.txn"),
+        static_cast<uint32_t>(txn_id_));
+  }
 }
 
 Result<uint64_t> PagedStore::WriteRecordChain(const std::string& value) {

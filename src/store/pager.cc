@@ -68,6 +68,11 @@ Result<Page> Pager::Read(uint64_t page_id) {
     got += static_cast<size_t>(n);
   }
   pages_read_->Increment();
+  // Windowed rate twin: count / window_s on a scrape is live pages/sec.
+  static obs::SlidingWindowHistogram* const window =
+      obs::MetricsRegistry::Global().GetWindowHistogram(
+          "store.window.pages_read", {1.0});
+  window->Observe(1.0);
   return DecodePage(std::string_view(buffer).substr(0, got), page_id);
 }
 
@@ -90,6 +95,10 @@ Status Pager::Write(const Page& page) {
   }
   if (page.page_id >= page_count_) page_count_ = page.page_id + 1;
   pages_written_->Increment();
+  static obs::SlidingWindowHistogram* const window =
+      obs::MetricsRegistry::Global().GetWindowHistogram(
+          "store.window.pages_written", {1.0});
+  window->Observe(1.0);
   return Status::OK();
 }
 

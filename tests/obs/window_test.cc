@@ -1,0 +1,225 @@
+#include "obs/window.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <future>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace fairclean {
+namespace obs {
+namespace {
+
+// ----------------------------------------------- PercentileFromBuckets --
+
+TEST(PercentileFromBucketsTest, EdgePercentilesReturnMinAndMax) {
+  std::vector<double> bounds = {1.0, 10.0};
+  std::vector<uint64_t> buckets = {3, 2, 0};
+  EXPECT_DOUBLE_EQ(
+      PercentileFromBuckets(bounds, buckets, 5, 0.2, 7.0, 0.0), 0.2);
+  EXPECT_DOUBLE_EQ(
+      PercentileFromBuckets(bounds, buckets, 5, 0.2, 7.0, -5.0), 0.2);
+  EXPECT_DOUBLE_EQ(
+      PercentileFromBuckets(bounds, buckets, 5, 0.2, 7.0, 100.0), 7.0);
+  EXPECT_DOUBLE_EQ(
+      PercentileFromBuckets(bounds, buckets, 5, 0.2, 7.0, 250.0), 7.0);
+}
+
+TEST(PercentileFromBucketsTest, EmptyDistributionIsZeroEverywhere) {
+  std::vector<double> bounds = {1.0};
+  std::vector<uint64_t> buckets = {0, 0};
+  for (double p : {0.0, 50.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(PercentileFromBuckets(bounds, buckets, 0, 0.0, 0.0, p),
+                     0.0)
+        << "p=" << p;
+  }
+}
+
+TEST(PercentileFromBucketsTest, SingleObservationIsEveryPercentile) {
+  std::vector<double> bounds = {1.0, 10.0};
+  std::vector<uint64_t> buckets = {0, 1, 0};
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    // The bucket bound (10.0) clamps to the only value ever seen.
+    EXPECT_DOUBLE_EQ(
+        PercentileFromBuckets(bounds, buckets, 1, 4.2, 4.2, p), 4.2)
+        << "p=" << p;
+  }
+}
+
+TEST(PercentileFromBucketsTest, OverflowBucketClampsToMax) {
+  // Everything above the last bound lands in the implicit overflow bucket,
+  // which has no upper bound of its own — the observed max caps it.
+  std::vector<double> bounds = {1.0};
+  std::vector<uint64_t> buckets = {1, 9};
+  EXPECT_DOUBLE_EQ(
+      PercentileFromBuckets(bounds, buckets, 10, 0.5, 123.0, 95.0), 123.0);
+  // The p that still lands in the first bucket uses its bound, floored at
+  // the observed min.
+  EXPECT_DOUBLE_EQ(
+      PercentileFromBuckets(bounds, buckets, 10, 0.5, 123.0, 10.0), 1.0);
+}
+
+TEST(HistogramPercentileTest, SingleObservationAndOverflowEdges) {
+  MetricsRegistry registry;
+  Histogram* one = registry.GetHistogram("one", {1.0, 10.0});
+  one->Observe(3.0);
+  EXPECT_DOUBLE_EQ(one->Percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(one->Percentile(50.0), 3.0);
+  EXPECT_DOUBLE_EQ(one->Percentile(100.0), 3.0);
+
+  Histogram* overflow = registry.GetHistogram("overflow", {1.0});
+  overflow->Observe(50.0);   // overflow bucket
+  overflow->Observe(500.0);  // overflow bucket
+  EXPECT_DOUBLE_EQ(overflow->Percentile(100.0), 500.0);
+  EXPECT_DOUBLE_EQ(overflow->Percentile(0.0), 50.0);
+  // All mass beyond the last bound: bucket "upper" is the observed max.
+  EXPECT_DOUBLE_EQ(overflow->Percentile(75.0), 500.0);
+}
+
+// -------------------------------------------------- NaN / Inf rejection --
+
+TEST(DroppedSamplesTest, NonFiniteObservationsCountedNotRecorded) {
+  Counter* dropped =
+      MetricsRegistry::Global().GetCounter("obs.dropped_samples");
+  uint64_t before = dropped->value();
+
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("nan", {1.0});
+  histogram->Observe(std::numeric_limits<double>::quiet_NaN());
+  histogram->Observe(std::numeric_limits<double>::infinity());
+  histogram->Observe(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(histogram->count(), 0u);
+
+  SlidingWindowHistogram window({1.0}, 60.0);
+  window.ObserveAt(std::numeric_limits<double>::quiet_NaN(), 1.0);
+  window.ObserveAt(std::numeric_limits<double>::infinity(), 1.0);
+  EXPECT_EQ(window.SnapshotAt(1.0).count, 0u);
+
+  EXPECT_EQ(dropped->value(), before + 5);
+
+  // Finite observations still land after the rejected ones.
+  histogram->Observe(0.5);
+  window.ObserveAt(0.5, 1.0);
+  EXPECT_EQ(histogram->count(), 1u);
+  EXPECT_EQ(window.SnapshotAt(1.0).count, 1u);
+  EXPECT_EQ(dropped->value(), before + 5);
+}
+
+// ------------------------------------------------ sliding-window slices --
+
+TEST(SlidingWindowTest, SnapshotCoversOnlyTheWindow) {
+  // 60 s window, 6 slices of 10 s each. Deterministic timestamps drive
+  // rotation; nothing here touches the process clock.
+  SlidingWindowHistogram window({1.0, 10.0, 100.0}, 60.0, 6);
+  window.ObserveAt(0.5, 5.0);    // slot 0
+  window.ObserveAt(5.0, 15.0);   // slot 1
+  window.ObserveAt(50.0, 25.0);  // slot 2
+
+  SlidingWindowHistogram::WindowSnapshot all = window.SnapshotAt(25.0);
+  EXPECT_EQ(all.count, 3u);
+  EXPECT_DOUBLE_EQ(all.sum, 55.5);
+  EXPECT_DOUBLE_EQ(all.min, 0.5);
+  EXPECT_DOUBLE_EQ(all.max, 50.0);
+  EXPECT_DOUBLE_EQ(all.window_s, 60.0);
+
+  // Scrape 61 s after the first observation: slot 0 has rotated out of
+  // the window, the later two remain.
+  SlidingWindowHistogram::WindowSnapshot later = window.SnapshotAt(66.0);
+  EXPECT_EQ(later.count, 2u);
+  EXPECT_DOUBLE_EQ(later.sum, 55.0);
+  EXPECT_DOUBLE_EQ(later.min, 5.0);
+
+  // Far enough out, the window is empty and reports zeros.
+  SlidingWindowHistogram::WindowSnapshot idle = window.SnapshotAt(500.0);
+  EXPECT_EQ(idle.count, 0u);
+  EXPECT_DOUBLE_EQ(idle.min, 0.0);
+  EXPECT_DOUBLE_EQ(idle.max, 0.0);
+  EXPECT_DOUBLE_EQ(idle.p95, 0.0);
+}
+
+TEST(SlidingWindowTest, RotationReusesSlicesDeterministically) {
+  SlidingWindowHistogram window({1.0}, 60.0, 6);
+  // Fill slot 0 in its first epoch, then come back to the same slot one
+  // full ring revolution later: the first epoch's counts must be gone.
+  window.ObserveAt(0.5, 1.0);
+  EXPECT_EQ(window.SnapshotAt(1.0).count, 1u);
+  window.ObserveAt(0.7, 61.0);  // same slot index, next epoch
+  SlidingWindowHistogram::WindowSnapshot snapshot = window.SnapshotAt(61.0);
+  EXPECT_EQ(snapshot.count, 1u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 0.7);
+}
+
+TEST(SlidingWindowTest, StaleObservationsAreDroppedAndCounted) {
+  Counter* dropped =
+      MetricsRegistry::Global().GetCounter("obs.dropped_samples");
+  uint64_t before = dropped->value();
+  SlidingWindowHistogram window({1.0}, 60.0, 6);
+  window.ObserveAt(0.5, 120.0);  // slot 12 claims the slice slot 6 shares
+  // A full window behind the newest slot ever observed: the slice this
+  // timestamp maps to has already been claimed by a later epoch.
+  window.ObserveAt(0.9, 60.0);  // slot 6 -> same slice, older epoch
+  EXPECT_EQ(window.SnapshotAt(120.0).count, 1u);
+  EXPECT_EQ(dropped->value(), before + 1);
+}
+
+TEST(SlidingWindowTest, PercentilesComeFromMergedSlices) {
+  SlidingWindowHistogram window({0.001, 0.01, 0.1, 1.0}, 60.0, 6);
+  // 90 fast + 10 slow across two slices; merged p50 sits in the fast
+  // bucket, p95/p99 in the slow one.
+  for (int i = 0; i < 90; ++i) window.ObserveAt(0.005, 5.0);
+  for (int i = 0; i < 10; ++i) window.ObserveAt(0.5, 15.0);
+  SlidingWindowHistogram::WindowSnapshot snapshot = window.SnapshotAt(15.0);
+  EXPECT_EQ(snapshot.count, 100u);
+  EXPECT_DOUBLE_EQ(snapshot.p50, 0.01);
+  EXPECT_DOUBLE_EQ(snapshot.p95, 0.5);
+  EXPECT_DOUBLE_EQ(snapshot.p99, 0.5);
+  ASSERT_EQ(snapshot.bucket_counts.size(), 5u);
+  EXPECT_EQ(snapshot.bucket_counts[1], 90u);
+  EXPECT_EQ(snapshot.bucket_counts[3], 10u);
+}
+
+TEST(SlidingWindowTest, ConcurrentObserversLoseNothing) {
+  constexpr size_t kTasks = 16;
+  constexpr size_t kObsPerTask = 2000;
+  SlidingWindowHistogram window({0.25, 0.75}, 60.0, 6);
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (size_t task = 0; task < kTasks; ++task) {
+      futures.push_back(pool.Submit([&window, task] {
+        for (size_t i = 0; i < kObsPerTask; ++i) {
+          // All timestamps inside one window; slot churn is exercised by
+          // spreading them over three slices.
+          window.ObserveAt(task % 2 == 0 ? 0.1 : 0.9,
+                           5.0 + static_cast<double>(i % 3) * 10.0);
+        }
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+  SlidingWindowHistogram::WindowSnapshot snapshot = window.SnapshotAt(25.0);
+  EXPECT_EQ(snapshot.count, kTasks * kObsPerTask);
+  ASSERT_EQ(snapshot.bucket_counts.size(), 3u);
+  EXPECT_EQ(snapshot.bucket_counts[0], kTasks / 2 * kObsPerTask);
+  EXPECT_EQ(snapshot.bucket_counts[2], kTasks / 2 * kObsPerTask);
+}
+
+TEST(SlidingWindowTest, DefaultWindowSecondsIsClampedAndCached) {
+  // The knob is read once per process (static cache), so only the
+  // contract survivable in-process is checkable: clamped and stable.
+  const double window = DefaultMetricsWindowSeconds();
+  EXPECT_GE(window, 1.0);
+  EXPECT_LE(window, 3600.0);
+  setenv("FAIRCLEAN_METRICS_WINDOW_S", "7", 1);
+  EXPECT_DOUBLE_EQ(DefaultMetricsWindowSeconds(), window);
+  unsetenv("FAIRCLEAN_METRICS_WINDOW_S");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fairclean

@@ -27,6 +27,8 @@
 #include <gtest/gtest.h>
 
 #include "common/safe_io.h"
+#include "obs/flight.h"
+#include "obs/json_lite.h"
 #include "serve/client.h"
 #include "store/paged_store.h"
 
@@ -74,6 +76,14 @@ ServerProc SpawnServer(const std::string& cache_dir,
     setenv("FAIRCLEAN_FOLDS", "2", 1);
     setenv("FAIRCLEAN_CACHE_DIR", cache_dir.c_str(), 1);
     setenv("FAIRCLEAN_SERVE_QUEUE", "32", 1);
+    // Telemetry plane under soak: periodic JSONL export plus an armed
+    // flight recorder. A graceful stop must flush a final metrics
+    // snapshot; a SIGKILL must leave either no dump or a decodable one.
+    const std::string metrics_path = cache_dir + "/metrics.jsonl";
+    setenv("FAIRCLEAN_METRICS", metrics_path.c_str(), 1);
+    setenv("FAIRCLEAN_METRICS_INTERVAL_S", "0.2", 1);
+    const std::string flight_path = cache_dir + "/fairclean.flight";
+    setenv("FAIRCLEAN_FLIGHT", flight_path.c_str(), 1);
     if (faults.empty()) {
       unsetenv("FAIRCLEAN_FAULTS");
     } else {
@@ -165,6 +175,54 @@ std::string FreshDir(const std::string& name) {
   return dir;
 }
 
+// A gracefully stopped server must leave a final flushed metrics snapshot:
+// valid JSONL, the accepted counter covering every analyze, and the serve
+// latency window present.
+void ExpectFinalMetricsSnapshot(const std::string& cache_dir,
+                                double min_accepted) {
+  const std::string path = cache_dir + "/metrics.jsonl";
+  Result<std::string> text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok()) << path << ": " << text.status().ToString();
+  ASSERT_FALSE(text->empty()) << path;
+  double accepted = -1.0;
+  bool saw_latency_window = false;
+  size_t start = 0, line_no = 0;
+  while (start < text->size()) {
+    size_t end = text->find('\n', start);
+    if (end == std::string::npos) end = text->size();
+    std::string line = text->substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    obs::JsonValue value;
+    std::string error;
+    ASSERT_TRUE(obs::JsonValue::Parse(line, &value, &error))
+        << path << ":" << line_no << ": " << error;
+    const std::string name = value.StringOr("metric", "");
+    // Each flush replaces the file wholesale, so this is the final state.
+    if (name == "serve.requests_accepted") {
+      accepted = value.NumberOr("value", -1.0);
+    } else if (name == "serve.window.request_latency_s") {
+      saw_latency_window = true;
+      EXPECT_GT(value.NumberOr("window_s", 0.0), 0.0);
+    }
+  }
+  EXPECT_GE(accepted, min_accepted) << path;
+  EXPECT_TRUE(saw_latency_window) << path;
+}
+
+// After a SIGKILL the flight dump on disk is either absent (the kill beat
+// every dump) or fully decodable — never torn. The dump discipline is
+// temp file + rename, so this holds even mid-write.
+void ExpectFlightDumpAbsentOrDecodable(const std::string& cache_dir) {
+  const std::string path = cache_dir + "/fairclean.flight";
+  if (!std::filesystem::exists(path)) return;
+  obs::FlightDump dump;
+  std::string error;
+  EXPECT_TRUE(obs::DecodeFlightFile(path, &dump, &error))
+      << path << ": " << error;
+}
+
 TEST(ServeSoakTest, KillAndRestartLosesProgressNeverCorrectness) {
   ASSERT_FALSE(g_server_binary.empty())
       << "usage: serve_soak_test <path to advisor_server>";
@@ -181,6 +239,8 @@ TEST(ServeSoakTest, KillAndRestartLosesProgressNeverCorrectness) {
   std::map<std::string, CellAnswer> expected = AnalyzeAll(baseline.port);
   ShutdownServer(&baseline);
   ASSERT_EQ(expected.size(), std::size(kCells));
+  // Graceful stop flushed the telemetry plane's final snapshot.
+  ExpectFinalMetricsSnapshot(baseline_dir, std::size(kCells));
 
   // Faulted run: flaky sockets and parse faults under concurrent load,
   // then a SIGKILL mid-flight.
@@ -210,6 +270,8 @@ TEST(ServeSoakTest, KillAndRestartLosesProgressNeverCorrectness) {
   std::this_thread::sleep_for(std::chrono::milliseconds(40));
   KillServer(&faulted);
   for (std::thread& thread : load) thread.join();
+  // A hard kill never leaves a torn flight dump: absent or decodable.
+  ExpectFlightDumpAbsentOrDecodable(soak_dir);
 
   // Restart on the same cache directory: journals resume, caches verify.
   ServerProc restarted = SpawnServer(soak_dir, "");

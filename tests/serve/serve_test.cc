@@ -28,6 +28,7 @@
 #include <gtest/gtest.h>
 
 #include "common/fault_injection.h"
+#include "obs/flight.h"
 #include "obs/json_lite.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
@@ -575,6 +576,180 @@ TEST_F(ServeTest, ShutdownShedsQueuedRequestsHonestly) {
   EXPECT_EQ(answered, (std::set<std::string>{"q1", "q2"}));
   EXPECT_EQ(conn.ReadLine(), "");  // then EOF
   EXPECT_EQ(server_->Stats().shed, 2u);
+}
+
+TEST(ServeProtocolTest, ParsesTelemetryOps) {
+  Result<AdvisorRequest> metrics = ParseRequest(
+      "{\"op\":\"metrics\",\"id\":\"m\",\"format\":\"prometheus\"}");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->op, AdvisorRequest::Op::kMetrics);
+  EXPECT_EQ(metrics->format, "prometheus");
+  // Format defaults to json and anything else is rejected at parse time,
+  // before a scrape is rendered.
+  Result<AdvisorRequest> defaulted =
+      ParseRequest("{\"op\":\"metrics\",\"id\":\"m\"}");
+  ASSERT_TRUE(defaulted.ok());
+  EXPECT_EQ(defaulted->format, "json");
+  Result<AdvisorRequest> bad_format =
+      ParseRequest("{\"op\":\"metrics\",\"id\":\"m\",\"format\":\"xml\"}");
+  ASSERT_FALSE(bad_format.ok());
+  EXPECT_EQ(bad_format.status().code(), StatusCode::kInvalidArgument);
+
+  Result<AdvisorRequest> trace = ParseRequest(
+      "{\"op\":\"trace\",\"id\":\"t\",\"trace_id\":\"00deadbeef000001\"}");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->op, AdvisorRequest::Op::kTrace);
+  EXPECT_EQ(trace->trace_id, "00deadbeef000001");
+
+  Result<AdvisorRequest> flight = ParseRequest(
+      "{\"op\":\"flight\",\"id\":\"f\",\"path\":\"/tmp/x.flight\"}");
+  ASSERT_TRUE(flight.ok());
+  EXPECT_EQ(flight->op, AdvisorRequest::Op::kFlight);
+  EXPECT_EQ(flight->path, "/tmp/x.flight");
+}
+
+TEST_F(ServeTest, MetricsOpScrapesJsonAndPrometheus) {
+  StartServer("metrics", 8);
+  AdvisorClient client("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.Call(AnalyzeLine("warm"))->ok());
+
+  // JSON scrape: an array of typed entries; the serve windows must be
+  // present, windowed, and already holding this request.
+  Result<AdvisorResponse> json =
+      client.Call("{\"op\":\"metrics\",\"id\":\"m1\",\"format\":\"json\"}");
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  ASSERT_TRUE(json->ok()) << json->raw;
+  EXPECT_EQ(json->json.StringOr("format", ""), "json");
+  const obs::JsonValue* metrics = json->json.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_array());
+  bool saw_latency_window = false, saw_requests_counter = false;
+  for (const obs::JsonValue& entry : metrics->array_items) {
+    ASSERT_TRUE(entry.is_object());
+    EXPECT_NE(entry.Find("metric"), nullptr);
+    EXPECT_NE(entry.Find("type"), nullptr);
+    const std::string name = entry.StringOr("metric", "");
+    if (name == "serve.window.request_latency_s") {
+      saw_latency_window = true;
+      EXPECT_EQ(entry.StringOr("type", ""), "histogram");
+      EXPECT_GT(entry.NumberOr("window_s", 0.0), 0.0);
+      EXPECT_GE(entry.NumberOr("count", 0.0), 1.0);
+    } else if (name == "serve.requests_accepted") {
+      saw_requests_counter = true;
+      EXPECT_EQ(entry.StringOr("type", ""), "counter");
+      EXPECT_GE(entry.NumberOr("value", 0.0), 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_latency_window);
+  EXPECT_TRUE(saw_requests_counter);
+
+  // Prometheus scrape: the exposition text rides in one escaped string,
+  // windows rendered as quantile summaries.
+  Result<AdvisorResponse> prom = client.Call(
+      "{\"op\":\"metrics\",\"id\":\"m2\",\"format\":\"prometheus\"}");
+  ASSERT_TRUE(prom.ok() && prom->ok()) << prom->raw;
+  EXPECT_EQ(prom->json.StringOr("format", ""), "prometheus");
+  const std::string exposition = prom->json.StringOr("exposition", "");
+  EXPECT_NE(exposition.find(
+                "# TYPE serve_window_request_latency_s summary"),
+            std::string::npos)
+      << exposition.substr(0, 400);
+  EXPECT_NE(exposition.find("quantile=\"0.99\""), std::string::npos);
+
+  // The scrape is served inline by the reader thread: it must answer even
+  // when every worker is wedged behind the pause gate.
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.connected());
+  ASSERT_TRUE(conn.Send("{\"op\":\"pause\",\"id\":\"p\"}"));
+  ASSERT_TRUE(ParseResponse(conn.ReadLine()).ok());
+  ASSERT_TRUE(conn.Send("{\"op\":\"metrics\",\"id\":\"m3\"}"));
+  Result<AdvisorResponse> paused = ParseResponse(conn.ReadLine());
+  ASSERT_TRUE(paused.ok() && paused->ok());
+  ASSERT_TRUE(conn.Send("{\"op\":\"resume\",\"id\":\"r\"}"));
+  ASSERT_TRUE(ParseResponse(conn.ReadLine()).ok());
+}
+
+TEST_F(ServeTest, TraceOpReturnsTheSpanTreeOfACompletedRequest) {
+  StartServer("traceop", 8);
+  AdvisorClient client("127.0.0.1", server_->port());
+  Result<AdvisorResponse> analyzed = client.Call(AnalyzeLine("t1"));
+  ASSERT_TRUE(analyzed.ok() && analyzed->ok()) << analyzed->raw;
+  const std::string trace_id = analyzed->json.StringOr("trace", "");
+  ASSERT_EQ(trace_id.size(), 16u) << analyzed->raw;
+
+  // Listing retains the id the analyze response advertised.
+  Result<AdvisorResponse> listed =
+      client.Call("{\"op\":\"trace\",\"id\":\"l\"}");
+  ASSERT_TRUE(listed.ok() && listed->ok()) << listed->raw;
+  const obs::JsonValue* traces = listed->json.Find("traces");
+  ASSERT_NE(traces, nullptr);
+  bool retained = false;
+  for (const obs::JsonValue& entry : traces->array_items) {
+    if (entry.string_value == trace_id) retained = true;
+  }
+  EXPECT_TRUE(retained);
+
+  // The span tree for that id covers the request across layers: a serve
+  // root span plus nested work, every span shaped for the tree renderer.
+  Result<AdvisorResponse> fetched = client.Call(
+      "{\"op\":\"trace\",\"id\":\"t\",\"trace_id\":\"" + trace_id + "\"}");
+  ASSERT_TRUE(fetched.ok() && fetched->ok()) << fetched->raw;
+  EXPECT_EQ(fetched->json.StringOr("trace", ""), trace_id);
+  const obs::JsonValue* spans = fetched->json.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_FALSE(spans->array_items.empty());
+  bool saw_root = false;
+  for (const obs::JsonValue& span : spans->array_items) {
+    EXPECT_NE(span.Find("name"), nullptr);
+    EXPECT_NE(span.Find("cat"), nullptr);
+    EXPECT_GE(span.NumberOr("dur_us", -1.0), 0.0);
+    if (span.NumberOr("depth", -1.0) == 0.0) saw_root = true;
+  }
+  EXPECT_TRUE(saw_root);
+
+  // Unknown and malformed ids both answer not_found without a worker.
+  Result<AdvisorResponse> unknown = client.Call(
+      "{\"op\":\"trace\",\"id\":\"u\",\"trace_id\":\"ffffffffffffffff\"}");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_FALSE(unknown->ok());
+  EXPECT_NE(unknown->error.find("not retained"), std::string::npos);
+  Result<AdvisorResponse> malformed = client.Call(
+      "{\"op\":\"trace\",\"id\":\"b\",\"trace_id\":\"zz\"}");
+  ASSERT_TRUE(malformed.ok());
+  EXPECT_FALSE(malformed->ok());
+}
+
+TEST_F(ServeTest, FlightOpWritesADecodableDump) {
+  StartServer("flightop", 8);
+  obs::FlightRecorder::Enable(/*capacity=*/4096);
+  AdvisorClient client("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.Call(AnalyzeLine("f1"))->ok());
+
+  const std::string path = FreshDir("flight") + "/op.flight";
+  Result<AdvisorResponse> dumped = client.Call(
+      "{\"op\":\"flight\",\"id\":\"f\",\"path\":\"" + path + "\"}");
+  ASSERT_TRUE(dumped.ok() && dumped->ok()) << dumped->raw;
+  EXPECT_EQ(dumped->json.StringOr("flight", ""), path);
+
+  obs::FlightDump dump;
+  std::string error;
+  ASSERT_TRUE(obs::DecodeFlightFile(path, &dump, &error)) << error;
+  EXPECT_EQ(dump.reason, obs::kFlightReasonExplicit);
+  EXPECT_GT(dump.TotalEvents(), 0u);
+  // The request left span begin/end pairs behind in some worker's ring.
+  size_t span_events = 0;
+  for (const obs::FlightDump::Thread& thread : dump.threads) {
+    for (const obs::FlightEntry& entry : thread.events) {
+      if (entry.type ==
+              static_cast<uint8_t>(obs::FlightEventType::kSpanBegin) ||
+          entry.type ==
+              static_cast<uint8_t>(obs::FlightEventType::kSpanEnd)) {
+        ++span_events;
+      }
+    }
+  }
+  EXPECT_GT(span_events, 0u);
+  obs::FlightRecorder::Disable();
 }
 
 }  // namespace

@@ -33,9 +33,10 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: advisor_client --port P [--host H] [--seed S]\n"
-      "         (--op ping|stats|shutdown |\n"
+      "         (--op ping|stats|shutdown|metrics|trace|flight |\n"
       "          --dataset D --error-type E --model M [--group G]\n"
       "          [--metric F] [--deadline-s X])\n"
+      "         [--format json|prometheus] [--trace-id HEX] [--path FILE]\n"
       "         [--load --clients C --requests N] [--no-retry]\n");
   return 1;
 }
@@ -68,6 +69,7 @@ int Run(int argc, char** argv) {
   uint64_t seed = 42;
   std::string op;
   std::string dataset, error_type, model, group, metric;
+  std::string format, trace_id, path;
   double deadline_s = 0.0;
   bool load = false;
   bool no_retry = false;
@@ -96,6 +98,12 @@ int Run(int argc, char** argv) {
       group = v;
     } else if (const char* v = value("--metric")) {
       metric = v;
+    } else if (const char* v = value("--format")) {
+      format = v;
+    } else if (const char* v = value("--trace-id")) {
+      trace_id = v;
+    } else if (const char* v = value("--path")) {
+      path = v;
     } else if (const char* v = value("--deadline-s")) {
       deadline_s = std::atof(v);
     } else if (const char* v = value("--clients")) {
@@ -114,7 +122,17 @@ int Run(int argc, char** argv) {
 
   std::string line;
   if (!op.empty()) {
-    line = "{\"op\":\"" + obs::JsonEscape(op) + "\",\"id\":\"cli\"}";
+    line = "{\"op\":\"" + obs::JsonEscape(op) + "\",\"id\":\"cli\"";
+    if (!format.empty()) {
+      line += ",\"format\":\"" + obs::JsonEscape(format) + "\"";
+    }
+    if (!trace_id.empty()) {
+      line += ",\"trace_id\":\"" + obs::JsonEscape(trace_id) + "\"";
+    }
+    if (!path.empty()) {
+      line += ",\"path\":\"" + obs::JsonEscape(path) + "\"";
+    }
+    line += "}";
   } else if (!dataset.empty()) {
     line = BuildAnalyzeLine("cli", dataset, error_type, model, group, metric,
                             deadline_s);

@@ -17,11 +17,13 @@
 // because every cache write is atomic and journaled, and a restarted server
 // resumes in-flight cells from their journals.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "common/fault_injection.h"
+#include "obs/flight.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "serve/server.h"
@@ -30,9 +32,19 @@ namespace {
 
 using namespace fairclean;  // NOLINT
 
+// SIGTERM/SIGINT only set a flag: the handler must stay async-signal-safe,
+// so the main loop polls it (WaitFor) and performs the graceful stop —
+// shedding the queue honestly and flushing the final metrics export.
+volatile std::sig_atomic_t g_terminate = 0;
+
+void HandleTerminate(int) { g_terminate = 1; }
+
 int Run(int argc, char** argv) {
   obs::InitLogLevelFromEnv(obs::LogLevel::kInfo);
   obs::InitTraceFromEnv();
+  // Fatal signals dump the flight recorder rings before re-raising, so a
+  // crash leaves a decodable fairclean.flight next to the server.
+  obs::FlightRecorder::InstallCrashHandler();
 
   int port_override = -1;
   for (int i = 1; i < argc; ++i) {
@@ -70,8 +82,12 @@ int Run(int argc, char** argv) {
   std::printf("listening on port %u\n", static_cast<unsigned>(server.port()));
   std::fflush(stdout);
 
-  server.Wait();
-  server.Shutdown();
+  std::signal(SIGTERM, HandleTerminate);
+  std::signal(SIGINT, HandleTerminate);
+  while (!server.WaitFor(0.2)) {
+    if (g_terminate) break;
+  }
+  server.Shutdown();  // sheds the queue and flushes the metrics export
   serve::ServerStats stats = server.Stats();
   std::printf(
       "served: accepted=%llu ok=%llu shed=%llu failed=%llu "
