@@ -1,11 +1,17 @@
-// Google-benchmark microbenchmarks for the substrate components: dataset
-// synthesis, error detection, repair, feature encoding and model training.
-// These measure engineering throughput, not paper results. After the
-// benchmark table, a summary line reports the 1-thread vs N-thread speedup
-// of the study driver's repeat fan-out, and the whole run is written as
-// machine-readable JSON (op name -> seconds per iteration, plus the
-// fan-out numbers) to FAIRCLEAN_BENCH_JSON (default BENCH_perf.json) for
-// CI trend tracking.
+// Microbenchmarks for the substrate components: dataset synthesis, error
+// detection, repair, feature encoding and model training. These measure
+// engineering throughput, not paper results.
+//
+// Two harnesses share this binary:
+//   - The paired kernel microbenches and the per-mode suite execution
+//     benches run first, each in a forked child (bench/bench_common.h):
+//     >= 5 timed iterations per kernel, median + p95 reported, written to
+//     FAIRCLEAN_BENCH_KERNELS_JSON (default BENCH_kernels.json).
+//   - The remaining throughput benches run under google-benchmark, followed
+//     by the repeat/suite fan-out summary lines, and land in
+//     FAIRCLEAN_BENCH_JSON (default BENCH_perf.json) for CI trend tracking.
+// The forked children must come first: fork requires a single-threaded
+// parent, and both google-benchmark and the fan-out reports spawn pools.
 
 #include <algorithm>
 #include <chrono>
@@ -16,8 +22,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "bench/bench_util.h"
 #include "common/env.h"
+#include "common/exec_mode.h"
 #include "common/thread_pool.h"
 #include "core/cleaning.h"
 #include "exec/study_driver.h"
@@ -209,122 +217,6 @@ void BM_KnnPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_KnnPredict)->Arg(2000);
 
-// --- Kernel microbenches (DESIGN.md §8) ---------------------------------
-// Each pair times an optimized kernel against the path it replaced; the
-// ratios are written to BENCH_kernels.json so CI can watch them. The
-// per-round-sort GBDT ablation is NOT byte-identical to the presort path
-// (per-round std::sort resolves equal-key ties differently), which is why
-// it only exists behind the presort_reuse knob for benchmarking.
-
-void BM_GbdtFitPresortReuse(benchmark::State& state) {
-  EncodedData data = EncodeAdult(static_cast<size_t>(state.range(0)));
-  for (auto _ : state) {
-    GradientBoostedTrees model;
-    Rng rng(19);
-    model.Fit(data.x, data.y, &rng).ok();
-    benchmark::DoNotOptimize(model);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          state.range(0));
-}
-BENCHMARK(BM_GbdtFitPresortReuse)->Arg(8000);
-
-void BM_GbdtFitPerRoundSort(benchmark::State& state) {
-  EncodedData data = EncodeAdult(static_cast<size_t>(state.range(0)));
-  GbdtOptions options;
-  options.presort_reuse = false;
-  for (auto _ : state) {
-    GradientBoostedTrees model(options);
-    Rng rng(19);
-    model.Fit(data.x, data.y, &rng).ok();
-    benchmark::DoNotOptimize(model);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          state.range(0));
-}
-BENCHMARK(BM_GbdtFitPerRoundSort)->Arg(8000);
-
-constexpr size_t kKnnBenchQueries = 256;
-
-void BM_KnnPredictBlocked(benchmark::State& state) {
-  EncodedData data = EncodeAdult(static_cast<size_t>(state.range(0)));
-  KnnClassifier model;
-  Rng rng(23);
-  model.Fit(data.x, data.y, &rng).ok();
-  std::vector<size_t> query_rows(kKnnBenchQueries);
-  for (size_t i = 0; i < kKnnBenchQueries; ++i) query_rows[i] = i;
-  Matrix queries = data.x.TakeRows(query_rows);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model.PredictProba(queries));
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(kKnnBenchQueries));
-}
-BENCHMARK(BM_KnnPredictBlocked)->Arg(9000);
-
-void BM_KnnPredictNaive(benchmark::State& state) {
-  // The pre-blocking predict loop: reference distance kernel one query at
-  // a time, allocating nothing it can reuse across queries either.
-  EncodedData data = EncodeAdult(static_cast<size_t>(state.range(0)));
-  std::vector<size_t> query_rows(kKnnBenchQueries);
-  for (size_t i = 0; i < kKnnBenchQueries; ++i) query_rows[i] = i;
-  Matrix queries = data.x.TakeRows(query_rows);
-  size_t n_train = data.x.rows();
-  size_t k = std::min<size_t>(15, n_train);
-  for (auto _ : state) {
-    std::vector<double> out(queries.rows());
-    std::vector<double> sq(n_train);
-    std::vector<std::pair<double, size_t>> dist(n_train);
-    for (size_t q = 0; q < queries.rows(); ++q) {
-      SquaredDistancesToRow(data.x, queries.Row(q), sq.data());
-      for (size_t t = 0; t < n_train; ++t) dist[t] = {sq[t], t};
-      std::partial_sort(dist.begin(),
-                        dist.begin() + static_cast<ptrdiff_t>(k),
-                        dist.end());
-      int positives = 0;
-      for (size_t j = 0; j < k; ++j) positives += data.y[dist[j].second];
-      out[q] = static_cast<double>(positives) / static_cast<double>(k);
-    }
-    benchmark::DoNotOptimize(out);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(kKnnBenchQueries));
-}
-BENCHMARK(BM_KnnPredictNaive)->Arg(9000);
-
-void BM_TuningFoldDataPerGridPoint(benchmark::State& state) {
-  // What TuneAndFit used to do: re-slice (and re-presort) every fold for
-  // each of the three grid points.
-  EncodedData data = EncodeAdult(static_cast<size_t>(state.range(0)));
-  Rng fold_rng(31);
-  std::vector<TrainTestIndices> folds =
-      KFoldIndices(data.x.rows(), 3, &fold_rng);
-  for (auto _ : state) {
-    for (int grid_point = 0; grid_point < 3; ++grid_point) {
-      benchmark::DoNotOptimize(MaterializeTuningFolds(
-          data.x, data.y, folds, /*with_presort=*/true));
-    }
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          state.range(0));
-}
-BENCHMARK(BM_TuningFoldDataPerGridPoint)->Arg(4000);
-
-void BM_TuningFoldDataShared(benchmark::State& state) {
-  // The fold-data cache: one materialization serves the whole grid.
-  EncodedData data = EncodeAdult(static_cast<size_t>(state.range(0)));
-  Rng fold_rng(31);
-  std::vector<TrainTestIndices> folds =
-      KFoldIndices(data.x.rows(), 3, &fold_rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(MaterializeTuningFolds(
-        data.x, data.y, folds, /*with_presort=*/true));
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          state.range(0));
-}
-BENCHMARK(BM_TuningFoldDataShared)->Arg(4000);
-
 void BM_GTest2x2(benchmark::State& state) {
   ContingencyTable2x2 table{523, 9382, 411, 5023};
   for (auto _ : state) {
@@ -346,6 +238,236 @@ void BM_PairedTTest(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PairedTTest);
+
+// --- Forked kernel microbenches (DESIGN.md §8) --------------------------
+// Each pair times an optimized kernel against the path it replaced; the
+// median/p95 per op and the pair ratios are written to BENCH_kernels.json
+// so CI can watch them. Every case runs in its own forked child
+// (bench/bench_common.h): setup untimed, >= 5 timed iterations, no warm
+// allocator or thread pool inherited from a previous case. The
+// per-round-sort GBDT ablation is NOT byte-identical to the presort path
+// (per-round std::sort resolves equal-key ties differently), which is why
+// it only exists behind the presort_reuse knob for benchmarking.
+
+constexpr size_t kKnnBenchQueries = 256;
+
+struct ForkedCase {
+  std::string key;  // op key in the kernels JSON
+  std::function<std::function<void()>()> make_body;
+};
+
+std::vector<ForkedCase> KernelCases() {
+  std::vector<ForkedCase> cases;
+  cases.push_back({"BM_GbdtFitPresortReuse/8000", [] {
+    auto data = std::make_shared<EncodedData>(EncodeAdult(8000));
+    return std::function<void()>([data] {
+      GradientBoostedTrees model;
+      Rng rng(19);
+      model.Fit(data->x, data->y, &rng).ok();
+    });
+  }});
+  cases.push_back({"BM_GbdtFitPerRoundSort/8000", [] {
+    auto data = std::make_shared<EncodedData>(EncodeAdult(8000));
+    return std::function<void()>([data] {
+      GbdtOptions options;
+      options.presort_reuse = false;
+      GradientBoostedTrees model(options);
+      Rng rng(19);
+      model.Fit(data->x, data->y, &rng).ok();
+    });
+  }});
+  cases.push_back({"BM_KnnPredictBlocked/9000", [] {
+    auto data = std::make_shared<EncodedData>(EncodeAdult(9000));
+    auto model = std::make_shared<KnnClassifier>();
+    Rng rng(23);
+    model->Fit(data->x, data->y, &rng).ok();
+    std::vector<size_t> query_rows(kKnnBenchQueries);
+    for (size_t i = 0; i < kKnnBenchQueries; ++i) query_rows[i] = i;
+    auto queries = std::make_shared<Matrix>(data->x.TakeRows(query_rows));
+    return std::function<void()>([data, model, queries] {
+      std::vector<double> out = model->PredictProba(*queries);
+      (void)out;
+    });
+  }});
+  cases.push_back({"BM_KnnPredictNaive/9000", [] {
+    // The exact reference path naive mode runs: per-query distance rows,
+    // sequential, no packing (KnnOptions::blocked = false).
+    auto data = std::make_shared<EncodedData>(EncodeAdult(9000));
+    KnnOptions options;
+    options.blocked = false;
+    auto model = std::make_shared<KnnClassifier>(options);
+    Rng rng(23);
+    model->Fit(data->x, data->y, &rng).ok();
+    std::vector<size_t> query_rows(kKnnBenchQueries);
+    for (size_t i = 0; i < kKnnBenchQueries; ++i) query_rows[i] = i;
+    auto queries = std::make_shared<Matrix>(data->x.TakeRows(query_rows));
+    return std::function<void()>([data, model, queries] {
+      std::vector<double> out = model->PredictProba(*queries);
+      (void)out;
+    });
+  }});
+  cases.push_back({"BM_TuningFoldDataPerGridPoint/4000", [] {
+    // What naive-mode TuneAndFit does: re-slice (and re-presort) every
+    // fold for each of the three grid points.
+    auto data = std::make_shared<EncodedData>(EncodeAdult(4000));
+    Rng fold_rng(31);
+    auto folds = std::make_shared<std::vector<TrainTestIndices>>(
+        KFoldIndices(data->x.rows(), 3, &fold_rng));
+    return std::function<void()>([data, folds] {
+      for (int grid_point = 0; grid_point < 3; ++grid_point) {
+        auto fold_data = MaterializeTuningFolds(data->x, data->y, *folds,
+                                                /*with_presort=*/true);
+        (void)fold_data;
+      }
+    });
+  }});
+  cases.push_back({"BM_TuningFoldDataShared/4000", [] {
+    // The fold-data cache: one materialization serves the whole grid.
+    auto data = std::make_shared<EncodedData>(EncodeAdult(4000));
+    Rng fold_rng(31);
+    auto folds = std::make_shared<std::vector<TrainTestIndices>>(
+        KFoldIndices(data->x.rows(), 3, &fold_rng));
+    return std::function<void()>([data, folds] {
+      auto fold_data = MaterializeTuningFolds(data->x, data->y, *folds,
+                                              /*with_presort=*/true);
+      (void)fold_data;
+    });
+  }});
+  return cases;
+}
+
+// --- Forked per-mode suite execution bench (DESIGN.md §15) --------------
+// The committed suite fan-out bench of the execution-mode ladder: the
+// 9-cell missing-values scope (adult/folk/german x three models) through
+// the suite scheduler at a fixed 4-thread width, one forked child per
+// timed sample, caching disabled so every iteration measures compute. The
+// exec_fused_speedup ratio (naive median / fused median) is the headline
+// "speedup" of BENCH_kernels.json.
+
+constexpr size_t kExecBenchThreads = 4;
+
+std::function<std::function<void()>()> ExecModeBody(ExecMode mode,
+                                                    size_t sample) {
+  return [mode, sample] {
+    return std::function<void()>([mode, sample] {
+      sched::SuiteOptions options;
+      options.study.sample_size = sample;
+      options.study.num_repeats = 2;
+      options.study.cv_folds = 3;
+      options.study.seed = 42;
+      options.study.exec_mode = mode;
+      options.threads = kExecBenchThreads;
+      options.cache_dir.clear();
+      sched::SuiteScheduler scheduler(options);
+      scheduler.RunScopeCells(sched::MissingScope()).ValueOrDie();
+    });
+  };
+}
+
+// Runs the forked kernel and exec-mode cases and records their stats.
+// FAIRCLEAN_BENCH_KERNEL_ITERS (default 7, floor 5) and
+// FAIRCLEAN_BENCH_EXEC_ITERS (default 3) control the sample counts; either
+// set to 0 skips that section. FAIRCLEAN_BENCH_EXEC_SAMPLE (default 8000)
+// scales the suite bench rows.
+void RunForkedCases(std::map<std::string, double>* ops,
+                    std::map<std::string, double>* p95,
+                    std::map<std::string, size_t>* iters) {
+  int64_t kernel_iters =
+      GetEnvCount("FAIRCLEAN_BENCH_KERNEL_ITERS", 7).ValueOrDie();
+  if (kernel_iters > 0) kernel_iters = std::max<int64_t>(kernel_iters, 5);
+  int64_t exec_iters =
+      GetEnvCount("FAIRCLEAN_BENCH_EXEC_ITERS", 3).ValueOrDie();
+  int64_t exec_sample =
+      GetEnvCount("FAIRCLEAN_BENCH_EXEC_SAMPLE", 8000).ValueOrDie();
+
+  std::vector<std::pair<ForkedCase, size_t>> cases;
+  if (kernel_iters > 0) {
+    for (ForkedCase& c : KernelCases()) {
+      cases.emplace_back(std::move(c), static_cast<size_t>(kernel_iters));
+    }
+  }
+  if (exec_iters > 0) {
+    for (ExecMode mode :
+         {ExecMode::kNaive, ExecMode::kShared, ExecMode::kFused}) {
+      ForkedCase c;
+      c.key = std::string("exec_") + ExecModeName(mode) + "_4t";
+      c.make_body = ExecModeBody(mode, static_cast<size_t>(exec_sample));
+      cases.emplace_back(std::move(c), static_cast<size_t>(exec_iters));
+    }
+  }
+  for (const auto& [c, n] : cases) {
+    Result<bench::BenchStats> stats =
+        bench::RunForkedBench(c.key, n, c.make_body);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "forked bench %s failed: %s\n", c.key.c_str(),
+                   stats.status().ToString().c_str());
+      continue;
+    }
+    (*ops)[c.key] = stats->median;
+    (*p95)[c.key] = stats->p95;
+    (*iters)[c.key] = stats->iters;
+    std::printf("forked %-36s median %10.4fs  p95 %10.4fs  (%zu iters)\n",
+                c.key.c_str(), stats->median, stats->p95, stats->iters);
+    std::fflush(stdout);
+  }
+}
+
+// Derives the pair ratios from the forked medians, prints them, and writes
+// the enriched kernels JSON to FAIRCLEAN_BENCH_KERNELS_JSON. Pairs whose
+// cases did not run (skipped via the env knobs or a failed child) are
+// dropped from the report.
+void WriteKernelBenchJson(std::map<std::string, double> ops,
+                          const std::map<std::string, double>& p95,
+                          const std::map<std::string, size_t>& iters) {
+  struct KernelPair {
+    const char* label;       // key of the ratio entry in the JSON
+    const char* baseline;    // op key of the replaced path
+    const char* optimized;   // op key of the kernel
+  };
+  const KernelPair pairs[] = {
+      {"gbdt_presort_reuse_speedup", "BM_GbdtFitPerRoundSort/8000",
+       "BM_GbdtFitPresortReuse/8000"},
+      {"knn_blocked_speedup", "BM_KnnPredictNaive/9000",
+       "BM_KnnPredictBlocked/9000"},
+      {"fold_cache_speedup", "BM_TuningFoldDataPerGridPoint/4000",
+       "BM_TuningFoldDataShared/4000"},
+      {"exec_shared_speedup", "exec_naive_4t", "exec_shared_4t"},
+      {"exec_fused_speedup", "exec_naive_4t", "exec_fused_4t"},
+  };
+  double headline_speedup = 1.0;
+  for (const KernelPair& pair : pairs) {
+    auto baseline = ops.find(pair.baseline);
+    auto optimized = ops.find(pair.optimized);
+    if (baseline == ops.end() || optimized == ops.end() ||
+        optimized->second <= 0.0) {
+      continue;
+    }
+    double ratio = baseline->second / optimized->second;
+    ops[pair.label] = ratio;
+    std::printf("kernel %s: %.2fx (%s %.4fs -> %s %.4fs)\n", pair.label,
+                ratio, pair.baseline, baseline->second, pair.optimized,
+                optimized->second);
+    // The exec-mode ladder is the headline once it ran; the historical
+    // GBDT pair keeps kernels-only runs meaningful.
+    if (std::string(pair.label) == "exec_fused_speedup" ||
+        (headline_speedup == 1.0 &&
+         std::string(pair.label) == "gbdt_presort_reuse_speedup")) {
+      headline_speedup = ratio;
+    }
+  }
+  if (ops.empty()) return;
+  std::string json_path = GetEnvString("FAIRCLEAN_BENCH_KERNELS_JSON",
+                                       "BENCH_kernels.json");
+  if (json_path.empty()) return;
+  Status written = bench::WriteKernelStatsJson(
+      json_path, ops, p95, iters, kExecBenchThreads, headline_speedup);
+  if (!written.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", json_path.c_str(),
+                 written.ToString().c_str());
+    return;
+  }
+  std::printf("kernel bench results: %s\n", json_path.c_str());
+}
 
 // Times one small in-memory cleaning experiment end to end at the given
 // repeat fan-out width.
@@ -450,60 +572,15 @@ void ReportRepeatFanOutSpeedup(std::map<std::string, double>* op_seconds,
   *speedup_out = sequential_s / parallel_s;
 }
 
-// Collects the kernel microbench pairs from the captured run, prints the
-// optimized-vs-replaced ratios and writes them (raw seconds + ratios) to
-// FAIRCLEAN_BENCH_KERNELS_JSON. Pairs whose benchmarks did not run (e.g.
-// filtered out on the command line) are skipped.
-void WriteKernelBenchJson(const std::map<std::string, double>& op_seconds) {
-  struct KernelPair {
-    const char* label;       // key of the ratio entry in the JSON
-    const char* baseline;    // benchmark name of the replaced path
-    const char* optimized;   // benchmark name of the kernel
-  };
-  const KernelPair pairs[] = {
-      {"gbdt_presort_reuse_speedup", "BM_GbdtFitPerRoundSort/8000",
-       "BM_GbdtFitPresortReuse/8000"},
-      {"knn_blocked_speedup", "BM_KnnPredictNaive/9000",
-       "BM_KnnPredictBlocked/9000"},
-      {"fold_cache_speedup", "BM_TuningFoldDataPerGridPoint/4000",
-       "BM_TuningFoldDataShared/4000"},
-  };
-  std::map<std::string, double> kernel_ops;
-  double headline_speedup = 1.0;
-  for (const KernelPair& pair : pairs) {
-    auto baseline = op_seconds.find(pair.baseline);
-    auto optimized = op_seconds.find(pair.optimized);
-    if (baseline == op_seconds.end() || optimized == op_seconds.end() ||
-        optimized->second <= 0.0) {
-      continue;
-    }
-    double ratio = baseline->second / optimized->second;
-    kernel_ops[pair.baseline] = baseline->second;
-    kernel_ops[pair.optimized] = optimized->second;
-    kernel_ops[pair.label] = ratio;
-    std::printf("kernel %s: %.2fx (%s %.4fs -> %s %.4fs)\n", pair.label,
-                ratio, pair.baseline, baseline->second, pair.optimized,
-                optimized->second);
-    if (std::string(pair.label) == "gbdt_presort_reuse_speedup") {
-      headline_speedup = ratio;
-    }
-  }
-  if (kernel_ops.empty()) return;
-  std::string json_path = GetEnvString("FAIRCLEAN_BENCH_KERNELS_JSON",
-                                       "BENCH_kernels.json");
-  if (json_path.empty()) return;
-  Status written = bench::WriteBenchPerfJson(
-      json_path, kernel_ops, ThreadPool::DefaultThreadCount(),
-      headline_speedup);
-  if (!written.ok()) {
-    std::fprintf(stderr, "cannot write %s: %s\n", json_path.c_str(),
-                 written.ToString().c_str());
-    return;
-  }
-  std::printf("kernel bench results: %s\n", json_path.c_str());
-}
-
 int RunPerfMicro(int argc, char** argv) {
+  // Forked benches strictly first: the children must fork from a
+  // single-threaded parent, and everything below spawns thread pools.
+  std::map<std::string, double> forked_ops;
+  std::map<std::string, double> forked_p95;
+  std::map<std::string, size_t> forked_iters;
+  RunForkedCases(&forked_ops, &forked_p95, &forked_iters);
+  WriteKernelBenchJson(forked_ops, forked_p95, forked_iters);
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   CapturingReporter reporter;
@@ -511,7 +588,6 @@ int RunPerfMicro(int argc, char** argv) {
   benchmark::Shutdown();
 
   std::map<std::string, double> op_seconds = reporter.op_seconds();
-  WriteKernelBenchJson(op_seconds);
   size_t threads = 1;
   double speedup = 1.0;
   ReportRepeatFanOutSpeedup(&op_seconds, &threads, &speedup);

@@ -1,0 +1,33 @@
+#include "common/exec_mode.h"
+
+#include "common/env.h"
+
+namespace fairclean {
+
+const char* ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kNaive:
+      return "naive";
+    case ExecMode::kShared:
+      return "shared";
+    case ExecMode::kFused:
+      return "fused";
+  }
+  return "fused";
+}
+
+Result<ExecMode> ParseExecMode(const std::string& token) {
+  if (token == "naive") return ExecMode::kNaive;
+  if (token == "shared") return ExecMode::kShared;
+  if (token == "fused") return ExecMode::kFused;
+  return Status::InvalidArgument(
+      "FAIRCLEAN_EXEC_MODE must be \"naive\", \"shared\" or \"fused\", "
+      "got \"" +
+      token + "\"");
+}
+
+Result<ExecMode> ExecModeFromEnv() {
+  return ParseExecMode(GetEnvString("FAIRCLEAN_EXEC_MODE", "fused"));
+}
+
+}  // namespace fairclean

@@ -48,7 +48,8 @@ Result<EvalOutcome> TrainAndEvaluate(const PreparedData& data,
                                      const DatasetSpec& spec,
                                      const std::vector<GroupDefinition>& groups,
                                      const TunedModelFamily& family,
-                                     size_t cv_folds, Rng* rng) {
+                                     size_t cv_folds, Rng* rng,
+                                     ExecMode exec_mode) {
   obs::TraceSpan span("core", [&] {
     return "TrainAndEvaluate " + spec.name + " " + family.name;
   });
@@ -65,7 +66,7 @@ Result<EvalOutcome> TrainAndEvaluate(const PreparedData& data,
   Rng tune_rng = rng->Fork(0x70e0);
   FC_ASSIGN_OR_RETURN(TuneOutcome tuned,
                       TuneAndFit(family, train_x, train_y, cv_folds,
-                                 &tune_rng));
+                                 &tune_rng, exec_mode));
   std::vector<int> predictions = tuned.model->Predict(test_x);
 
   EvalOutcome outcome;
@@ -177,7 +178,8 @@ std::string UnfairnessKey(const std::string& group_key,
 Result<CleaningExperimentResult> RunCleaningRepeatSlice(
     const GeneratedDataset& dataset, const std::string& error_type,
     const TunedModelFamily& family, const StudyOptions& options,
-    size_t repeat, uint64_t seed_salt) {
+    size_t repeat, uint64_t seed_salt,
+    const std::vector<GroupDefinition>* groups) {
   obs::TraceSpan span("core", [&] {
     return StrFormat("repeat %s/%s/%s r%zu", dataset.spec.name.c_str(),
                      error_type.c_str(), family.name.c_str(), repeat);
@@ -194,7 +196,11 @@ Result<CleaningExperimentResult> RunCleaningRepeatSlice(
   result.dataset = dataset.spec.name;
   result.error_type = error_type;
   result.model = family.name;
-  result.groups = GroupDefinitionsFor(dataset.spec);
+  // The wave planner pre-materializes the group definitions once per
+  // (dataset, seed) group; a standalone slice derives them here. Both are
+  // pure functions of the spec, so the result is identical either way.
+  result.groups =
+      groups != nullptr ? *groups : GroupDefinitionsFor(dataset.spec);
 
   size_t total_rows = dataset.frame.num_rows();
   size_t sample_size = std::min(options.sample_size, total_rows);
@@ -231,7 +237,7 @@ Result<CleaningExperimentResult> RunCleaningRepeatSlice(
   FC_ASSIGN_OR_RETURN(
       EvalOutcome dirty_outcome,
       TrainAndEvaluate(dirty, dataset.spec, result.groups, family,
-                       options.cv_folds, &dirty_rng));
+                       options.cv_folds, &dirty_rng, options.exec_mode));
   // Fault-injection site at the numeric boundary: a fired "numeric" fault
   // turns the score into NaN, which the study driver must catch as a
   // degenerate repeat (retry/skip) before it poisons the t-tests.
@@ -252,7 +258,7 @@ Result<CleaningExperimentResult> RunCleaningRepeatSlice(
     FC_ASSIGN_OR_RETURN(
         EvalOutcome repaired_outcome,
         TrainAndEvaluate(repaired, dataset.spec, result.groups, family,
-                         options.cv_folds, &eval_rng));
+                         options.cv_folds, &eval_rng, options.exec_mode));
     AppendScores(repaired_outcome, result.groups,
                  &result.repaired[method.Name()]);
     RecordOutcome(

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_mode.h"
 #include "core/cleaning.h"
 #include "core/impact.h"
 #include "core/results.h"
@@ -33,6 +34,11 @@ struct StudyOptions {
   uint64_t seed = 42;
   /// Significance level before Bonferroni adjustment.
   double alpha = 0.05;
+  /// Execution mode (FAIRCLEAN_EXEC_MODE): how much work the tuning and
+  /// predict kernels share. Every mode produces byte-identical results;
+  /// the knob exists so each sharing layer is independently measurable
+  /// (DESIGN.md §15).
+  ExecMode exec_mode = ExecMode::kFused;
 };
 
 /// Reads StudyOptions from the environment (FAIRCLEAN_SAMPLE,
@@ -106,10 +112,16 @@ Result<CleaningExperimentResult> RunCleaningExperiment(
 /// RunCleaningExperiment computes for that slot; a non-zero salt derives a
 /// fresh but deterministic seed, used to retry repeats whose data draw was
 /// degenerate (e.g. a single-class training fold).
+///
+/// `groups` optionally supplies the dataset's group definitions
+/// pre-materialized by the wave planner; null derives them from the spec
+/// per slice. GroupDefinitionsFor is deterministic in the spec, so both
+/// paths yield identical results.
 Result<CleaningExperimentResult> RunCleaningRepeatSlice(
     const GeneratedDataset& dataset, const std::string& error_type,
     const TunedModelFamily& family, const StudyOptions& options,
-    size_t repeat, uint64_t seed_salt = 0);
+    size_t repeat, uint64_t seed_salt = 0,
+    const std::vector<GroupDefinition>* groups = nullptr);
 
 /// Appends a one-repeat slice onto `target` (series push_back + record
 /// merge). The first slice initializes the target's metadata; later slices

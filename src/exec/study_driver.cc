@@ -355,7 +355,8 @@ bool StudyDriver::BudgetExhausted() const {
 
 StudyDriver::SlotOutcome StudyDriver::ComputeSlot(
     const GeneratedDataset& dataset, const std::string& error_type,
-    const TunedModelFamily& family, size_t slot) const {
+    const TunedModelFamily& family, size_t slot,
+    const std::vector<GroupDefinition>* groups) const {
   obs::TraceSpan span("exec", [&] {
     return StrFormat("slot %s/%s/%s r%zu", dataset.spec.name.c_str(),
                      error_type.c_str(), family.name.c_str(), slot);
@@ -371,7 +372,7 @@ StudyDriver::SlotOutcome StudyDriver::ComputeSlot(
         [&]() -> Result<CleaningExperimentResult> {
       try {
         return RunCleaningRepeatSlice(dataset, error_type, family,
-                                      options_.study, slot, salt);
+                                      options_.study, slot, salt, groups);
       } catch (const std::exception& e) {
         return Status::Internal(StrFormat("repeat %zu threw: %s", slot,
                                           e.what()));
@@ -440,13 +441,24 @@ Status StudyDriver::MergeSlot(size_t slot, SlotOutcome outcome,
 
 Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
     const GeneratedDataset& dataset, const std::string& error_type,
-    const std::string& model) {
+    const std::string& model, const CellPlanInputs* plan) {
   obs::TraceSpan span("exec", [&] {
     return StrFormat("RunOrLoad %s/%s/%s", dataset.spec.name.c_str(),
                      error_type.c_str(), model.c_str());
   });
   Count("driver.experiments")->Increment();
-  FC_ASSIGN_OR_RETURN(TunedModelFamily family, ModelFamilyByName(model));
+  // Consume the wave plan's pre-resolved family / group definitions when
+  // one was handed down; the standalone path derives them here. Both are
+  // pure functions of (model, exec_mode) / the dataset spec.
+  TunedModelFamily family;
+  if (plan != nullptr && plan->family != nullptr) {
+    family = *plan->family;
+  } else {
+    FC_ASSIGN_OR_RETURN(
+        family, ModelFamilyByName(model, options_.study.exec_mode));
+  }
+  const std::vector<GroupDefinition>* plan_groups =
+      plan != nullptr ? plan->groups.get() : nullptr;
 
   const bool persist = !options_.cache_dir.empty();
   std::string cache_key;
@@ -601,7 +613,7 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
       SlotOutcome outcome;
       {
         StageScope stage(StageWall("compute"), "compute");
-        outcome = ComputeSlot(dataset, error_type, family, slot);
+        outcome = ComputeSlot(dataset, error_type, family, slot, plan_groups);
       }
       FC_RETURN_IF_ERROR(MergeSlot(slot, std::move(outcome), dataset,
                                    error_type, model, journal_key, persist,
@@ -627,13 +639,15 @@ Result<CleaningExperimentResult> StudyDriver::RunOrLoad(
     for (size_t slot = resume_from; slot < num_repeats; ++slot) {
       if (BudgetExhausted()) break;
       futures.push_back(pool.Submit(
-          [this, &dataset, &error_type, &family, slot]() -> SlotOutcome {
+          [this, &dataset, &error_type, &family, plan_groups,
+           slot]() -> SlotOutcome {
             if (BudgetExhausted()) {
               SlotOutcome out;
               out.budget_skipped = true;
               return out;
             }
-            return ComputeSlot(dataset, error_type, family, slot);
+            return ComputeSlot(dataset, error_type, family, slot,
+                               plan_groups);
           }));
       scheduled_end = slot + 1;
     }

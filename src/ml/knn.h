@@ -13,6 +13,16 @@ namespace fairclean {
 struct KnnOptions {
   /// Number of neighbors — the hyperparameter the paper tunes.
   int k = 15;
+  /// Fused-mode kernel switch: pack the train matrix into register panels
+  /// once per PredictProba call and reuse the packing across every query
+  /// block, instead of re-packing inside each block. Pure data-movement
+  /// change — results are bit-identical either way (DESIGN.md §15).
+  bool packed_reuse = false;
+  /// Use the blocked many-RHS distance kernel. false runs the per-query
+  /// reference kernel (one SquaredDistancesToRow per query, no blocking,
+  /// no fan-out) — the deliberately unbatched naive-mode baseline. The
+  /// kernel-identity tests pin both paths to the same bits.
+  bool blocked = true;
 };
 
 /// Brute-force k-nearest-neighbors classifier with Euclidean distance on
@@ -36,6 +46,19 @@ class KnnClassifier : public Classifier {
   std::vector<int> train_y_;
   bool fitted_ = false;
 };
+
+/// Batched tuning-grid kernel: validation accuracy of a kNN classifier
+/// fitted on (train_x, train_y) for EVERY k in `ks`, from a single
+/// distance sweep. One top-max(k) selection per query serves the whole
+/// grid — the insertion-sorted neighbor buffer for a smaller k is exactly
+/// the prefix of the larger one — so each accuracy is bit-equal to fitting
+/// KnnClassifier{k} and scoring AccuracyScore(valid_y, Predict(valid_x))
+/// per grid point. `ks` entries must be positive; train must be non-empty.
+std::vector<double> KnnGridAccuracies(const Matrix& train_x,
+                                      const std::vector<int>& train_y,
+                                      const Matrix& valid_x,
+                                      const std::vector<int>& valid_y,
+                                      const std::vector<int>& ks);
 
 }  // namespace fairclean
 

@@ -128,11 +128,25 @@ bool CpuHasAvx2() {
 
 }  // namespace
 
-void BlockedSquaredDistances(const Matrix& queries, size_t query_begin,
-                             size_t query_end, const Matrix& train,
-                             double* out) {
+void PackTrainPanels(const Matrix& train, PackedPanels* packed) {
+  packed->n_train = train.rows();
+#ifdef FAIRCLEAN_X86_PANEL_KERNELS
+  packed->width = CpuHasAvx2() ? 16 : 8;
+  packed->num_panels = (train.rows() + packed->width - 1) / packed->width;
+  PackPanels(train, packed->width, &packed->data);
+#else
+  packed->width = 0;
+  packed->num_panels = 0;
+  packed->data.clear();
+#endif
+}
+
+void BlockedSquaredDistancesPacked(const Matrix& queries, size_t query_begin,
+                                   size_t query_end, const Matrix& train,
+                                   const PackedPanels& packed, double* out) {
   FC_CHECK_EQ(queries.cols(), train.cols());
   FC_CHECK(query_begin <= query_end && query_end <= queries.rows());
+  FC_CHECK_EQ(packed.n_train, train.rows());
   size_t n_train = train.rows();
   size_t d = train.cols();
 #ifdef FAIRCLEAN_X86_PANEL_KERNELS
@@ -144,17 +158,15 @@ void BlockedSquaredDistances(const Matrix& queries, size_t query_begin,
   // kernels are hand-written intrinsics because GCC's autovectorizer turns
   // the equivalent scalar panel loop into a cross-lane shuffle storm that
   // is slower than the naive code.
-  size_t width = CpuHasAvx2() ? 16 : 8;
-  size_t num_panels = (n_train + width - 1) / width;
-  std::vector<double> packed;
-  PackPanels(train, width, &packed);
   for (size_t q = query_begin; q < query_end; ++q) {
     const double* query = queries.Row(q);
     double* out_row = out + (q - query_begin) * n_train;
-    if (width == 16) {
-      PanelKernelAvx2(packed.data(), query, d, num_panels, n_train, out_row);
+    if (packed.width == 16) {
+      PanelKernelAvx2(packed.data.data(), query, d, packed.num_panels,
+                      n_train, out_row);
     } else {
-      PanelKernelSse2(packed.data(), query, d, num_panels, n_train, out_row);
+      PanelKernelSse2(packed.data.data(), query, d, packed.num_panels,
+                      n_train, out_row);
     }
   }
 #else
@@ -162,9 +174,19 @@ void BlockedSquaredDistances(const Matrix& queries, size_t query_begin,
   // accumulation order, just without the panel pipelining).
   (void)d;
   for (size_t q = query_begin; q < query_end; ++q) {
-    SquaredDistancesToRow(train, queries.Row(q), out + (q - query_begin) * n_train);
+    SquaredDistancesToRow(train, queries.Row(q),
+                          out + (q - query_begin) * n_train);
   }
 #endif
+}
+
+void BlockedSquaredDistances(const Matrix& queries, size_t query_begin,
+                             size_t query_end, const Matrix& train,
+                             double* out) {
+  PackedPanels packed;
+  PackTrainPanels(train, &packed);
+  BlockedSquaredDistancesPacked(queries, query_begin, query_end, train,
+                                packed, out);
 }
 
 Result<std::vector<double>> SolveCholesky(const std::vector<double>& a,

@@ -33,6 +33,27 @@ void BlockedSquaredDistances(const Matrix& queries, size_t query_begin,
                              size_t query_end, const Matrix& train,
                              double* out);
 
+/// Panel-major packing of a train matrix, reusable across query blocks (the
+/// many-RHS form of BlockedSquaredDistances: pack once, sweep many query
+/// tiles). `width == 0` marks the portable build, where no packing exists
+/// and the packed entry point falls back to the reference kernel.
+struct PackedPanels {
+  size_t width = 0;
+  size_t num_panels = 0;
+  size_t n_train = 0;
+  std::vector<double> data;
+};
+
+/// Packs `train` once for BlockedSquaredDistancesPacked.
+void PackTrainPanels(const Matrix& train, PackedPanels* packed);
+
+/// BlockedSquaredDistances against a pre-packed train matrix. Bit-equal to
+/// the unpacked entry point (the packing is pure data movement); `packed`
+/// must have been built from `train` by PackTrainPanels.
+void BlockedSquaredDistancesPacked(const Matrix& queries, size_t query_begin,
+                                   size_t query_end, const Matrix& train,
+                                   const PackedPanels& packed, double* out);
+
 /// Solves A x = b for a symmetric positive-definite matrix A (row-major,
 /// n x n) via Cholesky decomposition. Fails if A is not positive definite.
 Result<std::vector<double>> SolveCholesky(const std::vector<double>& a,

@@ -57,35 +57,57 @@ TunedModelFamily LogRegFamily() {
   return family;
 }
 
-TunedModelFamily KnnFamily() {
+TunedModelFamily KnnFamily(ExecMode mode) {
   TunedModelFamily family;
   family.name = "knn";
   family.param_grid = {5.0, 15.0, 31.0};
-  family.make = [](double k) -> std::unique_ptr<Classifier> {
+  bool fused = mode == ExecMode::kFused;
+  bool blocked = mode != ExecMode::kNaive;
+  family.make = [fused, blocked](double k) -> std::unique_ptr<Classifier> {
     KnnOptions options;
     options.k = static_cast<int>(k);
+    options.packed_reuse = fused;
+    options.blocked = blocked;
     return std::make_unique<KnnClassifier>(options);
   };
+  if (fused) {
+    std::vector<int> ks;
+    ks.reserve(family.param_grid.size());
+    for (double k : family.param_grid) ks.push_back(static_cast<int>(k));
+    family.fused_grid_eval =
+        [ks](const TuningFoldData& data) -> Result<std::vector<double>> {
+      // Mirror KnnClassifier::Fit's failure condition so a degenerate fold
+      // is skipped for every grid entry, exactly like the per-point path.
+      if (data.train_x.rows() == 0) {
+        return Status::InvalidArgument("empty training set");
+      }
+      return KnnGridAccuracies(data.train_x, data.train_y, data.valid_x,
+                               data.valid_y, ks);
+    };
+  }
   return family;
 }
 
-TunedModelFamily GbdtFamily() {
+TunedModelFamily GbdtFamily(ExecMode mode) {
   TunedModelFamily family;
   family.name = "xgboost";
   family.param_grid = {2.0, 3.0, 4.0};
-  family.make = [](double depth) -> std::unique_ptr<Classifier> {
+  bool fused = mode == ExecMode::kFused;
+  family.make = [fused](double depth) -> std::unique_ptr<Classifier> {
     GbdtOptions options;
     options.max_depth = static_cast<int>(depth);
+    options.stacked_predict = fused;
     return std::make_unique<GradientBoostedTrees>(options);
   };
   family.wants_presort = true;
   return family;
 }
 
-Result<TunedModelFamily> ModelFamilyByName(const std::string& name) {
+Result<TunedModelFamily> ModelFamilyByName(const std::string& name,
+                                           ExecMode mode) {
   if (name == "log-reg") return LogRegFamily();
-  if (name == "knn") return KnnFamily();
-  if (name == "xgboost") return GbdtFamily();
+  if (name == "knn") return KnnFamily(mode);
+  if (name == "xgboost") return GbdtFamily(mode);
   return Status::NotFound("unknown model family: " + name);
 }
 
@@ -95,7 +117,7 @@ std::vector<std::string> AllModelNames() {
 
 Result<TuneOutcome> TuneAndFit(const TunedModelFamily& family, const Matrix& x,
                                const std::vector<int>& y, size_t num_folds,
-                               Rng* rng) {
+                               Rng* rng, ExecMode mode) {
   if (family.param_grid.empty()) {
     return Status::InvalidArgument("empty hyperparameter grid");
   }
@@ -121,49 +143,104 @@ Result<TuneOutcome> TuneAndFit(const TunedModelFamily& family, const Matrix& x,
   // for presort-aware families, the per-fold feature presort) once and
   // reuse them for every grid point. TakeRows does not consume the rng, so
   // hoisting it out of the grid loop leaves all random draws — and thus
-  // all scores — byte-identical.
-  std::vector<TuningFoldData> fold_data =
-      MaterializeTuningFolds(x, y, folds, family.wants_presort);
+  // all scores — byte-identical. Naive mode deliberately re-pays this
+  // materialization per grid point inside the loop below (the pre-cache
+  // behavior the committed fold_cache baseline measures against).
+  std::vector<TuningFoldData> fold_data;
+  if (mode != ExecMode::kNaive) {
+    fold_data = MaterializeTuningFolds(x, y, folds, family.wants_presort);
+  }
   double best_accuracy = -1.0;
   double best_param = family.param_grid.front();
-  for (double param : family.param_grid) {
-    // Fork the per-fold fit RNGs up front, in fold order: Fork advances the
-    // parent engine, so the fork order (not just the salt) must match the
-    // sequential loop for scores to stay byte-identical under parallelism.
-    std::vector<Rng> fit_rngs;
-    fit_rngs.reserve(folds.size());
-    for (size_t f = 0; f < folds.size(); ++f) {
-      fit_rngs.push_back(rng->Fork(0xf17 + f));
+  if (mode == ExecMode::kFused && family.fused_grid_eval) {
+    // Batched grid evaluation: one fused pass per fold answers every grid
+    // entry. The per-grid-point loop forks one rng per (param, fold) — the
+    // fits below never happen here, but Fork advances the parent engine,
+    // so the same forks must be drawn and discarded for the final-fit rng
+    // stream (and thus the model) to stay byte-identical.
+    for (size_t p = 0; p < family.param_grid.size(); ++p) {
+      for (size_t f = 0; f < folds.size(); ++f) {
+        (void)rng->Fork(0xf17 + f);
+      }
     }
-    std::vector<FoldEval> evals =
-        RunIndexed(pool, folds.size(), [&](size_t f) -> FoldEval {
+    struct GridEval {
+      bool ok = false;
+      std::vector<double> accuracies;
+    };
+    std::vector<GridEval> evals =
+        RunIndexed(pool, folds.size(), [&](size_t f) -> GridEval {
           obs::TraceSpan fold_span("ml", [&] {
-            return "tune fold " + std::to_string(f) + " " + family.name;
+            return "tune fold " + std::to_string(f) + " " + family.name +
+                   " fused-grid";
           });
-          FoldEval eval;
-          const TuningFoldData& data = fold_data[f];
-          std::unique_ptr<Classifier> model = family.make(param);
-          Status st = model->FitWithPresort(
-              data.train_x, data.train_y, &fit_rngs[f],
-              data.has_presort ? &data.train_presort : nullptr);
-          if (!st.ok()) return eval;  // e.g. single-class fold; skip
-          eval.accuracy =
-              AccuracyScore(data.valid_y, model->Predict(data.valid_x));
+          GridEval eval;
+          Result<std::vector<double>> accuracies =
+              family.fused_grid_eval(fold_data[f]);
+          if (!accuracies.ok()) return eval;  // degenerate fold; skip
+          eval.accuracies = std::move(*accuracies);
+          FC_CHECK_EQ(eval.accuracies.size(), family.param_grid.size());
           eval.ok = true;
           return eval;
         });
-    double accuracy_sum = 0.0;
-    size_t evaluated = 0;
-    for (const FoldEval& eval : evals) {  // fold order: float sums unchanged
-      if (!eval.ok) continue;
-      accuracy_sum += eval.accuracy;
-      ++evaluated;
+    for (size_t p = 0; p < family.param_grid.size(); ++p) {
+      double accuracy_sum = 0.0;
+      size_t evaluated = 0;
+      for (const GridEval& eval : evals) {  // fold order: sums unchanged
+        if (!eval.ok) continue;
+        accuracy_sum += eval.accuracies[p];
+        ++evaluated;
+      }
+      if (evaluated == 0) continue;
+      double mean_accuracy = accuracy_sum / static_cast<double>(evaluated);
+      if (mean_accuracy > best_accuracy) {
+        best_accuracy = mean_accuracy;
+        best_param = family.param_grid[p];
+      }
     }
-    if (evaluated == 0) continue;
-    double mean_accuracy = accuracy_sum / static_cast<double>(evaluated);
-    if (mean_accuracy > best_accuracy) {
-      best_accuracy = mean_accuracy;
-      best_param = param;
+  } else {
+    for (double param : family.param_grid) {
+      if (mode == ExecMode::kNaive) {
+        fold_data = MaterializeTuningFolds(x, y, folds, family.wants_presort);
+      }
+      // Fork the per-fold fit RNGs up front, in fold order: Fork advances
+      // the parent engine, so the fork order (not just the salt) must match
+      // the sequential loop for scores to stay byte-identical under
+      // parallelism.
+      std::vector<Rng> fit_rngs;
+      fit_rngs.reserve(folds.size());
+      for (size_t f = 0; f < folds.size(); ++f) {
+        fit_rngs.push_back(rng->Fork(0xf17 + f));
+      }
+      std::vector<FoldEval> evals =
+          RunIndexed(pool, folds.size(), [&](size_t f) -> FoldEval {
+            obs::TraceSpan fold_span("ml", [&] {
+              return "tune fold " + std::to_string(f) + " " + family.name;
+            });
+            FoldEval eval;
+            const TuningFoldData& data = fold_data[f];
+            std::unique_ptr<Classifier> model = family.make(param);
+            Status st = model->FitWithPresort(
+                data.train_x, data.train_y, &fit_rngs[f],
+                data.has_presort ? &data.train_presort : nullptr);
+            if (!st.ok()) return eval;  // e.g. single-class fold; skip
+            eval.accuracy =
+                AccuracyScore(data.valid_y, model->Predict(data.valid_x));
+            eval.ok = true;
+            return eval;
+          });
+      double accuracy_sum = 0.0;
+      size_t evaluated = 0;
+      for (const FoldEval& eval : evals) {  // fold order: sums unchanged
+        if (!eval.ok) continue;
+        accuracy_sum += eval.accuracy;
+        ++evaluated;
+      }
+      if (evaluated == 0) continue;
+      double mean_accuracy = accuracy_sum / static_cast<double>(evaluated);
+      if (mean_accuracy > best_accuracy) {
+        best_accuracy = mean_accuracy;
+        best_param = param;
+      }
     }
   }
   if (best_accuracy < 0.0) {

@@ -1,10 +1,12 @@
 #include "sched/suite_runner.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <utility>
 
 #include "common/env.h"
+#include "common/exec_mode.h"
 #include "common/hash.h"
 #include "common/safe_io.h"
 #include "common/strings.h"
@@ -31,6 +33,7 @@ Result<SuiteOptions> TrySuiteOptionsFromEnv() {
   options.study.test_fraction = 0.3;
   options.study.seed =
       static_cast<uint64_t>(GetEnvInt64("FAIRCLEAN_SEED", 42));
+  FC_ASSIGN_OR_RETURN(options.study.exec_mode, ExecModeFromEnv());
   options.cache_dir = GetEnvString("FAIRCLEAN_CACHE_DIR", "fairclean_cache");
   FC_ASSIGN_OR_RETURN(
       int64_t max_retries,
@@ -166,6 +169,8 @@ SuiteScheduler::SuiteScheduler(SuiteOptions options)
                                    : ThreadPool::DefaultThreadCount()),
       metrics_(&obs::MetricsRegistry::Global()),
       artifacts_(&metrics_),
+      planner_(options_.study.exec_mode, options_.study.seed,
+               [this](const std::string& name) { return Dataset(name); }),
       start_(std::chrono::steady_clock::now()) {
   if (width_ > 1) pool_ = std::make_unique<ThreadPool>(width_);
   total_.threads = width_;
@@ -283,14 +288,41 @@ Result<std::shared_ptr<const GeneratedDataset>> SuiteScheduler::Dataset(
 }
 
 Result<CellArtifact> SuiteScheduler::ProduceCell(const CellKey& cell) {
-  obs::TraceSpan span("sched", [&] { return "cell " + cell.Id(); });
-  FC_ASSIGN_OR_RETURN(std::shared_ptr<const GeneratedDataset> dataset,
-                      Dataset(cell.dataset));
+  const size_t wave = current_wave_;
+  obs::TraceSpan span("sched", [&cell, wave] {
+    return wave == kNoWave
+               ? "cell " + cell.Id()
+               : StrFormat("cell w%zu %s", wave, cell.Id().c_str());
+  });
+  // Shared inputs from the wave planner when this cell's group was planned;
+  // otherwise rebuild per cell. Both paths are byte-identical — the plan
+  // only removes redundant work (DESIGN.md §15).
+  const WavePlan* plan = planner_.Consume(cell);
+  std::shared_ptr<const GeneratedDataset> dataset;
+  if (plan != nullptr && plan->data != nullptr) {
+    dataset = plan->data;
+  } else if (options_.study.exec_mode == ExecMode::kNaive) {
+    // Naive baseline: regenerate the dataset for every cell instead of
+    // touching the shared artifact — the deliberately unshared cost the
+    // planner exists to remove. Generation is a pure function of
+    // (name, seed), so the bytes do not change.
+    FC_ASSIGN_OR_RETURN(GeneratedDataset rebuilt,
+                        MakeSuiteDataset(cell.dataset, options_.study.seed));
+    dataset = std::make_shared<const GeneratedDataset>(std::move(rebuilt));
+  } else {
+    FC_ASSIGN_OR_RETURN(dataset, Dataset(cell.dataset));
+  }
   FC_ASSIGN_OR_RETURN(exec::StudyDriverOptions driver_options,
                       CellDriverOptions());
   exec::StudyDriver driver(driver_options);
+  exec::CellPlanInputs inputs;
+  const exec::CellPlanInputs* plan_inputs = nullptr;
+  if (plan != nullptr) {
+    inputs = plan->InputsFor(cell.model);
+    plan_inputs = &inputs;
+  }
   Result<CleaningExperimentResult> result =
-      driver.RunOrLoad(*dataset, cell.error_type, cell.model);
+      driver.RunOrLoad(*dataset, cell.error_type, cell.model, plan_inputs);
   Accumulate(driver.diagnostics());
   if (!result.ok()) return result.status();
 
@@ -350,15 +382,36 @@ Result<ScopeResults> SuiteScheduler::RunScopeCells(const StudyScope& scope) {
       cells.push_back({dataset, scope.error_type, model});
     }
   }
+  // The scope fan-out is a single pseudo-wave: plan its (dataset, seed)
+  // groups up front exactly like a graph wave, so the legacy bench path
+  // shares materializations too.
+  current_wave_ = 0;
+  planner_.PlanWave(0, cells);
+  // Longest-first submission order (see ExecuteGraph); results are mapped
+  // back to cell order below, so only the makespan changes.
+  std::vector<size_t> order(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    int ra = CellCostRank(cells[a], options_.study.exec_mode);
+    int rb = CellCostRank(cells[b], options_.study.exec_mode);
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
   std::vector<Result<std::shared_ptr<const CellArtifact>>> produced =
-      RunIndexed(pool_.get(), cells.size(),
-                 [&](size_t i) { return Cell(cells[i]); });
+      RunIndexed(pool_.get(), order.size(),
+                 [&](size_t i) { return Cell(cells[order[i]]); });
+  planner_.EndWave();
+  current_wave_ = kNoWave;
+  std::vector<Result<std::shared_ptr<const CellArtifact>>*> by_cell(
+      cells.size());
+  for (size_t i = 0; i < order.size(); ++i) by_cell[order[i]] = &produced[i];
   ScopeResults results;
   for (size_t i = 0; i < cells.size(); ++i) {
-    // First failure in cell order, deterministic across widths.
-    if (!produced[i].ok()) return produced[i].status();
+    // First failure in cell order, deterministic across widths and
+    // submission orders.
+    if (!by_cell[i]->ok()) return by_cell[i]->status();
     results.emplace(cells[i].dataset + "/" + cells[i].model,
-                    std::move(*produced[i]));
+                    std::move(**by_cell[i]));
   }
   return results;
 }
@@ -487,13 +540,18 @@ Status SuiteScheduler::RunNode(const SuiteSpec& spec,
 Status SuiteScheduler::ExecuteGraph(const SuiteSpec& spec,
                                     const ExperimentGraph& graph) {
   node_values_.assign(graph.nodes().size(), nullptr);
-  for (const std::vector<size_t>& wave : graph.Waves()) {
+  const std::vector<std::vector<size_t>> waves = graph.Waves();
+  for (size_t w = 0; w < waves.size(); ++w) {
+    const std::vector<size_t>& wave = waves[w];
     std::vector<size_t> fan_out;
     std::vector<size_t> serial;
+    std::vector<CellKey> wave_cells;
     for (size_t id : wave) {
       switch (graph.nodes()[id].kind) {
-        case NodeKind::kDataset:
         case NodeKind::kCell:
+          wave_cells.push_back(graph.nodes()[id].cell);
+          [[fallthrough]];
+        case NodeKind::kDataset:
         case NodeKind::kFigure:
           fan_out.push_back(id);
           break;
@@ -501,15 +559,50 @@ Status SuiteScheduler::ExecuteGraph(const SuiteSpec& spec,
           serial.push_back(id);
       }
     }
+    // Materialize the wave's shared (dataset, seed) group inputs once,
+    // single-threaded, before the fan-out (DESIGN.md §15). Cell nodes
+    // depend on their dataset node in an earlier wave, so the planner's
+    // dataset lookups are artifact-store cache hits.
+    current_wave_ = w;
+    planner_.PlanWave(w, wave_cells);
+    // Submit the wave longest-first (LPT): expensive cells start before
+    // cheap ones, so the tail of the wave fills idle workers instead of
+    // stranding one long cell at the end. Stable sort with ascending id as
+    // the tiebreak keeps the order deterministic.
+    std::stable_sort(fan_out.begin(), fan_out.end(),
+                     [&](size_t a, size_t b) {
+                       const GraphNode& na = graph.nodes()[a];
+                       const GraphNode& nb = graph.nodes()[b];
+                       auto rank = [this](const GraphNode& node) {
+                         return node.kind == NodeKind::kCell
+                                    ? CellCostRank(node.cell,
+                                                   options_.study.exec_mode)
+                                    : 15;  // datasets/figures: mid-weight
+                       };
+                       int ra = rank(na);
+                       int rb = rank(nb);
+                       if (ra != rb) return ra > rb;
+                       return a < b;
+                     });
     // Compute-heavy nodes fan out across the suite pool; results land in
-    // their node slot, failures are reported in id order so every width
-    // sees the same first error.
+    // their node slot. Failures are reported by smallest node id so every
+    // width (and every submission order) sees the same first error.
     std::vector<Status> statuses =
         RunIndexed(pool_.get(), fan_out.size(), [&](size_t i) {
           return InvokeWithStatusCapture(
               [&, i] { return RunNode(spec, graph, fan_out[i]); });
         });
-    for (const Status& status : statuses) FC_RETURN_IF_ERROR(status);
+    planner_.EndWave();
+    current_wave_ = kNoWave;
+    size_t failed_pos = fan_out.size();
+    for (size_t i = 0; i < fan_out.size(); ++i) {
+      if (statuses[i].ok()) continue;
+      if (failed_pos == fan_out.size() ||
+          fan_out[i] < fan_out[failed_pos]) {
+        failed_pos = i;
+      }
+    }
+    if (failed_pos != fan_out.size()) return statuses[failed_pos];
     // Aggregation nodes are cheap and read many deps: run inline.
     for (size_t id : serial) FC_RETURN_IF_ERROR(RunNode(spec, graph, id));
   }

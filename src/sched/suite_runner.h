@@ -18,6 +18,7 @@
 #include "sched/artifact_store.h"
 #include "sched/experiment_graph.h"
 #include "sched/suite_spec.h"
+#include "sched/wave_plan.h"
 
 namespace fairclean {
 namespace sched {
@@ -59,9 +60,10 @@ struct SuiteOptions {
 
 /// The bench-scale defaults (sample 3500, 16 repeats, 3 folds, holdout
 /// 0.3, seed 42) overridable via FAIRCLEAN_SAMPLE / FAIRCLEAN_REPEATS /
-/// FAIRCLEAN_FOLDS / FAIRCLEAN_SEED / FAIRCLEAN_CACHE_DIR /
-/// FAIRCLEAN_MAX_RETRIES / FAIRCLEAN_TIME_BUDGET_S / FAIRCLEAN_THREADS /
-/// FAIRCLEAN_SUITE_REPORT / FAIRCLEAN_STORE / FAIRCLEAN_STORE_CACHE_PAGES /
+/// FAIRCLEAN_FOLDS / FAIRCLEAN_SEED / FAIRCLEAN_EXEC_MODE /
+/// FAIRCLEAN_CACHE_DIR / FAIRCLEAN_MAX_RETRIES / FAIRCLEAN_TIME_BUDGET_S /
+/// FAIRCLEAN_THREADS / FAIRCLEAN_SUITE_REPORT / FAIRCLEAN_STORE /
+/// FAIRCLEAN_STORE_CACHE_PAGES /
 /// FAIRCLEAN_STORE_COMPRESS. Reads the environment exactly once, at the
 /// call. Count and budget knobs parse strictly (GetEnvCount /
 /// GetEnvBudgetSeconds): trailing garbage, NaN/inf, or a negative value is
@@ -248,6 +250,16 @@ class SuiteScheduler {
   /// while staying separable for perf reporting.
   obs::MetricsRegistry metrics_;
   ArtifactStore artifacts_;
+  /// Wave-level execution planner (DESIGN.md §15): materializes the shared
+  /// per-(dataset, seed) inputs of each wave's cell group once, before the
+  /// wave fans out.
+  WavePlanner planner_;
+  /// Wave index of the fan-out currently executing; kNoWave outside one.
+  /// Tags cell spans "cell w<k> ..." so trace summaries can group the
+  /// planner's materialization cost with the wave it paid for. Written
+  /// only on the scheduling thread between fan-outs.
+  static constexpr size_t kNoWave = static_cast<size_t>(-1);
+  size_t current_wave_ = kNoWave;
   std::unique_ptr<ThreadPool> pool_;  ///< null when width_ == 1
   std::chrono::steady_clock::time_point start_;
 

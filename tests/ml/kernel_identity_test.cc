@@ -158,6 +158,106 @@ TEST(KernelIdentityTest, KnnPredictGolden) {
                   0x1.3333333333333p-1});
 }
 
+// The §15 execution-mode ladder at the kernel layer: the naive reference
+// kNN path (per-query distance rows, no batching), the blocked kernel, and
+// the packed fused kernel must produce the same bits for every query.
+TEST(KernelIdentityTest, KnnModeLadderBitIdentical) {
+  test::BlobData data = test::MakeBlobs(400, 6, 1.5, 9);
+  test::BlobData queries = test::MakeBlobs(37, 6, 1.5, 10);
+  std::vector<std::vector<double>> proba;
+  for (int rung = 0; rung < 3; ++rung) {
+    KnnOptions options;
+    options.blocked = rung > 0;
+    options.packed_reuse = rung > 1;
+    KnnClassifier model(options);
+    Rng rng(23);
+    ASSERT_TRUE(model.Fit(data.x, data.y, &rng).ok());
+    proba.push_back(model.PredictProba(queries.x));
+  }
+  EXPECT_EQ(proba[0], proba[1]) << "naive vs blocked";
+  EXPECT_EQ(proba[1], proba[2]) << "blocked vs packed";
+}
+
+// The fused grid kernel answers the whole k grid from one top-max(k) sweep;
+// its accuracies must equal fitting one classifier per k and scoring its
+// 0.5-thresholded predictions — exactly, not approximately.
+TEST(KernelIdentityTest, KnnGridMatchesPerKOracle) {
+  test::BlobData train = test::MakeBlobs(300, 5, 1.2, 29);
+  test::BlobData valid = test::MakeBlobs(83, 5, 1.2, 30);
+  const std::vector<int> ks = {5, 15, 31};
+  std::vector<double> grid =
+      KnnGridAccuracies(train.x, train.y, valid.x, valid.y, ks);
+  ASSERT_EQ(grid.size(), ks.size());
+  for (size_t i = 0; i < ks.size(); ++i) {
+    KnnOptions options;
+    options.k = ks[i];
+    KnnClassifier model(options);
+    Rng rng(23);
+    ASSERT_TRUE(model.Fit(train.x, train.y, &rng).ok());
+    std::vector<double> proba = model.PredictProba(valid.x);
+    size_t correct = 0;
+    for (size_t q = 0; q < proba.size(); ++q) {
+      int pred = proba[q] >= 0.5 ? 1 : 0;
+      if (pred == valid.y[q]) ++correct;
+    }
+    double oracle =
+        static_cast<double>(correct) / static_cast<double>(proba.size());
+    EXPECT_EQ(grid[i], oracle) << "k=" << ks[i];
+  }
+}
+
+// GBDT stacked prediction (trees-outer over row blocks) against the plain
+// per-row tree walk: same model, same bits.
+TEST(KernelIdentityTest, GbdtStackedPredictBitIdentical) {
+  test::BlobData data = test::MakeBlobs(250, 4, 1.0, 21);
+  test::BlobData queries = test::MakeBlobs(97, 4, 1.0, 22);
+  std::vector<std::vector<double>> proba;
+  for (bool stacked : {false, true}) {
+    GbdtOptions options;
+    options.stacked_predict = stacked;
+    GradientBoostedTrees model(options);
+    Rng rng(19);
+    ASSERT_TRUE(model.Fit(data.x, data.y, &rng).ok());
+    proba.push_back(model.PredictProba(queries.x));
+  }
+  EXPECT_EQ(proba[0], proba[1]);
+}
+
+// Whole-tune mode identity: for every model family, TuneAndFit under
+// naive, shared, and fused selects the same hyperparameter, reports the
+// same CV accuracy, and trains a bit-identical final model. This is the
+// kernel-layer half of the suite-level mode identity the wave_plan and
+// suite_golden registrations pin.
+TEST(KernelIdentityTest, TuneAndFitModeLadderBitIdentical) {
+  test::BlobData data = test::MakeBlobs(180, 4, 1.3, 41);
+  test::BlobData queries = test::MakeBlobs(23, 4, 1.3, 42);
+  for (const std::string& name : AllModelNames()) {
+    struct ModeOutcome {
+      double param;
+      double cv_accuracy;
+      std::vector<double> proba;
+    };
+    std::vector<ModeOutcome> outcomes;
+    for (ExecMode mode :
+         {ExecMode::kNaive, ExecMode::kShared, ExecMode::kFused}) {
+      Result<TunedModelFamily> family = ModelFamilyByName(name, mode);
+      ASSERT_TRUE(family.ok()) << name;
+      Rng rng(77);
+      Result<TuneOutcome> outcome =
+          TuneAndFit(*family, data.x, data.y, 3, &rng, mode);
+      ASSERT_TRUE(outcome.ok()) << name << ": "
+                                << outcome.status().ToString();
+      outcomes.push_back({outcome->best_param, outcome->best_cv_accuracy,
+                          outcome->model->PredictProba(queries.x)});
+    }
+    for (size_t m = 1; m < outcomes.size(); ++m) {
+      EXPECT_EQ(outcomes[m].param, outcomes[0].param) << name;
+      EXPECT_EQ(outcomes[m].cv_accuracy, outcomes[0].cv_accuracy) << name;
+      EXPECT_EQ(outcomes[m].proba, outcomes[0].proba) << name;
+    }
+  }
+}
+
 TEST(KernelIdentityTest, MislabelDetectGolden) {
   test::BlobData data = test::MakeBlobs(150, 3, 2.0, 17);
   DataFrame frame;

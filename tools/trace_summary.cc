@@ -8,7 +8,14 @@
 // prints count, total, mean, p50, p95, and max over the complete-event
 // durations; instant events are tallied by name.
 //
-// Usage: trace_summary <trace.json> [metrics.jsonl]
+// Scheduler spans are wave-tagged ("plan.build w3 adult", "cell w3
+// adult/missing_values/knn"), and the tool folds them into a per-wave
+// breakdown: how much each wave spent materializing shared plans next to
+// how much its cells spent computing. `--filter <substr>` narrows the site
+// table to matching categories/sites (e.g. `--filter sched` shows the
+// scheduler table plus the wave breakdown).
+//
+// Usage: trace_summary [--filter <substr>] <trace.json> [metrics.jsonl]
 
 #include <cctype>
 #include <cstdio>
@@ -57,6 +64,41 @@ struct TraceStats {
   std::string slowest;          ///< name of the longest span
 };
 
+/// One Kahn wave's scheduler cost split: shared-plan materialization
+/// (sched.plan.build spans) vs cell compute (sched.cell spans).
+struct WaveStats {
+  size_t plans = 0;
+  double plan_us = 0.0;
+  size_t cells = 0;
+  double cell_us = 0.0;
+  double slowest_cell_us = 0.0;
+  std::string slowest_cell;
+};
+
+/// Parses the "w<k> " wave tag the scheduler embeds after `prefix` in its
+/// span names ("plan.build w3 adult", "cell w3 adult/..."). Returns the
+/// wave index and leaves the rest of the name in *rest, or npos when the
+/// name is not wave-tagged (e.g. a standalone cell produced outside a
+/// wave).
+size_t ParseWaveTag(const std::string& name, const std::string& prefix,
+                    std::string* rest) {
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::string::npos;
+  size_t pos = prefix.size();
+  if (pos >= name.size() || name[pos] != 'w') return std::string::npos;
+  ++pos;
+  size_t digits_end = pos;
+  while (digits_end < name.size() &&
+         std::isdigit(static_cast<unsigned char>(name[digits_end]))) {
+    ++digits_end;
+  }
+  if (digits_end == pos || digits_end >= name.size() ||
+      name[digits_end] != ' ') {
+    return std::string::npos;
+  }
+  *rest = name.substr(digits_end + 1);
+  return static_cast<size_t>(std::stoull(name.substr(pos, digits_end - pos)));
+}
+
 double PercentileSorted(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   double rank = p * static_cast<double>(sorted.size() - 1);
@@ -66,7 +108,7 @@ double PercentileSorted(const std::vector<double>& sorted, double p) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
-int SummarizeTrace(const std::string& path) {
+int SummarizeTrace(const std::string& path, const std::string& filter) {
   Result<std::string> text = ReadFileToString(path);
   if (!text.ok()) {
     std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
@@ -93,6 +135,8 @@ int SummarizeTrace(const std::string& path) {
   // Request digests, keyed by the trace id the server stamps into each
   // span's args.trace at admission.
   std::map<std::string, TraceStats> traces;
+  // Scheduler wave breakdown, keyed by wave index.
+  std::map<size_t, WaveStats> waves;
   size_t complete_events = 0;
   for (const obs::JsonValue& event : events->array_items) {
     std::string phase = event.StringOr("ph", "");
@@ -106,6 +150,25 @@ int SummarizeTrace(const std::string& path) {
                         NormalizeName(event.StringOr("name", "?"));
       double dur_us = event.NumberOr("dur", 0.0);
       sites[key].durations_us.push_back(dur_us);
+      if (event.StringOr("cat", "") == "sched") {
+        std::string name = event.StringOr("name", "");
+        std::string rest;
+        size_t wave = ParseWaveTag(name, "plan.build ", &rest);
+        if (wave != std::string::npos) {
+          WaveStats& stats = waves[wave];
+          ++stats.plans;
+          stats.plan_us += dur_us;
+        } else if ((wave = ParseWaveTag(name, "cell ", &rest)) !=
+                   std::string::npos) {
+          WaveStats& stats = waves[wave];
+          ++stats.cells;
+          stats.cell_us += dur_us;
+          if (dur_us > stats.slowest_cell_us) {
+            stats.slowest_cell_us = dur_us;
+            stats.slowest_cell = rest;
+          }
+        }
+      }
       if (!trace_id.empty()) {
         TraceStats& stats = traces[trace_id];
         ++stats.spans;
@@ -151,6 +214,10 @@ int SummarizeTrace(const std::string& path) {
     size_t tab = key.find('\t');
     std::string category = key.substr(0, tab);
     std::string name = key.substr(tab + 1);
+    if (!filter.empty() && category.find(filter) == std::string::npos &&
+        name.find(filter) == std::string::npos) {
+      continue;
+    }
     double total_us = -neg_total;
     size_t count = stats.durations_us.size();
     std::printf("%-8s %-36s %8zu %12.3f %10.3f %10.3f %10.3f %10.3f\n",
@@ -159,6 +226,20 @@ int SummarizeTrace(const std::string& path) {
                 PercentileSorted(stats.durations_us, 0.50) / 1e3,
                 PercentileSorted(stats.durations_us, 0.95) / 1e3,
                 stats.durations_us.back() / 1e3);
+  }
+  if (!waves.empty()) {
+    // Per-wave cost split: what the planner spent materializing shared
+    // inputs vs what the wave's cells spent computing. plan_ms sitting
+    // next to a much larger cell_ms is the §15 plan paying for itself.
+    std::printf("\nwave breakdown (sched):\n");
+    std::printf("  %-6s %6s %10s %6s %12s  %s\n", "wave", "plans",
+                "plan_ms", "cells", "cell_ms", "slowest cell");
+    for (const auto& [wave, stats] : waves) {
+      std::printf("  w%-5zu %6zu %10.3f %6zu %12.3f  %s (%.3f ms)\n", wave,
+                  stats.plans, stats.plan_us / 1e3, stats.cells,
+                  stats.cell_us / 1e3, stats.slowest_cell.c_str(),
+                  stats.slowest_cell_us / 1e3);
+    }
   }
   if (!instants.empty()) {
     std::printf("\ninstant events:\n");
@@ -235,13 +316,29 @@ int SummarizeMetrics(const std::string& path) {
 }
 
 int Run(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
-    std::fprintf(stderr, "usage: trace_summary <trace.json> [metrics.jsonl]\n");
+  std::string filter;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--filter") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--filter needs a substring argument\n");
+        return 2;
+      }
+      filter = argv[++i];
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty() || paths.size() > 2) {
+    std::fprintf(stderr,
+                 "usage: trace_summary [--filter <substr>] <trace.json> "
+                 "[metrics.jsonl]\n");
     return 2;
   }
-  int code = SummarizeTrace(argv[1]);
+  int code = SummarizeTrace(paths[0], filter);
   if (code != 0) return code;
-  if (argc == 3) return SummarizeMetrics(argv[2]);
+  if (paths.size() == 2) return SummarizeMetrics(paths[1]);
   return 0;
 }
 
