@@ -1,0 +1,324 @@
+// Suite-shard scaling benchmark (DESIGN.md Section 16): the 9-cell
+// missing_values grid (tables_missing: adult / folk / german x three
+// models) produced by 1, 2, and 4 cooperating claim-mode shard processes
+// over one fresh shared cache per iteration, timed end to end — claim
+// scans, lease traffic, cell production, and the winning shard's merge
+// included.
+//
+// Process shape: the parent stays single-threaded and only forks, times,
+// and parses. Each shard is a real forked process running RunSuiteShard
+// with its stdout routed to /dev/null (the merged tables are not the
+// benchmark); per-shard counters are read back from the partial reports,
+// so steal and reuse rates come from the same records the merge validates.
+//
+// What the numbers mean: this benchmarks the SHARD LAYER — claim
+// distribution, lease traffic, and cross-process overlap — not the host's
+// core count. At paper scale a cell is minutes of CPU (15k rows x 100
+// repeats); at bench scale it is milliseconds, so raw compute would just
+// measure how many cores the box has. Instead each cell is paced by a
+// fixed sleep at every repeat checkpoint (the same scheduler hook the
+// soak test crashes through), making cell latency dominate compute.
+// Paced latency overlaps across processes exactly like paper-scale cell
+// work does across machines, so cells/sec scaling 1 -> 4 processes is the
+// shard layer's doing and reproduces on any host. Set the pace to 0 to
+// time raw compute instead (expect flat walls on few-core machines).
+//
+// Output: a human summary on stdout and a JSON report (default
+// BENCH_suite.json, --out to change). Scale knobs:
+//   FAIRCLEAN_BENCH_SUITE_SAMPLE   rows per dataset (default 300)
+//   FAIRCLEAN_BENCH_SUITE_ITERS    timed iterations per process count
+//                                  (default 3)
+//   FAIRCLEAN_BENCH_SUITE_THREADS  suite fan-out width inside each shard
+//                                  process (default 1: process count is
+//                                  the parallelism lever under test)
+//   FAIRCLEAN_BENCH_SUITE_PACE_MS  per-checkpoint cell pacing in
+//                                  milliseconds (default 250; 0 disables)
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/env.h"
+#include "common/safe_io.h"
+#include "common/strings.h"
+#include "obs/json_lite.h"
+#include "obs/log.h"
+#include "sched/suite_runner.h"
+#include "sched/suite_spec.h"
+
+namespace {
+
+using namespace fairclean;         // NOLINT
+using namespace fairclean::sched;  // NOLINT
+
+constexpr const char* kScratchDir = "suite_bench_scratch";
+constexpr const char* kFilter = "tables_missing";
+constexpr size_t kGridCells = 9;
+
+struct SuiteBenchConfig {
+  size_t sample = 300;
+  size_t iters = 3;
+  size_t threads = 1;
+  size_t pace_ms = 250;
+};
+
+StudyOptions BenchStudy(const SuiteBenchConfig& config) {
+  StudyOptions study;
+  study.sample_size = config.sample;
+  study.num_repeats = 3;
+  study.cv_folds = 3;
+  study.seed = 42;
+  return study;
+}
+
+/// Counters summed across one iteration's partial reports.
+struct IterCounters {
+  uint64_t produced = 0;
+  uint64_t steals = 0;
+  uint64_t claim_conflicts = 0;
+  uint64_t cache_skips = 0;
+};
+
+double CounterOr(const obs::JsonValue& counters, const std::string& name) {
+  const obs::JsonValue* value = counters.Find(name);
+  if (value == nullptr || !value->is_number()) return 0.0;
+  return value->number_value;
+}
+
+Result<IterCounters> ReadPartialCounters(const std::string& report,
+                                         size_t procs) {
+  IterCounters total;
+  for (size_t i = 0; i < procs; ++i) {
+    ShardSpec shard;
+    shard.mode = ShardMode::kClaim;
+    shard.index = i;
+    shard.count = procs;
+    const std::string path =
+        SuiteScheduler::PartialReportPath(report, shard);
+    FC_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+    obs::JsonValue parsed;
+    std::string error;
+    if (!obs::JsonValue::Parse(text, &parsed, &error)) {
+      return Status::InvalidArgument("malformed partial report " + path +
+                                     ": " + error);
+    }
+    const obs::JsonValue* counters = parsed.Find("counters");
+    if (counters == nullptr) {
+      return Status::InvalidArgument(path + " has no counters block");
+    }
+    total.produced += static_cast<uint64_t>(CounterOr(*counters, "produced"));
+    total.steals += static_cast<uint64_t>(CounterOr(*counters, "steals"));
+    total.claim_conflicts +=
+        static_cast<uint64_t>(CounterOr(*counters, "claim_conflicts"));
+    total.cache_skips +=
+        static_cast<uint64_t>(CounterOr(*counters, "cache_skips"));
+  }
+  return total;
+}
+
+/// One timed iteration: P claim shards over a fresh cache. Returns the
+/// fan-out wall-clock in seconds (forks to last exit, merge included).
+Result<double> RunIteration(const SuiteBenchConfig& config, size_t procs,
+                            const std::string& dir, IterCounters* counters) {
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string cache = dir + "/cache";
+  const std::string report = dir + "/report.json";
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<pid_t> pids;
+  for (size_t i = 0; i < procs; ++i) {
+    pid_t pid = fork();
+    if (pid < 0) {
+      return Status::Internal(StrFormat("fork failed: %s", strerror(errno)));
+    }
+    if (pid == 0) {
+      int devnull = open("/dev/null", O_WRONLY);
+      if (devnull >= 0) {
+        dup2(devnull, STDOUT_FILENO);
+        close(devnull);
+      }
+      SuiteOptions options;
+      options.study = BenchStudy(config);
+      options.cache_dir = cache;
+      options.threads = config.threads;
+      options.report_path = report;
+      options.shard.mode = ShardMode::kClaim;
+      options.shard.index = i;
+      options.shard.count = procs;
+      SuiteScheduler scheduler(options);
+      if (config.pace_ms > 0) {
+        const auto pace = std::chrono::milliseconds(config.pace_ms);
+        scheduler.set_cell_checkpoint_hook(
+            [pace](const CellKey&) { std::this_thread::sleep_for(pace); });
+      }
+      Status status =
+          scheduler.RunSuiteShard(PaperSuite(), SuiteFilter::Parse(kFilter));
+      if (!status.ok()) {
+        std::fprintf(stderr, "shard %zu/%zu failed: %s\n", i + 1, procs,
+                     status.ToString().c_str());
+      }
+      _exit(status.ok() ? 0 : 1);
+    }
+    pids.push_back(pid);
+  }
+  for (pid_t pid : pids) {
+    int wstatus = 0;
+    if (waitpid(pid, &wstatus, 0) != pid || !WIFEXITED(wstatus) ||
+        WEXITSTATUS(wstatus) != 0) {
+      return Status::Internal(
+          StrFormat("shard process %d failed (status %d)", pid, wstatus));
+    }
+  }
+  double wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  FC_ASSIGN_OR_RETURN(*counters, ReadPartialCounters(report, procs));
+  if (counters->produced != kGridCells) {
+    return Status::Internal(StrFormat(
+        "expected %zu produced cells across partials, got %llu", kGridCells,
+        static_cast<unsigned long long>(counters->produced)));
+  }
+  return wall;
+}
+
+struct ProcResult {
+  bench::BenchStats wall;
+  double cells_per_s = 0.0;
+  IterCounters counters;  ///< summed over all iterations
+};
+
+int Run(int argc, char** argv) {
+  obs::InitLogLevelFromEnv(obs::LogLevel::kWarn);
+  std::string out_path = "BENCH_suite.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: suite_bench [--out path]\n");
+      return 1;
+    }
+  }
+
+  SuiteBenchConfig config;
+  auto count_knob = [](const char* name, size_t fallback) {
+    Result<int64_t> value =
+        GetEnvCount(name, static_cast<int64_t>(fallback));
+    if (!value.ok() || *value < 1) {
+      std::fprintf(stderr, "bad %s: %s\n", name,
+                   value.ok() ? "must be >= 1"
+                              : value.status().ToString().c_str());
+      std::exit(1);
+    }
+    return static_cast<size_t>(*value);
+  };
+  config.sample = count_knob("FAIRCLEAN_BENCH_SUITE_SAMPLE", config.sample);
+  config.iters = count_knob("FAIRCLEAN_BENCH_SUITE_ITERS", config.iters);
+  config.threads =
+      count_knob("FAIRCLEAN_BENCH_SUITE_THREADS", config.threads);
+  {
+    Result<int64_t> pace = GetEnvCount("FAIRCLEAN_BENCH_SUITE_PACE_MS",
+                                       static_cast<int64_t>(config.pace_ms));
+    if (!pace.ok() || *pace < 0) {
+      std::fprintf(stderr, "bad FAIRCLEAN_BENCH_SUITE_PACE_MS: %s\n",
+                   pace.ok() ? "must be >= 0"
+                             : pace.status().ToString().c_str());
+      return 1;
+    }
+    config.pace_ms = static_cast<size_t>(*pace);
+  }
+
+  std::printf(
+      "suite shard bench: %s grid (%zu cells), sample %zu, %zu iters, "
+      "%zu threads/shard, %zu ms checkpoint pace\n",
+      kFilter, kGridCells, config.sample, config.iters, config.threads,
+      config.pace_ms);
+
+  const std::vector<size_t> proc_counts = {1, 2, 4};
+  std::map<size_t, ProcResult> results;
+  for (size_t procs : proc_counts) {
+    std::vector<double> walls;
+    ProcResult result;
+    for (size_t iter = 0; iter < config.iters; ++iter) {
+      const std::string dir =
+          StrFormat("%s/p%zu_i%zu", kScratchDir, procs, iter);
+      IterCounters counters;
+      Result<double> wall = RunIteration(config, procs, dir, &counters);
+      if (!wall.ok()) {
+        std::fprintf(stderr, "iteration failed at %zu procs: %s\n", procs,
+                     wall.status().ToString().c_str());
+        return 1;
+      }
+      walls.push_back(*wall);
+      result.counters.produced += counters.produced;
+      result.counters.steals += counters.steals;
+      result.counters.claim_conflicts += counters.claim_conflicts;
+      result.counters.cache_skips += counters.cache_skips;
+    }
+    result.wall = bench::StatsFromSamples(walls);
+    result.cells_per_s = result.wall.median > 0.0
+                             ? static_cast<double>(kGridCells) /
+                                   result.wall.median
+                             : 0.0;
+    results[procs] = result;
+    std::printf(
+        "  %zu proc(s): median %.3fs p95 %.3fs  %.2f cells/s  "
+        "steals %llu conflicts %llu cache_skips %llu\n",
+        procs, result.wall.median, result.wall.p95, result.cells_per_s,
+        static_cast<unsigned long long>(result.counters.steals),
+        static_cast<unsigned long long>(result.counters.claim_conflicts),
+        static_cast<unsigned long long>(result.counters.cache_skips));
+  }
+  std::filesystem::remove_all(kScratchDir);
+
+  const double base = results[1].wall.median;
+  std::string procs_json;
+  for (size_t procs : proc_counts) {
+    const ProcResult& r = results[procs];
+    const double cells_total =
+        static_cast<double>(kGridCells) * config.iters;
+    if (!procs_json.empty()) procs_json += ",";
+    procs_json += StrFormat(
+        "\"%zu\":{\"wall_s\":%.6f,\"wall_p95_s\":%.6f,"
+        "\"cells_per_s\":%.4f,\"speedup\":%.4f,"
+        "\"steal_rate\":%.4f,\"claim_conflicts\":%llu,"
+        "\"reuse_rate\":%.4f}",
+        procs, r.wall.median, r.wall.p95, r.cells_per_s,
+        r.wall.median > 0.0 ? base / r.wall.median : 0.0,
+        cells_total > 0.0 ? r.counters.steals / cells_total : 0.0,
+        static_cast<unsigned long long>(r.counters.claim_conflicts),
+        cells_total > 0.0 ? r.counters.cache_skips / cells_total : 0.0);
+  }
+  std::string json = StrFormat(
+      "{\"grid\":\"%s\",\"cells\":%zu,\"sample\":%zu,\"iters\":%zu,"
+      "\"threads_per_shard\":%zu,\"pace_ms\":%zu,\"cpus\":%u,"
+      "\"procs\":{%s}}\n",
+      kFilter, kGridCells, config.sample, config.iters, config.threads,
+      config.pace_ms, std::thread::hardware_concurrency(),
+      procs_json.c_str());
+  Status written = WriteFileAtomic(out_path, json);
+  if (!written.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", out_path.c_str(),
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("report: %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -430,6 +430,7 @@ Status StudyDriver::MergeSlot(size_t slot, SlotOutcome outcome,
             obs::FlightRecorder::SiteForCategory("driver.checkpoint"),
             static_cast<uint32_t>(slot));
       }
+      if (options_.checkpoint_hook) options_.checkpoint_hook();
     } else {
       // Non-fatal: worst case a later resume redoes this repeat.
       FC_LOG_WARN("driver", "journal write failed: %s",

@@ -2,6 +2,7 @@
 #define FAIRCLEAN_EXEC_STUDY_DRIVER_H_
 
 #include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -60,6 +61,11 @@ struct StudyDriverOptions {
   /// the historical strictly-sequential path. Results are byte-identical
   /// across thread counts (see DESIGN.md, threading model).
   size_t threads = 0;
+  /// Invoked on the driver thread after each successful journal checkpoint
+  /// write (never on failure). The shard claim layer refreshes its cell
+  /// lease here, so a lease outlives any cell whose repeats keep making
+  /// progress; tests also use it as a deterministic mid-cell crash point.
+  std::function<void()> checkpoint_hook;
   /// Byte store backing the result cache and repeat journals. When null
   /// and cache_dir is non-empty, the driver opens the backend selected by
   /// FAIRCLEAN_STORE / FAIRCLEAN_STORE_CACHE_PAGES /

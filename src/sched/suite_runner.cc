@@ -64,6 +64,13 @@ Result<SuiteOptions> TrySuiteOptionsFromEnv() {
         compress + "\"");
   }
   options.store_compress = compress == "1";
+  FC_ASSIGN_OR_RETURN(options.shard_lease_s,
+                      GetEnvBudgetSeconds("FAIRCLEAN_SHARD_LEASE_S",
+                                          options.shard_lease_s));
+  if (options.shard_lease_s <= 0.0) {
+    return Status::InvalidArgument(
+        "FAIRCLEAN_SHARD_LEASE_S must be positive");
+  }
   return options;
 }
 
@@ -314,6 +321,16 @@ Result<CellArtifact> SuiteScheduler::ProduceCell(const CellKey& cell) {
   }
   FC_ASSIGN_OR_RETURN(exec::StudyDriverOptions driver_options,
                       CellDriverOptions());
+  if (options_.shard.mode == ShardMode::kClaim || cell_checkpoint_hook_) {
+    // Each successful journal checkpoint proves the cell is making repeat
+    // progress: extend its claim lease so a live shard is never stolen
+    // from mid-cell (and give tests their deterministic crash point).
+    CellKey hooked = cell;
+    driver_options.checkpoint_hook = [this, hooked] {
+      if (options_.shard.mode == ShardMode::kClaim) RefreshCellLease(hooked);
+      if (cell_checkpoint_hook_) cell_checkpoint_hook_(hooked);
+    };
+  }
   exec::StudyDriver driver(driver_options);
   exec::CellPlanInputs inputs;
   const exec::CellPlanInputs* plan_inputs = nullptr;
@@ -324,7 +341,21 @@ Result<CellArtifact> SuiteScheduler::ProduceCell(const CellKey& cell) {
   Result<CleaningExperimentResult> result =
       driver.RunOrLoad(*dataset, cell.error_type, cell.model, plan_inputs);
   Accumulate(driver.diagnostics());
-  if (!result.ok()) return result.status();
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kDeadlineExceeded &&
+        !options_.cache_dir.empty() &&
+        driver_options.blob_store != nullptr) {
+      // Sticky attempt marker: the cell hit the budget with resumable
+      // state. A later attempt that completes the cell overwrites it, so
+      // final-success reports stay byte-identical to fresh runs.
+      driver_options.blob_store
+          ->Write(ClassKeyFor(CellCacheKey(cell)),
+                  std::string(CellClassName(CellClass::kBudgetExceeded)) +
+                      "\n")
+          .ok();
+    }
+    return result.status();
+  }
 
   CellArtifact artifact;
   artifact.result = std::move(*result);
@@ -334,13 +365,59 @@ Result<CellArtifact> SuiteScheduler::ProduceCell(const CellKey& cell) {
         driver_options, cell.dataset, cell.error_type, cell.model);
     FC_ASSIGN_OR_RETURN(bytes, driver_options.blob_store->Read(key));
     artifact.cache_file = key;
+    artifact.cell_class = ClassifyProducedCell(
+        cell, driver.diagnostics(), driver_options.blob_store.get(), key);
   } else {
     // In-memory runs: digest the exact bytes SaveToFile would persist, so
     // the identity is comparable either way.
     bytes = AppendChecksumFooter(artifact.result.records.ToJson());
+    artifact.cell_class =
+        ClassifyProducedCell(cell, driver.diagnostics(), nullptr, "");
   }
   artifact.sha256 = Sha256Hex(bytes);
   return artifact;
+}
+
+CellClass SuiteScheduler::ClassifyProducedCell(
+    const CellKey& cell, const exec::RunDiagnostics& diag,
+    store::BlobStore* blob, const std::string& cache_key) {
+  // Each cell runs its own driver, so the diagnostics describe exactly
+  // this production. A pure cache hit preserves the class recorded by
+  // whichever run computed the cell (absent record: a pre-classifier
+  // cache — pass); a computed (fresh or journal-resumed) cell classifies
+  // from what this run observed and persists the verdict next to the
+  // cache record, best-effort like the journal writes.
+  const bool cache_hit = diag.cache_hits > 0;
+  if (cache_hit && blob != nullptr) {
+    CellClass cls = CellClass::kPass;
+    Result<std::string> recorded = blob->Read(ClassKeyFor(cache_key));
+    if (recorded.ok()) {
+      std::string name = *recorded;
+      while (!name.empty() && (name.back() == '\n' || name.back() == '\r')) {
+        name.pop_back();
+      }
+      Result<CellClass> parsed = CellClassFromName(name);
+      if (parsed.ok()) cls = *parsed;
+    }
+    return cls;
+  }
+  CellClass cls = CellClass::kPass;
+  if (diag.skips > 0) {
+    cls = CellClass::kSkipped;
+  } else if (diag.retries > 0) {
+    cls = CellClass::kDegenerateRetry;
+  }
+  if (IsStolenCell(cell)) cls = CellClass::kStolen;
+  if (blob != nullptr) {
+    Status written =
+        blob->Write(ClassKeyFor(cache_key),
+                    std::string(CellClassName(cls)) + "\n");
+    if (!written.ok()) {
+      FC_LOG_WARN("sched", "class record write failed for %s: %s",
+                  cell.Id().c_str(), written.ToString().c_str());
+    }
+  }
+  return cls;
 }
 
 Result<std::shared_ptr<const CellArtifact>> SuiteScheduler::Cell(
@@ -867,6 +944,18 @@ std::string SuiteScheduler::BuildReportJson(const SuiteSpec& spec,
                    static_cast<unsigned long long>(artifacts_produced),
                    static_cast<unsigned long long>(artifacts_reused));
 
+  // Mass-run classifier (DESIGN.md Section 16): per-class cell totals.
+  // Classes are persisted class: records read back on cache hits, so the
+  // block is identical between fresh, warm, resumed, and merged runs.
+  ClassifierCounts classifier;
+  for (const GraphNode& node : graph.nodes()) {
+    if (node.kind != NodeKind::kCell) continue;
+    auto artifact =
+        std::static_pointer_cast<const CellArtifact>(node_values_[node.id]);
+    classifier.Add(artifact->cell_class);
+  }
+  out += ",\"classifier\":" + classifier.ToJson();
+
   const Impact kImpacts[3] = {Impact::kWorse, Impact::kInsignificant,
                               Impact::kBetter};
 
@@ -877,10 +966,12 @@ std::string SuiteScheduler::BuildReportJson(const SuiteSpec& spec,
     auto artifact =
         std::static_pointer_cast<const CellArtifact>(node_values_[node.id]);
     out += StrFormat(
-        "%s{\"id\":%s,\"cache_file\":%s,\"sha256\":%s,\"repeats\":%zu}",
+        "%s{\"id\":%s,\"cache_file\":%s,\"sha256\":%s,\"class\":%s,"
+        "\"repeats\":%zu}",
         first ? "" : ",", JsonString(node.label).c_str(),
         JsonString(artifact->cache_file).c_str(),
         JsonString(artifact->sha256).c_str(),
+        JsonString(CellClassName(artifact->cell_class)).c_str(),
         artifact->result.dirty.accuracy.size());
     first = false;
   }

@@ -2,9 +2,11 @@
 #define FAIRCLEAN_SCHED_SUITE_RUNNER_H_
 
 #include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -17,8 +19,10 @@
 #include "obs/metrics.h"
 #include "sched/artifact_store.h"
 #include "sched/experiment_graph.h"
+#include "sched/shard.h"
 #include "sched/suite_spec.h"
 #include "sched/wave_plan.h"
+#include "store/lease.h"
 
 namespace fairclean {
 namespace sched {
@@ -56,6 +60,14 @@ struct SuiteOptions {
   size_t store_cache_pages = 256;
   /// Per-record compression in the paged backend (FAIRCLEAN_STORE_COMPRESS).
   bool store_compress = false;
+  /// This process's slice of a multi-process run (--shard / --shard-claim;
+  /// inactive by default). Sharding requires a non-empty cache_dir on a
+  /// flat backend: the shared cache IS the coordination plane.
+  ShardSpec shard;
+  /// Claim-lease duration in seconds (FAIRCLEAN_SHARD_LEASE_S). A claim
+  /// whose owner neither finishes nor refreshes (each journal checkpoint
+  /// refreshes) within this window becomes stealable.
+  double shard_lease_s = 30.0;
 };
 
 /// The bench-scale defaults (sample 3500, 16 repeats, 3 folds, holdout
@@ -84,6 +96,10 @@ struct CellArtifact {
   /// path, so reports are identical across cache directories.
   std::string cache_file;
   std::string sha256;
+  /// Mass-run classification (persisted as a class: record next to the
+  /// cache record, read back on cache hits — so fresh, warm, resumed, and
+  /// merged runs report the same class).
+  CellClass cell_class = CellClass::kPass;
 };
 
 /// One per-dataset disparity analysis (Fig. 1 / Fig. 2 panel).
@@ -138,6 +154,37 @@ class SuiteScheduler {
   /// (byte-identical to the standalone benches' bodies), and assembles the
   /// merged JSON report (written to options.report_path when set).
   Status RunSuite(const SuiteSpec& spec, const SuiteFilter& filter);
+
+  /// Runs this process's shard of the suite (options.shard must be
+  /// active): produces cell artifacts only — static mode takes a
+  /// deterministic per-wave partition, claim mode work-steals cells
+  /// through lease records under <cache_dir>/claims — then writes a
+  /// partial report next to options.report_path. In claim mode the last
+  /// finishing shard wins a __merge__ lease election and assembles the
+  /// merged report itself (DESIGN.md Section 16); static shards rely on an
+  /// explicit RunSuiteMerge pass.
+  Status RunSuiteShard(const SuiteSpec& spec, const SuiteFilter& filter);
+
+  /// Merge step of a sharded run: validates every partial report found
+  /// next to options.report_path (each listed cell's sha256 must match the
+  /// shared cache's actual bytes), then executes the full graph over the
+  /// warm cache — every cell is a cache hit — so the merged report is
+  /// byte-identical to a single-process run by the fresh==warm identity
+  /// contract. Partial reports are never stitched.
+  Status RunSuiteMerge(const SuiteSpec& spec, const SuiteFilter& filter);
+
+  /// Partial-report path of one shard: "<report_path>.shard<i>of<N>"
+  /// (1-based i).
+  static std::string PartialReportPath(const std::string& report_path,
+                                       const ShardSpec& shard);
+
+  /// Invoked (with the cell) after every successful journal checkpoint of
+  /// a cell driver, in addition to the claim-lease refresh the shard layer
+  /// performs there. The shard soak test uses it as a deterministic
+  /// mid-cell crash point (raise SIGKILL after the first checkpoint).
+  void set_cell_checkpoint_hook(std::function<void(const CellKey&)> hook) {
+    cell_checkpoint_hook_ = std::move(hook);
+  }
 
   /// Runs a single unit for the legacy bench binaries: prints the unit
   /// heading up front (progress visibility), executes the unit's subgraph,
@@ -217,6 +264,40 @@ class SuiteScheduler {
   Result<CellArtifact> ProduceCell(const CellKey& cell);
   void Accumulate(const exec::RunDiagnostics& diagnostics);
 
+  /// Classification + class-record persistence for one freshly produced
+  /// (non-cache-hit) cell; reads the sticky record back on cache hits.
+  CellClass ClassifyProducedCell(const CellKey& cell,
+                                 const exec::RunDiagnostics& diag,
+                                 store::BlobStore* blob,
+                                 const std::string& cache_key);
+
+  /// Shard helpers (shard_runner.cc).
+  struct ShardCounters {
+    uint64_t produced = 0;
+    uint64_t steals = 0;
+    uint64_t claim_conflicts = 0;
+    uint64_t cache_skips = 0;
+    uint64_t lease_refreshes = 0;
+    uint64_t lease_lost = 0;
+  };
+  /// Cache key of one cell under this suite's scale (pure; no store I/O).
+  std::string CellCacheKey(const CellKey& cell) const;
+  /// Produces the given cell nodes of wave `w` through the planner + pool
+  /// (the fan-out slice of ExecuteGraph, cells only).
+  Status ProduceWaveCells(const SuiteSpec& spec, const ExperimentGraph& graph,
+                          size_t wave_index, const std::vector<size_t>& ids);
+  Status RunClaimWave(const SuiteSpec& spec, const ExperimentGraph& graph,
+                      size_t wave_index, const std::vector<size_t>& cell_ids,
+                      std::vector<size_t>* produced_ids);
+  Status WritePartialReport(const SuiteSpec& spec,
+                            const ExperimentGraph& graph,
+                            const SuiteFilter& filter,
+                            const std::vector<size_t>& produced_ids) const;
+  /// True when this cell's claim was stolen by this process.
+  bool IsStolenCell(const CellKey& cell) const;
+  /// Lease refresh driven by the cell driver's journal checkpoints.
+  void RefreshCellLease(const CellKey& cell);
+
   /// Executes the graph wave by wave: dataset/cell/figure nodes fan out
   /// across the pool, aggregation nodes run inline; node results land in
   /// node_values_. On failure returns the failed node with the smallest id
@@ -268,6 +349,16 @@ class SuiteScheduler {
 
   mutable std::mutex store_mutex_;
   mutable std::shared_ptr<store::BlobStore> blob_store_;
+
+  /// Claim coordination state of a sharded run (null/empty otherwise).
+  /// shard_mutex_ guards the token map, stolen set, and counters — the
+  /// checkpoint hook touches them from pool workers.
+  std::unique_ptr<store::LeaseStore> lease_store_;
+  mutable std::mutex shard_mutex_;
+  std::map<std::string, store::LeaseToken> claim_tokens_;  ///< by cell id
+  std::set<std::string> stolen_cells_;                     ///< cell ids
+  ShardCounters shard_counters_;
+  std::function<void(const CellKey&)> cell_checkpoint_hook_;
 
   /// Node results of the last ExecuteGraph, indexed by node id. Holds
   /// CellArtifact / GeneratedDataset / FigureValue / TableValue /

@@ -60,9 +60,20 @@ std::string FreshDir(const std::string& name) {
 struct SuiteRun {
   Status status;
   std::string report;
-  /// Cache-file basename -> exact file bytes.
+  /// Cache-file basename -> exact file bytes. Includes the per-cell
+  /// "class:" classification records the scheduler persists next to each
+  /// cache record — their bytes are part of the identity contract too.
   std::map<std::string, std::string> files;
 };
+
+/// Cache records proper, excluding the "class:" classification records.
+size_t CacheRecordCount(const std::map<std::string, std::string>& files) {
+  size_t count = 0;
+  for (const auto& [name, bytes] : files) {
+    if (name.rfind("class:", 0) != 0) ++count;
+  }
+  return count;
+}
 
 SuiteRun RunSmoke(size_t threads, const std::string& cache_dir) {
   SuiteOptions options;
@@ -134,9 +145,11 @@ TEST(SuiteGolden, SequentialBaselineSucceeds) {
   const SuiteRun& baseline = Baseline();
   ASSERT_TRUE(baseline.status.ok()) << baseline.status.ToString();
   EXPECT_FALSE(baseline.report.empty());
-  // One cache record per smoke cell (german missing values x three
-  // models); completed runs leave no journals behind.
-  EXPECT_EQ(baseline.files.size(), 3u);
+  // One cache record plus one "class:" classification record per smoke
+  // cell (german missing values x three models); completed runs leave no
+  // journals behind.
+  EXPECT_EQ(baseline.files.size(), 6u);
+  EXPECT_EQ(CacheRecordCount(baseline.files), 3u);
   for (const auto& [name, bytes] : baseline.files) {
     EXPECT_FALSE(bytes.empty()) << name;
   }
@@ -245,7 +258,7 @@ TEST(SuiteGolden, CellRecordsMatchStandaloneDriverSha256) {
   }
   ASSERT_NE(smoke, nullptr);
   std::vector<CellKey> cells = UnitCells(*smoke);
-  ASSERT_EQ(cells.size(), baseline.files.size());
+  ASSERT_EQ(cells.size(), CacheRecordCount(baseline.files));
 
   // A scheduler over the baseline cache reports each cell's digest.
   SuiteOptions options;
